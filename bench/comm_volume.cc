@@ -1,0 +1,46 @@
+// Reproduces the §8.3 cross-node data-transfer accounting: VGG-19 over
+// Horovod moves ~515 MB across nodes per iteration vs ~103 MB per minibatch
+// with ED-local; ResNet-152's ED-local traffic (~298 MB) exceeds Horovod's
+// (~211 MB) because of large inter-stage activations.
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "dp/placement.h"
+#include "model/resnet.h"
+#include "model/vgg.h"
+#include "partition/partitioner.h"
+
+int main() {
+  using namespace hetpipe;
+  const hw::Cluster cluster = hw::Cluster::Paper();
+
+  std::printf("Sec 8.3 — cross-node traffic per minibatch (MB)\n\n");
+  std::printf("%-12s %14s %18s %18s %18s\n", "model", "Horovod", "ED-local params",
+              "ED-local acts", "ED default params");
+  for (const bool vgg : {true, false}) {
+    const model::ModelGraph graph = vgg ? model::BuildVgg19() : model::BuildResNet152();
+    const model::ModelProfile profile(graph, 32);
+    const partition::Partitioner partitioner(profile, cluster);
+    partition::PartitionOptions options;
+    options.nm = vgg ? 3 : 4;
+    const partition::Partition partition =
+        partitioner.Solve(core::PickGpusByCode(cluster, "VRGQ"), options);
+
+    const double mb = 1.0 / (1 << 20);
+    const double horovod =
+        static_cast<double>(dp::HorovodCrossNodeBytes(graph.total_param_bytes(), 16)) * mb;
+    const double local_params = static_cast<double>(dp::PsCrossNodeBytesPerMinibatch(
+                                    partition, cluster.num_nodes(), true, options.nm)) *
+                                mb;
+    const double acts =
+        static_cast<double>(dp::ActivationCrossNodeBytes(partition, profile)) * mb;
+    const double rr_params = static_cast<double>(dp::PsCrossNodeBytesPerMinibatch(
+                                 partition, cluster.num_nodes(), false, options.nm)) *
+                             mb;
+    std::printf("%-12s %14.0f %18.0f %18.0f %18.0f\n", graph.name().c_str(), horovod,
+                local_params, acts, rr_params);
+  }
+  std::printf("\n(paper: VGG-19 Horovod ~515 MB vs ED-local ~103 MB;\n"
+              " ResNet-152 ED-local ~298 MB vs Horovod ~211 MB — activations dominate)\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Fig. 3: normalized throughput and maximum per-stage GPU
+// utilization of a single virtual worker as Nm varies, for the seven GPU
+// configurations of Table 3, on ResNet-152 and VGG-19.
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "model/resnet.h"
+#include "model/vgg.h"
+
+namespace {
+
+void RunModel(const hetpipe::hw::Cluster& cluster, const hetpipe::model::ModelGraph& graph) {
+  constexpr int kNmMax = 7;
+  const char* configs[] = {"VVVV", "RRRR", "GGGG", "QQQQ", "VRGQ", "VVQQ", "RRGG"};
+
+  std::printf("\n--- %s (batch 32) ---\n", graph.name().c_str());
+  std::printf("%-6s %-10s", "config", "Nm=1 img/s");
+  for (int nm = 1; nm <= kNmMax; ++nm) {
+    std::printf("  Nm=%d", nm);
+  }
+  std::printf("   | max GPU util at each Nm\n");
+
+  for (const char* codes : configs) {
+    const auto points = hetpipe::core::RunFig3Config(cluster, graph, codes, kNmMax);
+    std::printf("%-6s %-10.0f", codes, points[0].throughput_img_s);
+    for (const auto& p : points) {
+      if (p.feasible) {
+        std::printf("  %4.2f", p.normalized);
+      } else {
+        std::printf("     -");
+      }
+    }
+    std::printf("   |");
+    for (const auto& p : points) {
+      if (p.feasible) {
+        std::printf(" %3.0f%%", 100.0 * p.max_utilization);
+      } else {
+        std::printf("    -");
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 3 — single virtual worker: normalized throughput vs Nm\n");
+  std::printf("(normalized to the same configuration's Nm=1 throughput;\n");
+  std::printf(" '-' marks Nm values whose partition exceeds GPU memory)\n");
+  const hetpipe::hw::Cluster cluster = hetpipe::hw::Cluster::Paper();
+  RunModel(cluster, hetpipe::model::BuildResNet152());
+  RunModel(cluster, hetpipe::model::BuildVgg19());
+  return 0;
+}

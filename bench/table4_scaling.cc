@@ -1,0 +1,40 @@
+// Reproduces Table 4: throughput of Horovod vs HetPipe (ED-local) as whimpy
+// GPUs are added to the cluster: 4[V] -> 8[VR] -> 12[VRQ] -> 16[VRQG].
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "model/resnet.h"
+#include "model/vgg.h"
+
+int main() {
+  using namespace hetpipe;
+  std::printf("Table 4 — performance improvement of adding whimpy GPUs\n");
+  std::printf("(parenthesized: total concurrent minibatches across virtual workers;\n");
+  std::printf(" X: model does not fit some GPU so Horovod cannot run)\n");
+
+  constexpr double kJitter = 0.1;
+  for (const bool vgg : {true, false}) {
+    const model::ModelGraph graph = vgg ? model::BuildVgg19() : model::BuildResNet152();
+    std::printf("\n%s:\n  %-18s %12s %16s\n", graph.name().c_str(), "cluster", "Horovod",
+                "HetPipe");
+    const auto cells = core::RunTable4(graph, kJitter);
+    double first_hetpipe = 0.0;
+    double last_hetpipe = 0.0;
+    for (const auto& cell : cells) {
+      std::printf("  %-18s", cell.cluster_label.c_str());
+      if (cell.horovod_feasible) {
+        std::printf(" %8.0f img/s", cell.horovod_img_s);
+      } else {
+        std::printf(" %13s", "X");
+      }
+      std::printf(" %8.0f (%d)\n", cell.hetpipe_img_s, cell.total_concurrent_minibatches);
+      if (first_hetpipe == 0.0) {
+        first_hetpipe = cell.hetpipe_img_s;
+      }
+      last_hetpipe = cell.hetpipe_img_s;
+    }
+    std::printf("  HetPipe speedup from added whimpy GPUs: %.2fx (paper: up to 2.3x)\n",
+                last_hetpipe / first_hetpipe);
+  }
+  return 0;
+}

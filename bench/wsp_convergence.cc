@@ -1,0 +1,73 @@
+// Real-numerics convergence study backing §6: multi-threaded SGD under BSP,
+// SSP, ASP, and WSP (with pipeline-induced local staleness) on a convex
+// objective and a nonconvex MLP. WSP converges despite its bounded staleness.
+#include <cstdio>
+
+#include "train/data.h"
+#include "train/model_zoo.h"
+#include "train/wsp_trainer.h"
+
+namespace {
+
+using namespace hetpipe::train;
+
+void Report(const char* label, const TrainerResult& result) {
+  std::printf("  %-14s final loss %.5f  worst staleness %3lld (bound ok: %s)  minibatches %lld\n",
+              label, result.final_loss,
+              static_cast<long long>(result.worst_observed_staleness),
+              result.staleness_within_bound ? "yes" : "NO",
+              static_cast<long long>(result.total_minibatches));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("WSP vs BSP/SSP/ASP — real threaded SGD (4 workers)\n");
+
+  {
+    const Dataset data = MakeLinearRegression(800, 10, 0.05, 1001);
+    const LinearRegressionModel model(10);
+    std::printf("\nconvex least squares (d=10, n=800):\n");
+
+    TrainerOptions bsp = BspOptions(4, 600);
+    bsp.worker.lr = 0.05;
+    Report("BSP", TrainWsp(model, data, bsp));
+
+    TrainerOptions ssp = SspOptions(4, 600, 3);
+    ssp.worker.lr = 0.05;
+    Report("SSP(s=3)", TrainWsp(model, data, ssp));
+
+    TrainerOptions asp = AspOptions(4, 600);
+    asp.worker.lr = 0.05;
+    Report("ASP", TrainWsp(model, data, asp));
+
+    for (int d : {0, 1, 4}) {
+      TrainerOptions wsp = WspOptions(4, 150, 4, d);
+      wsp.worker.lr = 0.02;
+      char label[32];
+      std::snprintf(label, sizeof(label), "WSP(Nm=4,D=%d)", d);
+      Report(label, TrainWsp(model, data, wsp));
+    }
+  }
+
+  {
+    const Dataset data = MakeXorLike(600, 2, 2002);
+    const MlpModel model(2, 8);
+    std::printf("\nnonconvex MLP (2-8-1 tanh, XOR-like labels):\n");
+    const double init_loss = model.FullLoss(data, model.Init(7));
+    std::printf("  initial loss %.5f\n", init_loss);
+
+    TrainerOptions bsp = BspOptions(4, 800);
+    bsp.worker.lr = 0.3;
+    bsp.worker.batch = 16;
+    bsp.init = model.Init(7);
+    Report("BSP", TrainWsp(model, data, bsp));
+
+    TrainerOptions wsp = WspOptions(4, 200, 4, 1);
+    wsp.worker.lr = 0.15;
+    wsp.worker.batch = 16;
+    wsp.init = model.Init(7);
+    Report("WSP(Nm=4,D=1)", TrainWsp(model, data, wsp));
+  }
+  return 0;
+}

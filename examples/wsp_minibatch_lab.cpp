@@ -1,0 +1,46 @@
+// Hands-on WSP lab: real multi-threaded SGD under the Wave Synchronous
+// Parallel model. Shows the loss trajectory, the staleness every worker
+// actually observed, and how it stays inside the bound of §5.
+#include <cstdio>
+
+#include "train/data.h"
+#include "train/model_zoo.h"
+#include "train/wsp_trainer.h"
+#include "wsp/sync_policy.h"
+
+int main() {
+  using namespace hetpipe;
+  const train::Dataset data = train::MakeBinaryBlobs(1000, 6, 3.0, 99);
+  const train::LogisticRegressionModel model(6);
+
+  std::printf("WSP minibatch lab — logistic regression, 4 virtual workers\n\n");
+
+  for (const auto& [nm, d] : {std::pair{1, 0}, {4, 0}, {4, 4}}) {
+    train::TrainerOptions options = train::WspOptions(/*num_workers=*/4, /*waves=*/120, nm, d);
+    options.worker.lr = 0.2;
+    options.worker.batch = 16;
+    const train::TrainerResult result = train::TrainWsp(model, data, options);
+
+    std::printf("Nm=%d D=%d  (s_local=%lld, s_global bound=%lld)\n", nm, d,
+                static_cast<long long>(wsp::LocalStaleness(nm)),
+                static_cast<long long>(wsp::GlobalStaleness(nm, d)));
+    std::printf("  final loss %.5f after %lld minibatches\n", result.final_loss,
+                static_cast<long long>(result.total_minibatches));
+    std::printf("  staleness: mean %.1f, worst %lld, within bound: %s\n",
+                result.mean_observed_staleness,
+                static_cast<long long>(result.worst_observed_staleness),
+                result.staleness_within_bound ? "yes" : "NO");
+    std::printf("  loss curve:");
+    const size_t n = result.loss_curve.size();
+    for (size_t i = 0; i < n; i += std::max<size_t>(1, n / 6)) {
+      std::printf("  w%lld:%.4f", static_cast<long long>(result.loss_curve[i].first),
+                  result.loss_curve[i].second);
+    }
+    std::printf("\n\n");
+  }
+
+  std::printf("All three configurations converge; pipeline staleness (Nm>1) and clock\n"
+              "distance (D>0) slow statistical progress slightly but never break the\n"
+              "bound — the empirical counterpart of the Theorem 1 guarantee.\n");
+  return 0;
+}

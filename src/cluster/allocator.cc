@@ -1,0 +1,118 @@
+#include "cluster/allocator.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace hetpipe::cluster {
+
+const char* PolicyName(AllocationPolicy policy) {
+  switch (policy) {
+    case AllocationPolicy::kNodePartition:
+      return "NP";
+    case AllocationPolicy::kEqualDistribution:
+      return "ED";
+    case AllocationPolicy::kHybridDistribution:
+      return "HD";
+  }
+  return "?";
+}
+
+int ComputeRank(hw::GpuType type) {
+  // §8.1: in terms of computation power, V > R > G > Q.
+  switch (type) {
+    case hw::GpuType::kTitanV:
+      return 0;
+    case hw::GpuType::kTitanRtx:
+      return 1;
+    case hw::GpuType::kRtx2060:
+      return 2;
+    case hw::GpuType::kQuadroP4000:
+      return 3;
+  }
+  return 3;
+}
+
+std::string Allocation::ToString(const hw::Cluster& cluster) const {
+  std::ostringstream os;
+  os << PolicyName(policy) << ":";
+  for (const std::vector<int>& vw : vw_gpus) {
+    os << " [";
+    for (int id : vw) {
+      os << hw::CodeOf(cluster.gpu(id).type);
+    }
+    os << ']';
+  }
+  return os.str();
+}
+
+namespace {
+
+Allocation AllocateNp(const hw::Cluster& cluster) {
+  Allocation allocation;
+  allocation.policy = AllocationPolicy::kNodePartition;
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    allocation.vw_gpus.push_back(cluster.GpusOnNode(n));
+  }
+  return allocation;
+}
+
+Allocation AllocateEd(const hw::Cluster& cluster) {
+  Allocation allocation;
+  allocation.policy = AllocationPolicy::kEqualDistribution;
+  allocation.vw_gpus.resize(static_cast<size_t>(cluster.gpus_per_node()));
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    const std::vector<int> ids = cluster.GpusOnNode(n);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      allocation.vw_gpus[i].push_back(ids[i]);
+    }
+  }
+  return allocation;
+}
+
+Allocation AllocateHd(const hw::Cluster& cluster) {
+  if (cluster.num_nodes() != 4 || cluster.gpus_per_node() != 4) {
+    throw std::invalid_argument("HD allocation requires a 4-node x 4-GPU cluster");
+  }
+  // Order nodes by compute power, then pair (strongest, weakest) and the two
+  // middle nodes; each pair yields two virtual workers with 2 + 2 GPUs.
+  std::vector<int> nodes(4);
+  std::iota(nodes.begin(), nodes.end(), 0);
+  std::sort(nodes.begin(), nodes.end(), [&](int a, int b) {
+    return ComputeRank(cluster.NodeType(a)) < ComputeRank(cluster.NodeType(b));
+  });
+
+  Allocation allocation;
+  allocation.policy = AllocationPolicy::kHybridDistribution;
+  const std::pair<int, int> pairs[] = {{nodes[0], nodes[3]}, {nodes[1], nodes[2]}};
+  for (const auto& [strong, weak] : pairs) {
+    const std::vector<int> strong_ids = cluster.GpusOnNode(strong);
+    const std::vector<int> weak_ids = cluster.GpusOnNode(weak);
+    for (int half = 0; half < 2; ++half) {
+      std::vector<int> vw;
+      vw.push_back(strong_ids[static_cast<size_t>(half) * 2]);
+      vw.push_back(strong_ids[static_cast<size_t>(half) * 2 + 1]);
+      vw.push_back(weak_ids[static_cast<size_t>(half) * 2]);
+      vw.push_back(weak_ids[static_cast<size_t>(half) * 2 + 1]);
+      allocation.vw_gpus.push_back(std::move(vw));
+    }
+  }
+  return allocation;
+}
+
+}  // namespace
+
+Allocation Allocate(const hw::Cluster& cluster, AllocationPolicy policy) {
+  switch (policy) {
+    case AllocationPolicy::kNodePartition:
+      return AllocateNp(cluster);
+    case AllocationPolicy::kEqualDistribution:
+      return AllocateEd(cluster);
+    case AllocationPolicy::kHybridDistribution:
+      return AllocateHd(cluster);
+  }
+  throw std::invalid_argument("unknown allocation policy");
+}
+
+}  // namespace hetpipe::cluster

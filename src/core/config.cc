@@ -1,0 +1,15 @@
+#include "core/config.h"
+
+#include <sstream>
+
+namespace hetpipe::core {
+
+std::string HetPipeConfig::ToString() const {
+  std::ostringstream os;
+  os << cluster::PolicyName(allocation) << "/"
+     << (placement == wsp::PlacementPolicy::kLocal ? "local" : "default") << "/"
+     << sync.ToString() << " batch=" << batch_size << " Nm=" << (nm == 0 ? -1 : nm);
+  return os.str();
+}
+
+}  // namespace hetpipe::core

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/allocator.h"
+#include "partition/memory_model.h"
+#include "wsp/param_server.h"
+#include "wsp/sync_policy.h"
+
+namespace hetpipe::core {
+
+// Configuration of one HetPipe training run.
+struct HetPipeConfig {
+  int batch_size = 32;  // per-virtual-worker minibatch size (paper: 32)
+
+  cluster::AllocationPolicy allocation = cluster::AllocationPolicy::kEqualDistribution;
+  wsp::PlacementPolicy placement = wsp::PlacementPolicy::kRoundRobin;
+  wsp::SyncPolicy sync = wsp::SyncPolicy::Wsp(0);
+
+  // Concurrent minibatches per virtual worker. 0 selects the largest common
+  // feasible value (min over VWs of Maxm), as §4 prescribes; a positive value
+  // caps it.
+  int nm = 0;
+  int nm_cap = 7;  // the paper sweeps Nm up to 7 (Fig. 3)
+
+  // Task-time jitter (coefficient of variation). Real clusters are noisy;
+  // this is what gives D > 0 its throughput advantage over the BSP-like D=0.
+  double jitter_cv = 0.0;
+  // Correlated noise: per-wave speed drift and a persistent per-VW speed
+  // bias — the straggler sources that make the D=0 wave barrier expensive
+  // and let local clocks drift apart when D is large (§8.4).
+  double drift_cv = 0.0;
+  double speed_bias_cv = 0.0;
+  uint64_t seed = 42;
+
+  // Simulated run length, in waves per virtual worker.
+  int64_t waves = 60;
+  // Waves excluded from throughput measurement while the pipeline fills.
+  int64_t warmup_waves = 5;
+
+  partition::StageMemoryParams mem_params;
+
+  std::string ToString() const;
+};
+
+}  // namespace hetpipe::core

@@ -1,0 +1,70 @@
+#pragma once
+
+#include "model/model_graph.h"
+#include "sim/stats.h"
+
+namespace hetpipe::core {
+
+// Saturating accuracy-vs-epochs curve: acc(e) = max * (1 - exp(-e / tau)).
+// The curve constants are chosen so that the BSP baseline reaches the paper's
+// target accuracy (74% for ResNet-152, 67% for VGG-19) after a typical
+// ImageNet epoch budget; only *relative* wall-clock behaviour matters for the
+// Fig. 5 / Fig. 6 reproduction.
+struct AccuracyCurve {
+  double max_accuracy = 0.78;
+  double tau_epochs = 26.0;
+
+  double Accuracy(double epochs) const;
+  // Epochs needed to reach `accuracy`; +inf if unreachable.
+  double EpochsToAccuracy(double accuracy) const;
+
+  static AccuracyCurve ResNet152() { return {0.78, 26.0}; }
+  static AccuracyCurve Vgg19() { return {0.705, 24.0}; }
+  static AccuracyCurve For(model::ModelFamily family);
+};
+
+// Statistical efficiency of SGD under parameter staleness: each epoch under
+// an average of `avg_missing_updates` missing minibatch updates contributes
+// eff = 1 / (1 + kappa * avg_missing_updates) of a synchronous epoch — the
+// standard SSP-style degradation model.
+double StatisticalEfficiency(double kappa, double avg_missing_updates);
+
+// Per-model staleness sensitivity kappa, calibrated against the convergence
+// ratios the paper reports (§8.4): VGG-19's fc-heavy gradients make it far
+// more staleness-sensitive than ResNet-152.
+double StalenessSensitivity(model::ModelFamily family);
+
+struct ConvergenceInput {
+  double throughput_img_s = 0.0;
+  double avg_missing_updates = 0.0;  // 0 for synchronous baselines (Horovod)
+  double dataset_images = 1.28e6;    // ImageNet-1k train split
+};
+
+// Maps simulated throughput + observed staleness to accuracy-vs-wall-clock
+// curves, regenerating Figs. 5 and 6.
+class ConvergenceModel {
+ public:
+  ConvergenceModel(AccuracyCurve curve, double kappa) : curve_(curve), kappa_(kappa) {}
+
+  static ConvergenceModel For(model::ModelFamily family) {
+    return ConvergenceModel(AccuracyCurve::For(family), StalenessSensitivity(family));
+  }
+
+  double EffectiveEpochsPerHour(const ConvergenceInput& input) const;
+  // Top-1 accuracy after `hours` of training.
+  double AccuracyAtHours(const ConvergenceInput& input, double hours) const;
+  // Accuracy curve sampled every `step_hours` up to `max_hours`.
+  sim::TimeSeries Curve(const ConvergenceInput& input, double max_hours,
+                        double step_hours) const;
+  // Wall-clock hours to reach `target` accuracy (+inf if unreachable).
+  double HoursToAccuracy(const ConvergenceInput& input, double target) const;
+
+  const AccuracyCurve& curve() const { return curve_; }
+  double kappa() const { return kappa_; }
+
+ private:
+  AccuracyCurve curve_;
+  double kappa_;
+};
+
+}  // namespace hetpipe::core

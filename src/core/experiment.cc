@@ -1,0 +1,254 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "model/resnet.h"
+#include "model/vgg.h"
+
+namespace hetpipe::core {
+
+std::vector<int> PickGpusByCode(const hw::Cluster& cluster, const std::string& codes) {
+  std::vector<int> picked;
+  std::vector<bool> used(static_cast<size_t>(cluster.num_gpus()), false);
+  for (char code : codes) {
+    const hw::GpuType type = hw::TypeFromCode(code);
+    bool found = false;
+    for (const hw::Gpu& gpu : cluster.gpus()) {
+      if (gpu.type == type && !used[static_cast<size_t>(gpu.id)]) {
+        used[static_cast<size_t>(gpu.id)] = true;
+        picked.push_back(gpu.id);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::invalid_argument("cluster has no free GPU of type " + std::string(1, code));
+    }
+  }
+  return picked;
+}
+
+std::vector<Fig3Point> RunFig3Config(const hw::Cluster& cluster, const model::ModelGraph& graph,
+                                     const std::string& codes, int nm_max) {
+  const std::vector<int> gpus = PickGpusByCode(cluster, codes);
+  HetPipeConfig config;
+  config.waves = 40;
+  config.warmup_waves = 5;
+  config.jitter_cv = 0.0;  // Fig. 3 is a deterministic single-VW sweep
+
+  std::vector<Fig3Point> points;
+  double base = 0.0;
+  for (int nm = 1; nm <= nm_max; ++nm) {
+    Fig3Point point;
+    point.nm = nm;
+    const HetPipeReport report =
+        HetPipe::RunSingleVirtualWorker(cluster, graph, gpus, nm, config);
+    point.feasible = report.feasible;
+    if (report.feasible) {
+      point.throughput_img_s = report.throughput_img_s;
+      point.max_utilization = report.vws.front().max_stage_utilization;
+      if (nm == 1) {
+        base = report.throughput_img_s;
+      }
+      point.normalized = base > 0.0 ? report.throughput_img_s / base : 0.0;
+    }
+    points.push_back(point);
+  }
+  return points;
+}
+
+namespace {
+
+Fig4Row RunPolicyRow(const hw::Cluster& cluster, const model::ModelGraph& graph,
+                     const std::string& label, cluster::AllocationPolicy allocation,
+                     wsp::PlacementPolicy placement, double jitter_cv) {
+  HetPipeConfig config;
+  config.allocation = allocation;
+  config.placement = placement;
+  config.sync = wsp::SyncPolicy::Wsp(0);
+  config.jitter_cv = jitter_cv;
+  config.waves = 40;
+
+  Fig4Row row;
+  row.label = label;
+  const HetPipeReport report = HetPipe(cluster, graph, config).Run();
+  row.feasible = report.feasible;
+  if (report.feasible) {
+    row.nm = report.nm;
+    row.throughput_img_s = report.throughput_img_s;
+    row.gpus_used = cluster.num_gpus();
+  }
+  return row;
+}
+
+}  // namespace
+
+std::vector<Fig4Row> RunFig4(const hw::Cluster& cluster, const model::ModelGraph& graph,
+                             double jitter_cv) {
+  std::vector<Fig4Row> rows;
+
+  const model::ModelProfile profile(graph, 32);
+  const dp::HorovodResult horovod = dp::SimulateHorovod(cluster, profile);
+  Fig4Row hrow;
+  hrow.label = "Horovod";
+  hrow.feasible = horovod.feasible;
+  hrow.gpus_used = static_cast<int>(horovod.worker_gpus.size());
+  hrow.throughput_img_s = horovod.throughput_img_s;
+  rows.push_back(hrow);
+
+  rows.push_back(RunPolicyRow(cluster, graph, "NP", cluster::AllocationPolicy::kNodePartition,
+                              wsp::PlacementPolicy::kRoundRobin, jitter_cv));
+  rows.push_back(RunPolicyRow(cluster, graph, "ED", cluster::AllocationPolicy::kEqualDistribution,
+                              wsp::PlacementPolicy::kRoundRobin, jitter_cv));
+  rows.push_back(RunPolicyRow(cluster, graph, "ED-local",
+                              cluster::AllocationPolicy::kEqualDistribution,
+                              wsp::PlacementPolicy::kLocal, jitter_cv));
+  rows.push_back(RunPolicyRow(cluster, graph, "HD", cluster::AllocationPolicy::kHybridDistribution,
+                              wsp::PlacementPolicy::kRoundRobin, jitter_cv));
+  return rows;
+}
+
+std::vector<Table4Cell> RunTable4(const model::ModelGraph& graph, double jitter_cv) {
+  const struct {
+    const char* nodes;
+    const char* label;
+  } kSubsets[] = {
+      {"V", "4 GPUs 4[V]"},
+      {"VR", "8 GPUs 4[VR]"},
+      {"VRQ", "12 GPUs 4[VRQ]"},
+      {"VRQG", "16 GPUs 4[VRQG]"},
+  };
+
+  std::vector<Table4Cell> cells;
+  for (const auto& subset : kSubsets) {
+    const hw::Cluster cluster = hw::Cluster::PaperSubset(subset.nodes);
+    Table4Cell cell;
+    cell.cluster_label = subset.label;
+    cell.num_gpus = cluster.num_gpus();
+
+    const model::ModelProfile profile(graph, 32);
+    const dp::HorovodResult horovod = dp::SimulateHorovod(cluster, profile);
+    cell.horovod_feasible =
+        horovod.feasible && horovod.num_excluded == 0;  // the paper reports X otherwise
+    cell.horovod_img_s = horovod.feasible ? horovod.throughput_img_s : 0.0;
+
+    HetPipeConfig config;
+    // A single node forms one virtual worker (the paper's V4 case); multiple
+    // nodes use ED with local parameter placement.
+    config.allocation = cluster.num_nodes() == 1 ? cluster::AllocationPolicy::kNodePartition
+                                                 : cluster::AllocationPolicy::kEqualDistribution;
+    config.placement = wsp::PlacementPolicy::kLocal;
+    config.sync = wsp::SyncPolicy::Wsp(0);
+    config.jitter_cv = jitter_cv;
+    config.waves = 40;
+    const HetPipeReport report = HetPipe(cluster, graph, config).Run();
+    if (report.feasible) {
+      cell.hetpipe_img_s = report.throughput_img_s;
+      cell.total_concurrent_minibatches = report.nm * static_cast<int>(report.vws.size());
+    }
+    cells.push_back(cell);
+  }
+  return cells;
+}
+
+namespace {
+
+ConvergenceSeries MakeSeries(const std::string& label, const ConvergenceModel& model,
+                             double throughput, double missing_updates, double target,
+                             double max_hours) {
+  ConvergenceSeries series;
+  series.label = label;
+  series.throughput_img_s = throughput;
+  series.avg_missing_updates = missing_updates;
+  ConvergenceInput input;
+  input.throughput_img_s = throughput;
+  input.avg_missing_updates = missing_updates;
+  series.hours_to_target = model.HoursToAccuracy(input, target);
+  series.curve = model.Curve(input, max_hours, max_hours / 144.0);
+  return series;
+}
+
+HetPipeReport RunEdLocal(const hw::Cluster& cluster, const model::ModelGraph& graph, int d,
+                         double jitter_cv) {
+  HetPipeConfig config;
+  config.allocation = cluster::AllocationPolicy::kEqualDistribution;
+  config.placement = wsp::PlacementPolicy::kLocal;
+  config.sync = wsp::SyncPolicy::Wsp(d);
+  config.jitter_cv = jitter_cv;
+  // Correlated slowdowns accompany the iid jitter in the convergence and
+  // wait-time studies: they are what the clock-distance threshold D absorbs.
+  config.drift_cv = jitter_cv * 2.0;
+  config.speed_bias_cv = jitter_cv > 0.0 ? 0.05 : 0.0;
+  config.waves = 60;
+  return HetPipe(cluster, graph, config).Run();
+}
+
+}  // namespace
+
+std::vector<ConvergenceSeries> RunFig5(double jitter_cv, double target_accuracy) {
+  const model::ModelGraph graph = model::BuildResNet152();
+  const ConvergenceModel model = ConvergenceModel::For(graph.family());
+  constexpr double kMaxHours = 72.0;
+
+  std::vector<ConvergenceSeries> out;
+
+  // Horovod cannot use the G GPUs (ResNet-152 exceeds their 6 GiB), so its
+  // best configuration is the 12-GPU V/R/Q subset.
+  const hw::Cluster cluster12 = hw::Cluster::PaperSubset("VRQ");
+  const model::ModelProfile profile(graph, 32);
+  const dp::HorovodResult horovod = dp::SimulateHorovod(cluster12, profile);
+  out.push_back(MakeSeries("Horovod (12 GPUs)", model, horovod.throughput_img_s, 0.0,
+                           target_accuracy, kMaxHours));
+
+  const HetPipeReport r12 = RunEdLocal(cluster12, graph, /*d=*/0, jitter_cv);
+  out.push_back(MakeSeries("HetPipe (12 GPUs)", model, r12.throughput_img_s,
+                           r12.AvgMissingUpdates(), target_accuracy, kMaxHours));
+
+  const hw::Cluster cluster16 = hw::Cluster::Paper();
+  const HetPipeReport r16 = RunEdLocal(cluster16, graph, /*d=*/0, jitter_cv);
+  out.push_back(MakeSeries("HetPipe (16 GPUs)", model, r16.throughput_img_s,
+                           r16.AvgMissingUpdates(), target_accuracy, kMaxHours));
+  return out;
+}
+
+std::vector<ConvergenceSeries> RunFig6(double jitter_cv, double target_accuracy) {
+  const model::ModelGraph graph = model::BuildVgg19();
+  const ConvergenceModel model = ConvergenceModel::For(graph.family());
+  constexpr double kMaxHours = 144.0;
+
+  std::vector<ConvergenceSeries> out;
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelProfile profile(graph, 32);
+  const dp::HorovodResult horovod = dp::SimulateHorovod(cluster, profile);
+  out.push_back(MakeSeries("Horovod", model, horovod.throughput_img_s, 0.0, target_accuracy,
+                           kMaxHours));
+
+  for (int d : {0, 4, 32}) {
+    const HetPipeReport report = RunEdLocal(cluster, graph, d, jitter_cv);
+    out.push_back(MakeSeries("HetPipe D=" + std::to_string(d), model, report.throughput_img_s,
+                             report.AvgMissingUpdates(), target_accuracy, kMaxHours));
+  }
+  return out;
+}
+
+std::vector<StalenessWaitRow> RunStalenessWaitStudy(const model::ModelGraph& graph,
+                                                    const std::vector<int>& d_values,
+                                                    double jitter_cv) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  std::vector<StalenessWaitRow> rows;
+  for (int d : d_values) {
+    const HetPipeReport report = RunEdLocal(cluster, graph, d, jitter_cv);
+    StalenessWaitRow row;
+    row.d = d;
+    row.throughput_img_s = report.throughput_img_s;
+    row.total_wait_s = report.total_wait_s;
+    row.idle_fraction_of_wait = report.idle_fraction_of_wait;
+    row.avg_clock_distance = report.avg_clock_distance;
+    row.avg_global_lag_waves = report.avg_global_lag_waves;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace hetpipe::core

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/convergence.h"
+#include "core/hetpipe.h"
+#include "dp/horovod.h"
+#include "hw/cluster.h"
+#include "model/model_graph.h"
+
+namespace hetpipe::core {
+
+// Picks one unused GPU per code letter from the cluster, e.g. "VVQQ" on the
+// paper cluster returns two TITAN V GPUs (node 0) and two Quadro P4000s
+// (node 3) — the Fig. 3 virtual-worker configurations.
+std::vector<int> PickGpusByCode(const hw::Cluster& cluster, const std::string& codes);
+
+// ---- Fig. 3: single-virtual-worker throughput and utilization vs Nm. ----
+struct Fig3Point {
+  int nm = 0;
+  bool feasible = false;
+  double throughput_img_s = 0.0;
+  double normalized = 0.0;  // vs the Nm=1 throughput of the same config
+  double max_utilization = 0.0;
+};
+std::vector<Fig3Point> RunFig3Config(const hw::Cluster& cluster, const model::ModelGraph& graph,
+                                     const std::string& codes, int nm_max);
+
+// ---- Fig. 4: whole-cluster throughput under the allocation policies. ----
+struct Fig4Row {
+  std::string label;  // Horovod / NP / ED / ED-local / HD
+  bool feasible = false;
+  int nm = 0;
+  int gpus_used = 0;
+  double throughput_img_s = 0.0;
+};
+std::vector<Fig4Row> RunFig4(const hw::Cluster& cluster, const model::ModelGraph& graph,
+                             double jitter_cv);
+
+// ---- Table 4: adding whimpy GPUs (4[V], 8[VR], 12[VRQ], 16[VRQG]). ----
+struct Table4Cell {
+  std::string cluster_label;
+  int num_gpus = 0;
+  double horovod_img_s = 0.0;
+  bool horovod_feasible = false;
+  double hetpipe_img_s = 0.0;
+  int total_concurrent_minibatches = 0;  // N_vw * Nm, shown in parentheses
+};
+std::vector<Table4Cell> RunTable4(const model::ModelGraph& graph, double jitter_cv);
+
+// ---- Figs. 5/6: accuracy-vs-time convergence curves. ----
+struct ConvergenceSeries {
+  std::string label;
+  double throughput_img_s = 0.0;
+  double avg_missing_updates = 0.0;
+  double hours_to_target = 0.0;
+  sim::TimeSeries curve;
+};
+
+// Fig. 5: ResNet-152 — Horovod (12 GPUs), HetPipe (12 GPUs), HetPipe (16
+// GPUs), all with D=0, ED-local.
+std::vector<ConvergenceSeries> RunFig5(double jitter_cv, double target_accuracy);
+
+// Fig. 6: VGG-19 — Horovod and HetPipe with D in {0, 4, 32}, ED-local.
+std::vector<ConvergenceSeries> RunFig6(double jitter_cv, double target_accuracy);
+
+// ---- §8.4: synchronization overhead vs D. ----
+struct StalenessWaitRow {
+  int d = 0;
+  double throughput_img_s = 0.0;
+  double total_wait_s = 0.0;
+  double idle_fraction_of_wait = 0.0;
+  double avg_clock_distance = 0.0;
+  double avg_global_lag_waves = 0.0;
+};
+std::vector<StalenessWaitRow> RunStalenessWaitStudy(const model::ModelGraph& graph,
+                                                    const std::vector<int>& d_values,
+                                                    double jitter_cv);
+
+}  // namespace hetpipe::core

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "hw/cluster.h"
+#include "model/model_graph.h"
+#include "model/profiler.h"
+#include "partition/partitioner.h"
+#include "pipeline/virtual_worker.h"
+#include "wsp/param_server.h"
+
+namespace hetpipe::core {
+
+// Per-virtual-worker results of a run.
+struct VwReport {
+  std::vector<int> gpu_ids;
+  partition::Partition partition;
+  int max_nm = 0;                 // Maxm: memory-feasibility bound (§4)
+  double throughput_img_s = 0.0;  // steady state, warmup excluded
+  double max_stage_utilization = 0.0;
+  double wait_s = 0.0;            // blocked on the global staleness gate
+  double idle_during_wait_s = 0.0;
+};
+
+// Results of a full HetPipe run.
+struct HetPipeReport {
+  bool feasible = false;
+  std::string infeasible_reason;
+
+  int nm = 0;             // common Nm used by every virtual worker
+  int64_t s_local = 0;    // Nm - 1
+  int64_t s_global = 0;   // (D+1)(s_local+1) + s_local - 1
+
+  double throughput_img_s = 0.0;  // aggregate over virtual workers
+  std::vector<VwReport> vws;
+
+  // Synchronization behaviour (§8.4).
+  double total_wait_s = 0.0;
+  double idle_fraction_of_wait = 0.0;  // "actual idle is only 18% of waiting"
+  double avg_clock_distance = 0.0;
+  double avg_global_lag_waves = 0.0;  // observed staleness, feeds convergence
+
+  // Average missing updates (in minibatches) seen by an injected minibatch:
+  // s_local locally + observed cross-VW lag. Input to the convergence model.
+  double AvgMissingUpdates() const;
+
+  std::string Summary() const;
+};
+
+// HetPipe: allocates GPUs to virtual workers, partitions the model for each,
+// and runs the integrated PMP+DP discrete-event simulation under WSP.
+class HetPipe {
+ public:
+  HetPipe(const hw::Cluster& cluster, const model::ModelGraph& graph, HetPipeConfig config);
+
+  // End-to-end run (Fig. 4 / Table 4 style experiments).
+  HetPipeReport Run() const;
+
+  // Runs a single virtual worker made of `gpu_ids` with a fixed nm and no
+  // global gating — the Fig. 3 experiment.
+  static HetPipeReport RunSingleVirtualWorker(const hw::Cluster& cluster,
+                                              const model::ModelGraph& graph,
+                                              const std::vector<int>& gpu_ids, int nm,
+                                              const HetPipeConfig& config);
+
+  const HetPipeConfig& config() const { return config_; }
+
+ private:
+  const hw::Cluster* cluster_;
+  const model::ModelGraph* graph_;
+  HetPipeConfig config_;
+};
+
+}  // namespace hetpipe::core

@@ -1,0 +1,22 @@
+#include "dp/allreduce.h"
+
+namespace hetpipe::dp {
+
+double RingAllReduceTime(const RingAllReduceParams& params) {
+  if (params.num_workers <= 1 || params.bytes == 0) {
+    return 0.0;
+  }
+  const double n = static_cast<double>(params.num_workers);
+  const double steps = 2.0 * (n - 1.0);
+  const double volume = steps / n * static_cast<double>(params.bytes);
+  return volume / params.bottleneck_bps + steps * params.per_step_latency_s;
+}
+
+double SharedFabricBandwidth(double fabric_bps, int workers_on_node, double efficiency) {
+  if (workers_on_node < 1) {
+    workers_on_node = 1;
+  }
+  return fabric_bps * efficiency / static_cast<double>(workers_on_node);
+}
+
+}  // namespace hetpipe::dp

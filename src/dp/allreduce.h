@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+namespace hetpipe::dp {
+
+// Cost model of bandwidth-optimal ring AllReduce (Patarasuk & Yuan), the
+// collective Horovod uses: each of N workers sends 2*(N-1) chunks of
+// `bytes`/N, so on a ring whose slowest per-worker segment sustains
+// `bottleneck_bps` the transfer takes 2*(N-1)/N * bytes / bottleneck_bps,
+// plus per-step latency.
+struct RingAllReduceParams {
+  int num_workers = 1;
+  uint64_t bytes = 0;
+  double bottleneck_bps = 1.0;    // slowest per-worker segment bandwidth
+  double per_step_latency_s = 0;  // latency paid on each of the 2(N-1) steps
+};
+
+double RingAllReduceTime(const RingAllReduceParams& params);
+
+// Effective per-worker ring-segment bandwidth when `workers_on_node` ring
+// members share one node NIC / PCIe fabric of raw bandwidth `fabric_bps`,
+// discounted by `efficiency` (protocol + framework overhead; calibrated in
+// horovod.cc).
+double SharedFabricBandwidth(double fabric_bps, int workers_on_node, double efficiency);
+
+}  // namespace hetpipe::dp

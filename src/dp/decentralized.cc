@@ -1,0 +1,68 @@
+#include "dp/decentralized.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace hetpipe::dp {
+
+std::string DecentralizedResult::ToString() const {
+  std::ostringstream os;
+  if (!feasible) {
+    os << "infeasible (model fits no GPU)";
+    return os.str();
+  }
+  os << num_workers << " workers, pairwise comm " << avg_pairwise_comm_s * 1e3 << " ms, "
+     << throughput_img_s << " img/s";
+  return os.str();
+}
+
+DecentralizedResult SimulateAdPsgd(const hw::Cluster& cluster,
+                                   const model::ModelProfile& profile,
+                                   const DecentralizedOptions& options) {
+  DecentralizedResult result;
+
+  std::vector<int> workers;
+  for (const hw::Gpu& gpu : cluster.gpus()) {
+    if (partition::FitsOnSingleGpu(profile, gpu.type, options.mem_params)) {
+      workers.push_back(gpu.id);
+    } else {
+      ++result.num_excluded;
+    }
+  }
+  if (workers.empty()) {
+    return result;
+  }
+  result.feasible = true;
+  result.num_workers = static_cast<int>(workers.size());
+
+  // A random peer is on another node with probability ~ (N - g)/(N - 1) for
+  // g workers per node; weight it between the PCIe and Infiniband exchange.
+  const uint64_t params = profile.graph().total_param_bytes();
+  const double n = static_cast<double>(result.num_workers);
+
+  double sum_rate = 0.0;
+  double sum_comm = 0.0;
+  for (int id : workers) {
+    int same_node = 0;
+    for (int other : workers) {
+      same_node += (other != id && cluster.SameNode(id, other)) ? 1 : 0;
+    }
+    const double p_local = n > 1.0 ? same_node / (n - 1.0) : 0.0;
+    // Exchange both directions: 2x params over the chosen link.
+    const double comm = p_local * cluster.pcie().TransferTime(2 * params) +
+                        (1.0 - p_local) * cluster.infiniband().TransferTime(2 * params);
+    const double exposed = comm * (1.0 - options.comm_overlap);
+    const double compute = profile.FullModelTime(cluster.gpu(id).type);
+    sum_rate += profile.batch_size() / (compute + exposed);
+    sum_comm += comm;
+  }
+  result.throughput_img_s = sum_rate;
+  result.avg_pairwise_comm_s = sum_comm / n;
+  // Gossip averaging mixes information in O(log N) rounds; until then other
+  // workers' updates are effectively missing.
+  result.expected_staleness = (n - 1.0) * std::log2(std::max(2.0, n));
+  return result;
+}
+
+}  // namespace hetpipe::dp

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+#include "hw/cluster.h"
+#include "model/profiler.h"
+#include "partition/memory_model.h"
+
+namespace hetpipe::dp {
+
+// AD-PSGD-style decentralized data parallelism (Lian et al., discussed in the
+// paper's §9): no parameter server — after each minibatch a worker averages
+// its weights with one randomly chosen neighbor and keeps going, so fast
+// workers are never blocked. The paper positions this as orthogonal/future
+// work for when the PS becomes a bottleneck; the model here provides the
+// comparison point.
+struct DecentralizedOptions {
+  // Fraction of the pairwise exchange overlapped with compute (gossip can be
+  // fully asynchronous; some serialization remains at the endpoints).
+  double comm_overlap = 0.5;
+  partition::StageMemoryParams mem_params;
+};
+
+struct DecentralizedResult {
+  bool feasible = false;
+  int num_workers = 0;
+  int num_excluded = 0;
+  double throughput_img_s = 0.0;
+  double avg_pairwise_comm_s = 0.0;
+  // Neighbor-averaging acts like staleness ~ mixing time of the gossip graph.
+  double expected_staleness = 0.0;
+
+  std::string ToString() const;
+};
+
+// Every GPU that fits the model is a worker; each iteration costs its own
+// compute plus the exposed part of one pairwise weight exchange (weights up
+// and down over the link to a random peer, usually across Infiniband).
+DecentralizedResult SimulateAdPsgd(const hw::Cluster& cluster,
+                                   const model::ModelProfile& profile,
+                                   const DecentralizedOptions& options = {});
+
+}  // namespace hetpipe::dp

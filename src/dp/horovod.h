@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/cluster.h"
+#include "model/profiler.h"
+#include "partition/memory_model.h"
+
+namespace hetpipe::dp {
+
+struct HorovodOptions {
+  // Fraction of the AllReduce hidden under backprop. Horovod overlaps
+  // tensor-fused reductions with the tail of the backward pass; the paper's
+  // TF 1.12 setup achieves partial overlap inter-node and effectively none
+  // for a single-node PCIe ring (calibrated against Table 4).
+  double inter_node_overlap = 0.4;
+  double intra_node_overlap = 0.0;
+  // Protocol/framework efficiency applied to the shared fabric bandwidth.
+  double inter_node_efficiency = 0.49;
+  double intra_node_efficiency = 0.40;
+  // Raw fabric bandwidths for the AllReduce. Horovod's NCCL-style collectives
+  // bypass the TensorFlow runtime and use IB verbs / CUDA IPC, so they see
+  // near-line-rate fabric bandwidth — unlike the gRPC transport modeled by
+  // hw::InfinibandLink that the pipeline's activation/PS traffic uses.
+  double inter_node_fabric_bps = 56.0 / 8.0 * 1e9;  // 56 Gbps Infiniband
+  double intra_node_fabric_bps = 15.75e9;           // PCIe 3.0 x16
+  partition::StageMemoryParams mem_params;
+};
+
+// Result of the Horovod-style BSP data-parallel baseline (§8.1's "DP via
+// Horovod that uses AllReduce communication").
+struct HorovodResult {
+  bool feasible = false;        // at least one GPU fits the model
+  std::vector<int> worker_gpus; // GPUs that fit the model and participate
+  int num_excluded = 0;         // GPUs whose memory the model exceeds
+  double compute_s = 0.0;       // slowest worker's minibatch time (BSP barrier)
+  double allreduce_s = 0.0;     // full ring AllReduce of the gradients
+  double exposed_comm_s = 0.0;  // AllReduce not hidden under compute
+  double iteration_s = 0.0;
+  double throughput_img_s = 0.0;
+
+  std::string ToString() const;
+};
+
+// Simulates synchronous data parallelism over every GPU of `cluster` that can
+// hold the whole model (ResNet-152 at batch 32 does not fit the 6 GiB
+// RTX 2060, so those GPUs are excluded, reproducing the paper's "Horovod uses
+// only 12 GPUs"). Iteration time = max worker compute (stragglers!) +
+// exposed ring-AllReduce time.
+HorovodResult SimulateHorovod(const hw::Cluster& cluster, const model::ModelProfile& profile,
+                              const HorovodOptions& options = {});
+
+}  // namespace hetpipe::dp

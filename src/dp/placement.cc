@@ -1,0 +1,42 @@
+#include "dp/placement.h"
+
+namespace hetpipe::dp {
+
+uint64_t HorovodCrossNodeBytes(uint64_t param_bytes, int num_workers) {
+  if (num_workers <= 1) {
+    return 0;
+  }
+  return param_bytes * static_cast<uint64_t>(num_workers - 1) /
+         static_cast<uint64_t>(num_workers);
+}
+
+uint64_t ActivationCrossNodeBytes(const partition::Partition& partition,
+                                  const model::ModelProfile& profile) {
+  uint64_t total = 0;
+  for (size_t q = 1; q < partition.stages.size(); ++q) {
+    const auto& prev = partition.stages[q - 1];
+    const auto& cur = partition.stages[q];
+    if (prev.node == cur.node) {
+      continue;
+    }
+    // Forward activations plus the same-sized backward gradients.
+    total += 2 * profile.BoundaryTransferBytes(prev.last_layer);
+  }
+  return total;
+}
+
+uint64_t PsCrossNodeBytesPerMinibatch(const partition::Partition& partition, int num_nodes,
+                                      bool local_placement, int nm) {
+  if (local_placement || num_nodes <= 1) {
+    return 0;
+  }
+  uint64_t per_wave = 0;
+  for (const partition::StageAssignment& stage : partition.stages) {
+    const uint64_t local = stage.param_bytes / static_cast<uint64_t>(num_nodes);
+    // Push the update and pull the fresh weights once per wave.
+    per_wave += 2 * (stage.param_bytes - local);
+  }
+  return per_wave / static_cast<uint64_t>(nm > 0 ? nm : 1);
+}
+
+}  // namespace hetpipe::dp

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+#include "hw/cluster.h"
+#include "partition/partitioner.h"
+
+namespace hetpipe::dp {
+
+// Cross-node traffic accounting backing the §8.3 comparison ("the amount of
+// data transferred across the nodes with ED-local (103MB) is much smaller
+// than that with Horovod (515MB)").
+
+// Inter-node bytes one Horovod worker contributes per iteration: a ring
+// AllReduce moves (N-1)/N of the gradient bytes through each worker per
+// direction (the paper's accounting counts one direction).
+uint64_t HorovodCrossNodeBytes(uint64_t param_bytes, int num_workers);
+
+// Inter-node activation + gradient bytes one virtual worker moves per
+// minibatch: every stage boundary whose two stages sit on different nodes
+// carries the boundary activations forward and a same-sized gradient back.
+uint64_t ActivationCrossNodeBytes(const partition::Partition& partition,
+                                  const model::ModelProfile& profile);
+
+// Inter-node parameter-synchronization bytes per *minibatch* for a virtual
+// worker under PS placement: round-robin placement pushes+pulls the remote
+// fraction of every stage's parameters once per wave (amortized over Nm
+// minibatches); local placement moves nothing across nodes.
+uint64_t PsCrossNodeBytesPerMinibatch(const partition::Partition& partition, int num_nodes,
+                                      bool local_placement, int nm);
+
+}  // namespace hetpipe::dp

@@ -1,0 +1,102 @@
+#include "dp/ps_baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace hetpipe::dp {
+
+std::string PsDpResult::ToString() const {
+  std::ostringstream os;
+  if (!feasible) {
+    os << "infeasible (model fits no GPU)";
+    return os.str();
+  }
+  os << num_workers << " workers, compute " << slowest_compute_s * 1e3 << " ms, PS comm "
+     << comm_s * 1e3 << " ms, sync " << sync_overhead_s * 1e3 << " ms, " << throughput_img_s
+     << " img/s";
+  return os.str();
+}
+
+PsDpResult SimulatePsDataParallel(const hw::Cluster& cluster,
+                                  const model::ModelProfile& profile,
+                                  const PsDpOptions& options) {
+  PsDpResult result;
+
+  std::vector<int> workers;
+  for (const hw::Gpu& gpu : cluster.gpus()) {
+    if (partition::FitsOnSingleGpu(profile, gpu.type, options.mem_params)) {
+      workers.push_back(gpu.id);
+    } else {
+      ++result.num_excluded;
+    }
+  }
+  if (workers.empty()) {
+    return result;
+  }
+  result.feasible = true;
+  result.num_workers = static_cast<int>(workers.size());
+
+  // Per-worker compute and PS traffic. Parameters are sharded round-robin
+  // over the nodes: 1/H stays local (PCIe), the rest crosses the node NIC,
+  // which every worker on the node shares.
+  const uint64_t params = profile.graph().total_param_bytes();
+  const int num_nodes = cluster.num_nodes();
+  std::map<int, int> workers_per_node;
+  for (int id : workers) {
+    ++workers_per_node[cluster.gpu(id).node];
+  }
+
+  double min_compute = 1e30;
+  double sum_rate_asp = 0.0;
+  double worst_iteration = 0.0;
+  for (int id : workers) {
+    const double compute = profile.FullModelTime(cluster.gpu(id).type);
+    result.slowest_compute_s = std::max(result.slowest_compute_s, compute);
+    min_compute = std::min(min_compute, compute);
+
+    const uint64_t local = 2 * params / static_cast<uint64_t>(num_nodes);
+    const uint64_t remote = 2 * params - local;
+    const int sharing = workers_per_node[cluster.gpu(id).node];
+    const double comm = cluster.pcie().TransferTime(local) +
+                        cluster.infiniband().TransferTime(remote) * sharing;
+    result.comm_s = std::max(result.comm_s, comm);
+    sum_rate_asp += profile.batch_size() / (compute + comm);
+    worst_iteration = std::max(worst_iteration, compute + comm);
+  }
+
+  // Straggler noise: BSP pays the expected maximum of N iid per-iteration
+  // deviations every iteration; SSP amortizes it over its slack window of
+  // s iterations; ASP pays none.
+  const double n = static_cast<double>(result.num_workers);
+  const double max_noise = options.noise_cv * result.slowest_compute_s *
+                           std::sqrt(2.0 * std::log(std::max(2.0, n)));
+  switch (options.mode) {
+    case PsSyncMode::kBsp:
+      result.sync_overhead_s = max_noise;
+      result.expected_staleness = 0.0;
+      break;
+    case PsSyncMode::kSsp:
+      result.sync_overhead_s = max_noise / static_cast<double>(options.staleness + 1);
+      // Each gradient misses on average ~s/2 updates from each other worker.
+      result.expected_staleness = (n - 1.0) * (0.5 + options.staleness / 2.0);
+      break;
+    case PsSyncMode::kAsp:
+      result.sync_overhead_s = 0.0;
+      // Unbounded in theory; in steady state the lag tracks the rate spread.
+      result.expected_staleness = (n - 1.0) * (result.slowest_compute_s / min_compute);
+      break;
+  }
+
+  if (options.mode == PsSyncMode::kAsp) {
+    result.throughput_img_s = sum_rate_asp;
+  } else {
+    // Bounded clock distance: every worker advances at the gated rate.
+    const double iteration = worst_iteration + result.sync_overhead_s;
+    result.throughput_img_s = n * profile.batch_size() / iteration;
+  }
+  return result;
+}
+
+}  // namespace hetpipe::dp

@@ -1,0 +1,64 @@
+#include "hw/cluster.h"
+
+#include <sstream>
+
+namespace hetpipe::hw {
+
+Cluster::Cluster(const std::vector<GpuType>& node_types, int gpus_per_node)
+    : node_types_(node_types),
+      num_nodes_(static_cast<int>(node_types.size())),
+      gpus_per_node_(gpus_per_node) {
+  int id = 0;
+  for (int n = 0; n < num_nodes_; ++n) {
+    for (int g = 0; g < gpus_per_node_; ++g) {
+      gpus_.push_back(Gpu{id++, node_types_[static_cast<size_t>(n)], n});
+    }
+  }
+}
+
+Cluster Cluster::Paper() { return PaperSubset("VRGQ"); }
+
+Cluster Cluster::PaperSubset(const std::string& node_codes) {
+  return Cluster(ParseGpuCodes(node_codes), /*gpus_per_node=*/4);
+}
+
+std::vector<int> Cluster::GpusOnNode(int node) const {
+  std::vector<int> ids;
+  for (const Gpu& g : gpus_) {
+    if (g.node == node) {
+      ids.push_back(g.id);
+    }
+  }
+  return ids;
+}
+
+const LinkModel& Cluster::LinkBetween(int gpu_a, int gpu_b) const {
+  if (SameNode(gpu_a, gpu_b)) {
+    return pcie_;
+  }
+  return infiniband_;
+}
+
+const LinkModel& Cluster::LinkToNode(int gpu_id, int node) const {
+  if (gpu(gpu_id).node == node) {
+    return pcie_;
+  }
+  return infiniband_;
+}
+
+std::string Cluster::ToString() const {
+  std::ostringstream os;
+  os << num_nodes_ << " nodes x " << gpus_per_node_ << " GPUs [";
+  for (int n = 0; n < num_nodes_; ++n) {
+    if (n > 0) {
+      os << '|';
+    }
+    for (int g = 0; g < gpus_per_node_; ++g) {
+      os << CodeOf(node_types_[static_cast<size_t>(n)]);
+    }
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace hetpipe::hw

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/gpu_spec.h"
+#include "hw/link.h"
+
+namespace hetpipe::hw {
+
+// A physical GPU: identity plus its node placement.
+struct Gpu {
+  int id = -1;        // global id, unique within the cluster
+  GpuType type = GpuType::kTitanV;
+  int node = -1;      // node the GPU lives in
+};
+
+// A cluster of H nodes; each node holds a homogeneous set of GPUs, but nodes
+// may differ from one another (Fig. 2 of the paper).
+class Cluster {
+ public:
+  // Builds a cluster with one entry per node; entry i is the GPU type of node
+  // i, replicated `gpus_per_node` times.
+  Cluster(const std::vector<GpuType>& node_types, int gpus_per_node);
+
+  // The paper's testbed: 4 nodes x 4 GPUs = V-node, R-node, G-node, Q-node,
+  // PCIe 3.0 x16 inside a node, 56 Gbps Infiniband between nodes.
+  static Cluster Paper();
+
+  // A cluster restricted to the first `num_nodes` node types of the paper
+  // testbed, used for the Table 4 scaling study (4[V], 8[VR], 12[VRQ], ...).
+  static Cluster PaperSubset(const std::string& node_codes);
+
+  int num_nodes() const { return num_nodes_; }
+  int gpus_per_node() const { return gpus_per_node_; }
+  int num_gpus() const { return static_cast<int>(gpus_.size()); }
+
+  const Gpu& gpu(int id) const { return gpus_.at(static_cast<size_t>(id)); }
+  const std::vector<Gpu>& gpus() const { return gpus_; }
+  std::vector<int> GpusOnNode(int node) const;
+  GpuType NodeType(int node) const { return node_types_.at(static_cast<size_t>(node)); }
+
+  bool SameNode(int gpu_a, int gpu_b) const { return gpu(gpu_a).node == gpu(gpu_b).node; }
+
+  // Link used between two GPUs: PCIe within a node, Infiniband across nodes.
+  const LinkModel& LinkBetween(int gpu_a, int gpu_b) const;
+  // Link between a GPU and a (parameter-server) process on node `node`.
+  const LinkModel& LinkToNode(int gpu_id, int node) const;
+
+  const PcieLink& pcie() const { return pcie_; }
+  const InfinibandLink& infiniband() const { return infiniband_; }
+
+  // Human-readable summary, e.g. "4 nodes x 4 GPUs [VVVV|RRRR|GGGG|QQQQ]".
+  std::string ToString() const;
+
+ private:
+  std::vector<GpuType> node_types_;
+  int num_nodes_ = 0;
+  int gpus_per_node_ = 0;
+  std::vector<Gpu> gpus_;
+  PcieLink pcie_;
+  InfinibandLink infiniband_;
+};
+
+}  // namespace hetpipe::hw

@@ -1,0 +1,55 @@
+#include "hw/gpu_spec.h"
+
+#include <stdexcept>
+
+namespace hetpipe::hw {
+namespace {
+
+// Table 1 of the paper.
+const std::vector<GpuSpec> kSpecs = {
+    {GpuType::kTitanV, "TITAN V", 'V', 5120, 1455, 12.0, 653.0},
+    {GpuType::kTitanRtx, "TITAN RTX", 'R', 4608, 1770, 24.0, 672.0},
+    {GpuType::kRtx2060, "GeForce RTX 2060", 'G', 1920, 1680, 6.0, 336.0},
+    {GpuType::kQuadroP4000, "Quadro P4000", 'Q', 1792, 1480, 8.0, 243.0},
+};
+
+}  // namespace
+
+const GpuSpec& SpecOf(GpuType type) { return kSpecs[static_cast<size_t>(type)]; }
+
+const std::vector<GpuSpec>& AllGpuSpecs() { return kSpecs; }
+
+char CodeOf(GpuType type) { return SpecOf(type).code; }
+
+GpuType TypeFromCode(char code) {
+  for (const GpuSpec& spec : kSpecs) {
+    if (spec.code == code) {
+      return spec.type;
+    }
+  }
+  throw std::invalid_argument(std::string("unknown GPU code: ") + code);
+}
+
+std::vector<GpuType> ParseGpuCodes(std::string_view codes) {
+  std::vector<GpuType> types;
+  types.reserve(codes.size());
+  for (char c : codes) {
+    types.push_back(TypeFromCode(c));
+  }
+  return types;
+}
+
+std::string GpuCodes(const std::vector<GpuType>& types) {
+  std::string out;
+  out.reserve(types.size());
+  for (GpuType t : types) {
+    out.push_back(CodeOf(t));
+  }
+  return out;
+}
+
+uint64_t MemoryBytes(GpuType type) {
+  return static_cast<uint64_t>(SpecOf(type).memory_gib * (1ULL << 30));
+}
+
+}  // namespace hetpipe::hw

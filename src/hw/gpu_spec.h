@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hetpipe::hw {
+
+// The four GPU classes of the paper's testbed (Table 1).
+enum class GpuType {
+  kTitanV,       // code 'V' — Volta,  5120 cores, 12 GB
+  kTitanRtx,     // code 'R' — Turing, 4608 cores, 24 GB
+  kRtx2060,      // code 'G' — Turing, 1920 cores,  6 GB (the "whimpy" one)
+  kQuadroP4000,  // code 'Q' — Pascal, 1792 cores,  8 GB
+};
+
+inline constexpr int kNumGpuTypes = 4;
+
+// Hardware description of a GPU class, straight from Table 1.
+struct GpuSpec {
+  GpuType type;
+  const char* name;
+  char code;  // single-letter code used throughout the paper: V R G Q
+  int cuda_cores;
+  int boost_clock_mhz;
+  double memory_gib;      // device memory capacity
+  double memory_bw_gbps;  // device memory bandwidth
+};
+
+// Returns the Table 1 spec for `type`.
+const GpuSpec& SpecOf(GpuType type);
+
+// All four specs, in Table 1 order.
+const std::vector<GpuSpec>& AllGpuSpecs();
+
+char CodeOf(GpuType type);
+// Parses a single-letter code ('V', 'R', 'G', 'Q'); throws std::invalid_argument otherwise.
+GpuType TypeFromCode(char code);
+
+// Parses a configuration string such as "VVQQ" into GPU types.
+std::vector<GpuType> ParseGpuCodes(std::string_view codes);
+// Inverse of ParseGpuCodes.
+std::string GpuCodes(const std::vector<GpuType>& types);
+
+// Device memory capacity in bytes.
+uint64_t MemoryBytes(GpuType type);
+
+}  // namespace hetpipe::hw

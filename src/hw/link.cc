@@ -1,0 +1,25 @@
+#include "hw/link.h"
+
+namespace hetpipe::hw {
+
+PcieLink::PcieLink(double peak_gbps, double scaling, double latency_s)
+    : effective_bps_(peak_gbps * 1e9 * scaling), latency_s_(latency_s) {}
+
+double PcieLink::TransferTime(uint64_t bytes) const {
+  if (bytes == 0) {
+    return 0.0;
+  }
+  return latency_s_ + static_cast<double>(bytes) / effective_bps_;
+}
+
+InfinibandLink::InfinibandLink(double raw_gbits, double efficiency, double intercept_s)
+    : effective_bps_(raw_gbits / 8.0 * 1e9 * efficiency), intercept_s_(intercept_s) {}
+
+double InfinibandLink::TransferTime(uint64_t bytes) const {
+  if (bytes == 0) {
+    return 0.0;
+  }
+  return intercept_s_ + static_cast<double>(bytes) / effective_bps_;
+}
+
+}  // namespace hetpipe::hw

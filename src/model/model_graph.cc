@@ -1,0 +1,41 @@
+#include "model/model_graph.h"
+
+#include <sstream>
+#include <utility>
+
+namespace hetpipe::model {
+
+ModelGraph::ModelGraph(std::string name, ModelFamily family, std::vector<Layer> layers)
+    : name_(std::move(name)), family_(family), layers_(std::move(layers)) {
+  for (const Layer& layer : layers_) {
+    total_fwd_flops_ += layer.fwd_flops;
+    total_param_bytes_ += layer.param_bytes;
+    total_stash_bytes_ += layer.stash_bytes;
+  }
+}
+
+uint64_t ModelGraph::ParamBytesInRange(int first, int last) const {
+  uint64_t total = 0;
+  for (int i = first; i <= last; ++i) {
+    total += layer(i).param_bytes;
+  }
+  return total;
+}
+
+uint64_t ModelGraph::StashBytesInRange(int first, int last) const {
+  uint64_t total = 0;
+  for (int i = first; i <= last; ++i) {
+    total += layer(i).stash_bytes;
+  }
+  return total;
+}
+
+std::string ModelGraph::Summary() const {
+  std::ostringstream os;
+  os << name_ << ": " << layers_.size() << " layers, "
+     << static_cast<double>(total_param_bytes_) / (1 << 20) << " MiB params, "
+     << total_fwd_flops_ / 1e9 << " GFLOPs/image fwd";
+  return os.str();
+}
+
+}  // namespace hetpipe::model

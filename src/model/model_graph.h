@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/layer.h"
+
+namespace hetpipe::model {
+
+// Families with published calibration data (see profiler.cc). kGeneric models
+// use a default throughput table.
+enum class ModelFamily {
+  kResNet152,
+  kVgg19,
+  kGeneric,
+};
+
+// A DNN expressed as a chain of layers (residual blocks are fused into single
+// chain elements, so a chain fully describes the paper's two models).
+class ModelGraph {
+ public:
+  ModelGraph(std::string name, ModelFamily family, std::vector<Layer> layers);
+
+  const std::string& name() const { return name_; }
+  ModelFamily family() const { return family_; }
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  const Layer& layer(int i) const { return layers_.at(static_cast<size_t>(i)); }
+  const std::vector<Layer>& layers() const { return layers_; }
+
+  // Totals, per image where applicable.
+  double total_fwd_flops() const { return total_fwd_flops_; }
+  uint64_t total_param_bytes() const { return total_param_bytes_; }
+  uint64_t total_stash_bytes() const { return total_stash_bytes_; }
+
+  // Sum of param bytes over layers [first, last].
+  uint64_t ParamBytesInRange(int first, int last) const;
+  // Sum of stash bytes (per image) over layers [first, last].
+  uint64_t StashBytesInRange(int first, int last) const;
+  // Activation bytes per image crossing the boundary after layer i
+  // (i.e. layer i's output feeding layer i+1).
+  uint64_t BoundaryBytes(int i) const { return layer(i).out_bytes; }
+
+  std::string Summary() const;
+
+ private:
+  std::string name_;
+  ModelFamily family_;
+  std::vector<Layer> layers_;
+  double total_fwd_flops_ = 0.0;
+  uint64_t total_param_bytes_ = 0;
+  uint64_t total_stash_bytes_ = 0;
+};
+
+}  // namespace hetpipe::model

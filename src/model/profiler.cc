@@ -1,0 +1,91 @@
+#include "model/profiler.h"
+
+namespace hetpipe::model {
+namespace {
+
+// Per-layer kernel-launch / framework overhead. Backward passes launch more
+// kernels (two gradient computations per conv).
+constexpr double kFwdLaunchOverheadS = 25e-6;
+constexpr double kBwdLaunchOverheadS = 45e-6;
+
+// Calibration tables: effective TFLOP/s by (family, GPU), with FLOPs counted
+// as 2 ops per multiply-add (matching layer.cc). Derived from the absolute
+// Nm=1 throughputs in Fig. 3 of the paper: Nm=1 pipelining is sequential
+// execution, so e.g. VVVV at 96 img/s on ResNet-152 implies the TITAN V
+// sustains ~3 * 22.6 GF * 96 ~ 6.5 TFLOP/s on ResNet kernels. VGG's large
+// uniform convolutions run markedly closer to peak than ResNet's small
+// bottleneck kernels, hence the higher table.
+constexpr std::array<double, hw::kNumGpuTypes> kResNetTflops = {
+    // V     R     G     Q
+    6.60, 5.98, 3.99, 2.95,
+};
+constexpr std::array<double, hw::kNumGpuTypes> kVggTflops = {
+    14.3, 12.85, 7.43, 6.10,
+};
+
+}  // namespace
+
+double EffectiveTflops(ModelFamily family, hw::GpuType gpu) {
+  const auto idx = static_cast<size_t>(gpu);
+  switch (family) {
+    case ModelFamily::kVgg19:
+      return kVggTflops[idx];
+    case ModelFamily::kResNet152:
+    case ModelFamily::kGeneric:
+      return kResNetTflops[idx];
+  }
+  return kResNetTflops[idx];
+}
+
+ModelProfile::ModelProfile(const ModelGraph& graph, int batch_size)
+    : graph_(&graph), batch_size_(batch_size) {
+  for (int t = 0; t < hw::kNumGpuTypes; ++t) {
+    const auto gpu = static_cast<hw::GpuType>(t);
+    const double flops_per_s = EffectiveTflops(graph.family(), gpu) * 1e12;
+    auto& per_layer = times_[static_cast<size_t>(t)];
+    per_layer.reserve(static_cast<size_t>(graph.num_layers()));
+    for (const Layer& layer : graph.layers()) {
+      const double fwd_flops = layer.fwd_flops * batch_size_;
+      LayerTime lt;
+      lt.fwd_s = fwd_flops / flops_per_s + kFwdLaunchOverheadS;
+      // Backward computes gradients w.r.t. both inputs and weights: ~2x the
+      // forward FLOPs.
+      lt.bwd_s = 2.0 * fwd_flops / flops_per_s + kBwdLaunchOverheadS;
+      per_layer.push_back(lt);
+    }
+  }
+}
+
+const LayerTime& ModelProfile::TimeOf(int layer, hw::GpuType gpu) const {
+  return times_[static_cast<size_t>(gpu)].at(static_cast<size_t>(layer));
+}
+
+double ModelProfile::StageFwdTime(int first, int last, hw::GpuType gpu) const {
+  double t = 0.0;
+  for (int i = first; i <= last; ++i) {
+    t += TimeOf(i, gpu).fwd_s;
+  }
+  return t;
+}
+
+double ModelProfile::StageBwdTime(int first, int last, hw::GpuType gpu) const {
+  double t = 0.0;
+  for (int i = first; i <= last; ++i) {
+    t += TimeOf(i, gpu).bwd_s;
+  }
+  return t;
+}
+
+double ModelProfile::StageTotalTime(int first, int last, hw::GpuType gpu) const {
+  return StageFwdTime(first, last, gpu) + StageBwdTime(first, last, gpu);
+}
+
+double ModelProfile::FullModelTime(hw::GpuType gpu) const {
+  return StageTotalTime(0, graph_->num_layers() - 1, gpu);
+}
+
+uint64_t ModelProfile::BoundaryTransferBytes(int layer) const {
+  return graph_->BoundaryBytes(layer) * static_cast<uint64_t>(batch_size_);
+}
+
+}  // namespace hetpipe::model

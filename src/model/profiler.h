@@ -1,0 +1,61 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "hw/gpu_spec.h"
+#include "model/model_graph.h"
+
+namespace hetpipe::model {
+
+// Calibrated effective throughput in TFLOP/s that `gpu` sustains on layers of
+// `family`. This plays the role of the paper's profiling step (§7), which
+// measures per-layer compute time on every GPU type in the cluster: here
+// per-layer time = FLOPs / effective-throughput + launch overhead, with the
+// throughput constants fit to the absolute single-virtual-worker throughputs
+// published in Fig. 3 of the paper.
+double EffectiveTflops(ModelFamily family, hw::GpuType gpu);
+
+// Per-minibatch forward/backward execution time of a layer on some GPU.
+struct LayerTime {
+  double fwd_s = 0.0;
+  double bwd_s = 0.0;
+  double total() const { return fwd_s + bwd_s; }
+};
+
+// Profile of one model at a fixed minibatch size: per-layer, per-GPU-type
+// compute times plus boundary transfer sizes. This is the input to the
+// partitioner and the pipeline simulator.
+class ModelProfile {
+ public:
+  ModelProfile(const ModelGraph& graph, int batch_size);
+
+  const ModelGraph& graph() const { return *graph_; }
+  int batch_size() const { return batch_size_; }
+  int num_layers() const { return graph_->num_layers(); }
+
+  // Per-minibatch time of one layer on `gpu`.
+  const LayerTime& TimeOf(int layer, hw::GpuType gpu) const;
+
+  // Per-minibatch forward / backward / total compute time of layers
+  // [first, last] on `gpu`.
+  double StageFwdTime(int first, int last, hw::GpuType gpu) const;
+  double StageBwdTime(int first, int last, hw::GpuType gpu) const;
+  double StageTotalTime(int first, int last, hw::GpuType gpu) const;
+
+  // Whole-model per-minibatch compute (fwd+bwd) on `gpu`.
+  double FullModelTime(hw::GpuType gpu) const;
+
+  // Bytes of activations crossing the boundary after `layer` for one
+  // minibatch (the backward-pass gradient transfer has the same size).
+  uint64_t BoundaryTransferBytes(int layer) const;
+
+ private:
+  const ModelGraph* graph_;
+  int batch_size_;
+  // times_[gpu_type][layer]
+  std::array<std::vector<LayerTime>, hw::kNumGpuTypes> times_;
+};
+
+}  // namespace hetpipe::model

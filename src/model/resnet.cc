@@ -1,0 +1,49 @@
+#include "model/resnet.h"
+
+#include <string>
+
+namespace hetpipe::model {
+
+ModelGraph BuildBottleneckResNet(const std::string& name, int b1, int b2, int b3, int b4) {
+  std::vector<Layer> layers;
+
+  // Stem: 7x7/2 conv to 64 channels at 112x112, then 3x3/2 maxpool to 56x56.
+  layers.push_back(MakeConv("conv1", 7, 3, 64, 112, 112));
+  layers.push_back(MakePool("maxpool", 64, 56, 56));
+
+  struct StageSpec {
+    int blocks;
+    int mid;
+    int out;
+    int hw;
+  };
+  const StageSpec stages[] = {
+      {b1, 64, 256, 56},
+      {b2, 128, 512, 28},
+      {b3, 256, 1024, 14},
+      {b4, 512, 2048, 7},
+  };
+
+  int cin = 64;
+  for (int s = 0; s < 4; ++s) {
+    const StageSpec& st = stages[s];
+    for (int b = 0; b < st.blocks; ++b) {
+      const std::string block_name =
+          "res" + std::to_string(s + 2) + "_" + std::to_string(b + 1);
+      layers.push_back(MakeBottleneckBlock(block_name, cin, st.mid, st.out, st.hw, st.hw));
+      cin = st.out;
+    }
+  }
+
+  layers.push_back(MakePool("avgpool", 2048, 1, 1));
+  layers.push_back(MakeFc("fc1000", 2048, 1000));
+
+  const ModelFamily family =
+      (b1 == 3 && b2 == 8 && b3 == 36 && b4 == 3) ? ModelFamily::kResNet152
+                                                  : ModelFamily::kGeneric;
+  return ModelGraph(name, family, std::move(layers));
+}
+
+ModelGraph BuildResNet152() { return BuildBottleneckResNet("ResNet-152", 3, 8, 36, 3); }
+
+}  // namespace hetpipe::model

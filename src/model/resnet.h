@@ -1,0 +1,18 @@
+#pragma once
+
+#include "model/model_graph.h"
+
+namespace hetpipe::model {
+
+// ResNet-152 for 224x224 ImageNet (He et al. 2016), emitted at residual-block
+// granularity: conv1, maxpool, 3+8+36+3 bottleneck blocks, avgpool, fc.
+// Totals: ~60.2M params (~230 MiB fp32, matching §8.3 of the HetPipe paper)
+// and ~11.6 GFLOPs/image forward.
+ModelGraph BuildResNet152();
+
+// Generic bottleneck ResNet builder used for tests and ablations.
+// `blocks_per_stage` gives the number of bottleneck blocks in each of the
+// four stages (ResNet-152 is {3, 8, 36, 3}; ResNet-50 is {3, 4, 6, 3}).
+ModelGraph BuildBottleneckResNet(const std::string& name, int b1, int b2, int b3, int b4);
+
+}  // namespace hetpipe::model

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "model/model_graph.h"
+
+namespace hetpipe::model {
+
+// Transformer-encoder model builders. The paper motivates HetPipe with the
+// steady growth of model sizes ("Attention Is All You Need" is among its
+// citations); these builders provide modern large-model workloads beyond the
+// two CNNs of the evaluation, at encoder-block granularity (a block is the
+// natural partition unit, like a residual block).
+struct TransformerConfig {
+  std::string name = "Transformer";
+  int layers = 24;        // encoder blocks
+  int hidden = 1024;      // model dimension d_model
+  int ffn_hidden = 4096;  // feed-forward inner dimension (usually 4 * hidden)
+  int seq_len = 128;      // tokens per sample
+  int vocab = 30522;      // embedding table rows
+};
+
+// Generic builder: embedding + `layers` encoder blocks + LM head.
+ModelGraph BuildTransformer(const TransformerConfig& config);
+
+// BERT-Large (Devlin et al.): 24 layers, hidden 1024, ffn 4096, ~340M params
+// (~1.3 GiB fp32) — a model that genuinely needs pipeline parallelism on
+// whimpy GPUs.
+ModelGraph BuildBertLarge(int seq_len = 128);
+
+// BERT-Base: 12 layers, hidden 768, ~110M params.
+ModelGraph BuildBertBase(int seq_len = 128);
+
+}  // namespace hetpipe::model

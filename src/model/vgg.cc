@@ -1,0 +1,49 @@
+#include "model/vgg.h"
+
+#include <string>
+#include <vector>
+
+namespace hetpipe::model {
+namespace {
+
+// Builds a VGG model given the number of convs per group (VGG-16: 2,2,3,3,3;
+// VGG-19: 2,2,4,4,4).
+ModelGraph BuildVgg(const std::string& name, ModelFamily family,
+                    const std::vector<int>& convs_per_group) {
+  std::vector<Layer> layers;
+
+  const int group_channels[] = {64, 128, 256, 512, 512};
+  const int group_resolution[] = {224, 112, 56, 28, 14};
+
+  int cin = 3;
+  for (int g = 0; g < 5; ++g) {
+    const int cout = group_channels[g];
+    const int res = group_resolution[g];
+    for (int c = 0; c < convs_per_group[static_cast<size_t>(g)]; ++c) {
+      const std::string conv_name =
+          "conv" + std::to_string(g + 1) + "_" + std::to_string(c + 1);
+      layers.push_back(MakeConv(conv_name, 3, cin, cout, res, res));
+      cin = cout;
+    }
+    layers.push_back(MakePool("pool" + std::to_string(g + 1), cout, res / 2, res / 2));
+  }
+
+  // 7x7x512 = 25088 inputs to the classifier.
+  layers.push_back(MakeFc("fc6", 25088, 4096));
+  layers.push_back(MakeFc("fc7", 4096, 4096));
+  layers.push_back(MakeFc("fc8", 4096, 1000));
+
+  return ModelGraph(name, family, std::move(layers));
+}
+
+}  // namespace
+
+ModelGraph BuildVgg19() {
+  return BuildVgg("VGG-19", ModelFamily::kVgg19, {2, 2, 4, 4, 4});
+}
+
+ModelGraph BuildVgg16() {
+  return BuildVgg("VGG-16", ModelFamily::kGeneric, {2, 2, 3, 3, 3});
+}
+
+}  // namespace hetpipe::model

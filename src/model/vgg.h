@@ -1,0 +1,18 @@
+#pragma once
+
+#include "model/model_graph.h"
+
+namespace hetpipe::model {
+
+// VGG-19 for 224x224 ImageNet (Simonyan & Zisserman 2014): 16 conv layers in
+// five groups, five maxpools, and three fully-connected layers
+// (25088->4096->4096->1000). Totals: ~143.7M params (~548 MiB fp32, matching
+// §8.3 of the HetPipe paper) and ~19.6 GFLOPs/image forward. The parameter
+// mass is concentrated in fc6 (~102.8M params), which is what makes VGG-19
+// the communication-heavy model of the evaluation.
+ModelGraph BuildVgg19();
+
+// VGG-16 variant, used in tests/ablations.
+ModelGraph BuildVgg16();
+
+}  // namespace hetpipe::model

@@ -1,0 +1,44 @@
+#include "partition/memory_model.h"
+
+#include <algorithm>
+
+namespace hetpipe::partition {
+
+int InFlightAtStage(int stage_index, int num_stages, int nm) {
+  const int window = 2 * (num_stages - 1 - stage_index) + 1;
+  return std::max(1, std::min(nm, window));
+}
+
+uint64_t StageMemoryBytes(const model::ModelProfile& profile, int first, int last,
+                          int stage_index, int num_stages, int nm,
+                          const StageMemoryParams& params) {
+  const model::ModelGraph& graph = profile.graph();
+  const uint64_t param_bytes = graph.ParamBytesInRange(first, last);
+  const uint64_t stash_per_image = graph.StashBytesInRange(first, last);
+  const int in_flight = InFlightAtStage(stage_index, num_stages, nm);
+
+  uint64_t total = static_cast<uint64_t>(
+      static_cast<double>(param_bytes) * params.optimizer_multiplier);
+  if (params.stash_weights) {
+    total += param_bytes * static_cast<uint64_t>(in_flight);
+  }
+  total += stash_per_image * static_cast<uint64_t>(profile.batch_size()) *
+           static_cast<uint64_t>(in_flight);
+  total += params.framework_overhead_bytes;
+  return total;
+}
+
+uint64_t SingleWorkerMemoryBytes(const model::ModelProfile& profile,
+                                 const StageMemoryParams& params) {
+  StageMemoryParams dp_params = params;
+  dp_params.stash_weights = false;  // one minibatch at a time, no stashing
+  return StageMemoryBytes(profile, 0, profile.num_layers() - 1,
+                          /*stage_index=*/0, /*num_stages=*/1, /*nm=*/1, dp_params);
+}
+
+bool FitsOnSingleGpu(const model::ModelProfile& profile, hw::GpuType gpu,
+                     const StageMemoryParams& params) {
+  return SingleWorkerMemoryBytes(profile, params) <= hw::MemoryBytes(gpu);
+}
+
+}  // namespace hetpipe::partition

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+#include "hw/gpu_spec.h"
+#include "model/profiler.h"
+
+namespace hetpipe::partition {
+
+// Maximum number of minibatches simultaneously resident at stage
+// `stage_index` (0-based) of a `num_stages`-deep pipeline running `nm`
+// concurrent minibatches. In 1F1B steady state a minibatch occupies stage q
+// from its forward pass until its backward pass returns, i.e. for
+// 2*(k - q) + 1 stage slots; the pipeline never holds more than nm.
+// Matches Fig. 1 of the paper: the first stage holds all Nm=4 minibatches,
+// the last stage exactly one.
+int InFlightAtStage(int stage_index, int num_stages, int nm);
+
+// Knobs of the stage memory estimate.
+struct StageMemoryParams {
+  // Weights + gradient buffer + SGD momentum.
+  double optimizer_multiplier = 3.0;
+  // Weight stashing (§4): the weight version w_p used by minibatch p is kept
+  // until p's backward pass, one extra copy per in-flight minibatch.
+  bool stash_weights = true;
+  // CUDA context, cuDNN workspaces, allocator slack.
+  uint64_t framework_overhead_bytes = 500ULL << 20;
+};
+
+// Bytes of GPU memory needed to run layers [first, last] as stage
+// `stage_index` of `num_stages` with `nm` concurrent minibatches.
+uint64_t StageMemoryBytes(const model::ModelProfile& profile, int first, int last,
+                          int stage_index, int num_stages, int nm,
+                          const StageMemoryParams& params = {});
+
+// Memory needed by a plain data-parallel worker (whole model, one minibatch,
+// no weight stashing). Used to decide Horovod feasibility: ResNet-152 at
+// batch 32 exceeds the 6 GiB RTX 2060, so Horovod can only use 12 GPUs (§8.3).
+uint64_t SingleWorkerMemoryBytes(const model::ModelProfile& profile,
+                                 const StageMemoryParams& params = {});
+
+// True if a plain DP worker for this model fits in `gpu`'s memory.
+bool FitsOnSingleGpu(const model::ModelProfile& profile, hw::GpuType gpu,
+                     const StageMemoryParams& params = {});
+
+}  // namespace hetpipe::partition

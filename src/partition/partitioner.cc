@@ -1,0 +1,195 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <sstream>
+
+namespace hetpipe::partition {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+std::string Partition::ToString(const model::ModelProfile& profile) const {
+  std::ostringstream os;
+  if (!feasible) {
+    os << "infeasible";
+    return os.str();
+  }
+  os << "bottleneck " << bottleneck_time * 1e3 << " ms:";
+  for (const StageAssignment& s : stages) {
+    os << " [" << profile.graph().layer(s.first_layer).name << ".."
+       << profile.graph().layer(s.last_layer).name << " on " << hw::CodeOf(s.gpu_type)
+       << " " << s.TotalTime() * 1e3 << "ms " << (s.memory_bytes >> 20) << "MiB]";
+  }
+  return os.str();
+}
+
+Partitioner::Partitioner(const model::ModelProfile& profile, const hw::Cluster& cluster)
+    : profile_(&profile), cluster_(&cluster) {}
+
+Partition Partitioner::SolveFixedOrder(const std::vector<int>& gpu_ids,
+                                       const PartitionOptions& options) const {
+  const int n = profile_->num_layers();
+  const int k = static_cast<int>(gpu_ids.size());
+  Partition result;
+  if (k == 0 || n < k) {
+    return result;
+  }
+
+  std::vector<hw::GpuType> types(static_cast<size_t>(k));
+  for (int q = 0; q < k; ++q) {
+    types[static_cast<size_t>(q)] = cluster_->gpu(gpu_ids[static_cast<size_t>(q)]).type;
+  }
+
+  // Per-stage cost of covering layers [j, i] (inclusive), including the
+  // communication to receive forward activations and backward gradients.
+  const auto stage_cost = [&](int q, int j, int i) -> double {
+    double cost = profile_->StageTotalTime(j, i, types[static_cast<size_t>(q)]);
+    if (q > 0) {
+      const auto& link =
+          cluster_->LinkBetween(gpu_ids[static_cast<size_t>(q) - 1], gpu_ids[static_cast<size_t>(q)]);
+      cost += link.TransferTime(profile_->BoundaryTransferBytes(j - 1));
+    }
+    if (q < k - 1) {
+      const auto& link =
+          cluster_->LinkBetween(gpu_ids[static_cast<size_t>(q)], gpu_ids[static_cast<size_t>(q) + 1]);
+      cost += link.TransferTime(profile_->BoundaryTransferBytes(i));
+    }
+    return cost;
+  };
+
+  const auto stage_fits = [&](int q, int j, int i) -> bool {
+    const uint64_t need = StageMemoryBytes(*profile_, j, i, q, k, options.nm,
+                                           options.mem_params);
+    return need <= hw::MemoryBytes(types[static_cast<size_t>(q)]);
+  };
+
+  // dp[q][i]: minimal bottleneck assigning the first i layers to the first q
+  // stages (all non-empty). choice[q][i]: split point achieving it.
+  std::vector<std::vector<double>> dp(static_cast<size_t>(k) + 1,
+                                      std::vector<double>(static_cast<size_t>(n) + 1, kInf));
+  std::vector<std::vector<int>> choice(static_cast<size_t>(k) + 1,
+                                       std::vector<int>(static_cast<size_t>(n) + 1, -1));
+  dp[0][0] = 0.0;
+  for (int q = 1; q <= k; ++q) {
+    for (int i = q; i <= n - (k - q); ++i) {
+      double best = kInf;
+      int best_j = -1;
+      for (int j = q - 1; j < i; ++j) {
+        if (dp[static_cast<size_t>(q) - 1][static_cast<size_t>(j)] == kInf) {
+          continue;
+        }
+        if (!stage_fits(q - 1, j, i - 1)) {
+          continue;
+        }
+        const double cand = std::max(dp[static_cast<size_t>(q) - 1][static_cast<size_t>(j)],
+                                     stage_cost(q - 1, j, i - 1));
+        if (cand < best) {
+          best = cand;
+          best_j = j;
+        }
+      }
+      dp[static_cast<size_t>(q)][static_cast<size_t>(i)] = best;
+      choice[static_cast<size_t>(q)][static_cast<size_t>(i)] = best_j;
+    }
+  }
+
+  if (dp[static_cast<size_t>(k)][static_cast<size_t>(n)] == kInf) {
+    return result;
+  }
+
+  // Reconstruct stage boundaries.
+  std::vector<int> last(static_cast<size_t>(k));
+  int i = n;
+  for (int q = k; q >= 1; --q) {
+    last[static_cast<size_t>(q) - 1] = i - 1;
+    i = choice[static_cast<size_t>(q)][static_cast<size_t>(i)];
+  }
+
+  result.feasible = true;
+  int first = 0;
+  for (int q = 0; q < k; ++q) {
+    StageAssignment stage;
+    stage.first_layer = first;
+    stage.last_layer = last[static_cast<size_t>(q)];
+    stage.gpu_id = gpu_ids[static_cast<size_t>(q)];
+    stage.gpu_type = types[static_cast<size_t>(q)];
+    stage.node = cluster_->gpu(stage.gpu_id).node;
+    stage.fwd_compute_s =
+        profile_->StageFwdTime(stage.first_layer, stage.last_layer, stage.gpu_type);
+    stage.bwd_compute_s =
+        profile_->StageBwdTime(stage.first_layer, stage.last_layer, stage.gpu_type);
+    if (q > 0) {
+      const auto& link = cluster_->LinkBetween(gpu_ids[static_cast<size_t>(q) - 1],
+                                               gpu_ids[static_cast<size_t>(q)]);
+      stage.fwd_comm_in_s =
+          link.TransferTime(profile_->BoundaryTransferBytes(stage.first_layer - 1));
+    }
+    if (q < k - 1) {
+      const auto& link = cluster_->LinkBetween(gpu_ids[static_cast<size_t>(q)],
+                                               gpu_ids[static_cast<size_t>(q) + 1]);
+      stage.bwd_comm_in_s = link.TransferTime(profile_->BoundaryTransferBytes(stage.last_layer));
+    }
+    stage.param_bytes =
+        profile_->graph().ParamBytesInRange(stage.first_layer, stage.last_layer);
+    stage.memory_bytes = StageMemoryBytes(*profile_, stage.first_layer, stage.last_layer, q, k,
+                                          options.nm, options.mem_params);
+    stage.memory_cap = hw::MemoryBytes(stage.gpu_type);
+    result.stages.push_back(stage);
+    result.bottleneck_time = std::max(result.bottleneck_time, stage.TotalTime());
+    result.sum_time += stage.TotalTime();
+    first = stage.last_layer + 1;
+  }
+  return result;
+}
+
+Partition Partitioner::Solve(const std::vector<int>& gpu_ids,
+                             const PartitionOptions& options) const {
+  if (!options.search_gpu_orders || gpu_ids.size() <= 1) {
+    return SolveFixedOrder(gpu_ids, options);
+  }
+
+  // Enumerate distinct (type, node) orderings of the VW's GPUs; identical
+  // signatures produce identical solutions.
+  std::vector<int> ids = gpu_ids;
+  std::sort(ids.begin(), ids.end());
+  std::set<std::string> seen;
+  Partition best;
+  do {
+    std::string signature;
+    for (int id : ids) {
+      const hw::Gpu& g = cluster_->gpu(id);
+      signature.push_back(hw::CodeOf(g.type));
+      signature.push_back(static_cast<char>('0' + g.node));
+    }
+    if (!seen.insert(signature).second) {
+      continue;
+    }
+    Partition candidate = SolveFixedOrder(ids, options);
+    if (!candidate.feasible) {
+      continue;
+    }
+    const bool better =
+        !best.feasible || candidate.bottleneck_time < best.bottleneck_time ||
+        (candidate.bottleneck_time == best.bottleneck_time && candidate.sum_time < best.sum_time);
+    if (better) {
+      best = candidate;
+    }
+  } while (std::next_permutation(ids.begin(), ids.end()));
+  return best;
+}
+
+int Partitioner::FindMaxNm(const std::vector<int>& gpu_ids, int nm_cap,
+                           PartitionOptions options) const {
+  for (int nm = nm_cap; nm >= 1; --nm) {
+    options.nm = nm;
+    if (Solve(gpu_ids, options).feasible) {
+      return nm;
+    }
+  }
+  return 0;
+}
+
+}  // namespace hetpipe::partition

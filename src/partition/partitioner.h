@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/cluster.h"
+#include "model/profiler.h"
+#include "partition/memory_model.h"
+
+namespace hetpipe::partition {
+
+// One pipeline stage of a solved partition.
+struct StageAssignment {
+  int first_layer = 0;
+  int last_layer = -1;
+  int gpu_id = -1;  // physical GPU executing this stage
+  hw::GpuType gpu_type = hw::GpuType::kTitanV;
+  int node = -1;
+
+  double fwd_compute_s = 0.0;  // per minibatch
+  double bwd_compute_s = 0.0;
+  double fwd_comm_in_s = 0.0;  // receive activations from the previous stage
+  double bwd_comm_in_s = 0.0;  // receive gradients from the next stage
+  uint64_t param_bytes = 0;    // weights owned by this stage (synced with the PS)
+  uint64_t memory_bytes = 0;
+  uint64_t memory_cap = 0;
+
+  // Stage execution time used by the min-max objective (§4: compute plus the
+  // communication needed to receive its inputs).
+  double TotalTime() const {
+    return fwd_compute_s + bwd_compute_s + fwd_comm_in_s + bwd_comm_in_s;
+  }
+};
+
+// A solved model partition for one virtual worker.
+struct Partition {
+  bool feasible = false;
+  std::vector<StageAssignment> stages;
+  double bottleneck_time = 0.0;  // max over stages of TotalTime()
+  double sum_time = 0.0;         // sum over stages (the Nm=1 round-trip basis)
+
+  int num_stages() const { return static_cast<int>(stages.size()); }
+  std::string ToString(const model::ModelProfile& profile) const;
+};
+
+struct PartitionOptions {
+  int nm = 1;  // concurrent minibatches the partition must support
+  // If true, try every distinct assignment of the virtual worker's GPUs to
+  // stage positions and keep the best feasible solution; heterogeneous VWs
+  // care because memory demand falls toward the back of the pipeline while
+  // the first stage needs the most.
+  bool search_gpu_orders = true;
+  StageMemoryParams mem_params;
+};
+
+// Min-max partitioner (§7): splits the layer chain into k contiguous stages,
+// one per GPU of a virtual worker, minimizing the maximum per-stage
+// execution time (compute + input communication) subject to each stage
+// fitting its GPU's memory with Nm concurrent minibatches. The paper solves
+// this with CPLEX; this implementation solves the identical objective exactly
+// by dynamic programming over (layer, stage) plus a search over GPU orders.
+class Partitioner {
+ public:
+  Partitioner(const model::ModelProfile& profile, const hw::Cluster& cluster);
+
+  // Solves for the virtual worker owning `gpu_ids` (k = gpu_ids.size()).
+  Partition Solve(const std::vector<int>& gpu_ids, const PartitionOptions& options) const;
+
+  // Largest nm in [1, nm_cap] for which a feasible partition exists
+  // (Maxm of §4); returns 0 if even nm=1 is infeasible.
+  int FindMaxNm(const std::vector<int>& gpu_ids, int nm_cap,
+                PartitionOptions options = {}) const;
+
+ private:
+  // Solves with a fixed stage->GPU assignment (gpu_ids[i] runs stage i).
+  Partition SolveFixedOrder(const std::vector<int>& gpu_ids,
+                            const PartitionOptions& options) const;
+
+  const model::ModelProfile* profile_;
+  const hw::Cluster* cluster_;
+};
+
+}  // namespace hetpipe::partition

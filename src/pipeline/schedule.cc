@@ -1,0 +1,46 @@
+#include "pipeline/schedule.h"
+
+namespace hetpipe::pipeline {
+
+void StageQueue::MakeAvailable(const Task& task) { queue_.push_back(task); }
+
+bool StageQueue::Eligible(const Task& task) const {
+  switch (task.kind) {
+    case TaskKind::kForward:
+      return task.minibatch == next_fw_;
+    case TaskKind::kBackward:
+      return task.minibatch == next_bw_;
+    case TaskKind::kForwardBackward:
+      return task.minibatch == next_fw_ && task.minibatch == next_bw_;
+  }
+  return false;
+}
+
+void StageQueue::MarkStarted(const Task& task) {
+  switch (task.kind) {
+    case TaskKind::kForward:
+      ++next_fw_;
+      break;
+    case TaskKind::kBackward:
+      ++next_bw_;
+      break;
+    case TaskKind::kForwardBackward:
+      ++next_fw_;
+      ++next_bw_;
+      break;
+  }
+}
+
+std::optional<Task> StageQueue::PickNext() {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (Eligible(*it)) {
+      Task task = *it;
+      queue_.erase(it);
+      MarkStarted(task);
+      return task;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace hetpipe::pipeline

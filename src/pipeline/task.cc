@@ -1,0 +1,25 @@
+#include "pipeline/task.h"
+
+#include <sstream>
+
+namespace hetpipe::pipeline {
+
+const char* TaskKindName(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kForward:
+      return "FW";
+    case TaskKind::kBackward:
+      return "BW";
+    case TaskKind::kForwardBackward:
+      return "FWBW";
+  }
+  return "?";
+}
+
+std::string ToString(const Task& task) {
+  std::ostringstream os;
+  os << TaskKindName(task.kind) << "(M" << task.minibatch << ",P" << task.stage + 1 << ")";
+  return os.str();
+}
+
+}  // namespace hetpipe::pipeline

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hetpipe::pipeline {
+
+// Work items scheduled on a pipeline stage's GPU. The last stage fuses the
+// forward and backward pass of a minibatch into one task (§4: "in the last
+// partition, processing a forward pass immediately followed by a backward
+// pass is executed as a single task").
+enum class TaskKind {
+  kForward,
+  kBackward,
+  kForwardBackward,
+};
+
+struct Task {
+  TaskKind kind = TaskKind::kForward;
+  int64_t minibatch = 0;  // 1-indexed, as in the paper's M_{p,k} notation
+  int stage = 0;          // 0-indexed partition / GPU
+};
+
+const char* TaskKindName(TaskKind kind);
+std::string ToString(const Task& task);
+
+}  // namespace hetpipe::pipeline

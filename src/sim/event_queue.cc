@@ -1,0 +1,21 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace hetpipe::sim {
+
+uint64_t EventQueue::Push(SimTime time, std::function<void()> action) {
+  const uint64_t seq = next_seq_++;
+  heap_.push(Event{time, seq, std::move(action)});
+  return seq;
+}
+
+Event EventQueue::Pop() {
+  // std::priority_queue::top() returns a const reference; the move is safe
+  // because we pop immediately after and never touch the moved-from slot.
+  Event event = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  return event;
+}
+
+}  // namespace hetpipe::sim

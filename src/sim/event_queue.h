@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hetpipe::sim {
+
+// Simulated time, in seconds.
+using SimTime = double;
+
+// A scheduled callback. Events are ordered by (time, seq); seq is a strictly
+// increasing insertion counter so that events scheduled for the same instant
+// fire in FIFO order, making every simulation run deterministic.
+struct Event {
+  SimTime time = 0.0;
+  uint64_t seq = 0;
+  std::function<void()> action;
+};
+
+// Min-heap of events keyed on (time, seq).
+class EventQueue {
+ public:
+  // Enqueues `action` to fire at absolute time `time`. Returns the sequence
+  // number assigned to the event.
+  uint64_t Push(SimTime time, std::function<void()> action);
+
+  // Removes and returns the earliest event. Must not be called when empty.
+  Event Pop();
+
+  const Event& Top() const { return heap_.top(); }
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace hetpipe::sim

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace hetpipe::sim {
+
+// SplitMix64: used to seed Xoshiro and as a cheap standalone generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+  uint64_t Next();
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256**, a fast high-quality PRNG. All stochastic components of the
+// repo (synthetic datasets, jittered task times, dataset shuffles) draw from
+// this so experiments are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextU64();
+  // Uniform in [0, 1).
+  double NextDouble();
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+  // Standard normal via Box-Muller.
+  double Normal();
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  // Fisher-Yates shuffle of indices [0, n).
+  template <typename T>
+  void Shuffle(T* data, size_t n) {
+    for (size_t i = n; i > 1; --i) {
+      const size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(data[i - 1], data[j]);
+    }
+  }
+
+ private:
+  std::array<uint64_t, 4> state_;
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace hetpipe::sim

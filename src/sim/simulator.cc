@@ -1,0 +1,39 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace hetpipe::sim {
+
+void Simulator::Schedule(SimTime delay, std::function<void()> action) {
+  if (delay < 0.0) {
+    delay = 0.0;
+  }
+  queue_.Push(now_ + delay, std::move(action));
+}
+
+void Simulator::ScheduleAt(SimTime time, std::function<void()> action) {
+  if (time < now_) {
+    time = now_;
+  }
+  queue_.Push(time, std::move(action));
+}
+
+void Simulator::Run() { Dispatch(std::numeric_limits<SimTime>::infinity()); }
+
+void Simulator::RunUntil(SimTime deadline) { Dispatch(deadline); }
+
+void Simulator::Dispatch(const SimTime deadline) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    if (queue_.Top().time > deadline) {
+      now_ = deadline;
+      return;
+    }
+    Event event = queue_.Pop();
+    now_ = event.time;
+    ++events_processed_;
+    event.action();
+  }
+}
+
+}  // namespace hetpipe::sim

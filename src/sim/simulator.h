@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.h"
+
+namespace hetpipe::sim {
+
+// Single-threaded discrete-event simulator.
+//
+// All HetPipe performance experiments run on this kernel: pipeline stages,
+// link transfers, and parameter-server synchronization are modeled as events.
+// Execution is deterministic: ties in time are broken by insertion order.
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+  uint64_t events_processed() const { return events_processed_; }
+
+  // Schedules `action` to run `delay` seconds from now. Negative delays clamp
+  // to zero (fire at the current instant, after already-queued events).
+  void Schedule(SimTime delay, std::function<void()> action);
+
+  // Schedules `action` at absolute simulated time `time` (>= now()).
+  void ScheduleAt(SimTime time, std::function<void()> action);
+
+  // Runs until the event queue drains or Stop() is called.
+  void Run();
+
+  // Runs until simulated time exceeds `deadline` (events at exactly
+  // `deadline` still fire), the queue drains, or Stop() is called.
+  void RunUntil(SimTime deadline);
+
+  // Requests that the currently running Run()/RunUntil() return once the
+  // in-flight event completes.
+  void Stop() { stopped_ = true; }
+
+ private:
+  void Dispatch(const SimTime deadline);
+
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  uint64_t events_processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace hetpipe::sim

@@ -1,0 +1,72 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace hetpipe::sim {
+namespace {
+
+// Minimal JSON string escaping (names are programmatic, but be safe).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void Tracer::ExportChromeJson(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "{\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\"" << JsonEscape(e.category)
+       << "\",\"ph\":\"X\",\"ts\":" << e.start * 1e6 << ",\"dur\":" << (e.end - e.start) * 1e6
+       << ",\"pid\":0,\"tid\":" << e.lane << "}";
+  }
+  os << "]}";
+}
+
+std::string Tracer::AsciiGantt(SimTime t0, SimTime t1, int width,
+                               const std::vector<std::string>& lane_labels) const {
+  if (t1 <= t0 || width <= 0) {
+    return "";
+  }
+  int max_lane = 0;
+  for (const TraceEvent& e : events_) {
+    max_lane = std::max(max_lane, e.lane);
+  }
+  std::vector<std::string> rows(static_cast<size_t>(max_lane) + 1,
+                                std::string(static_cast<size_t>(width), '.'));
+  const double scale = width / (t1 - t0);
+  for (const TraceEvent& e : events_) {
+    const int c0 = std::max(0, static_cast<int>((e.start - t0) * scale));
+    const int c1 = std::min(width, std::max(c0 + 1, static_cast<int>((e.end - t0) * scale)));
+    const char mark = e.category.empty() ? '#' : static_cast<char>(std::toupper(e.category[0]));
+    for (int c = c0; c < c1; ++c) {
+      rows[static_cast<size_t>(e.lane)][static_cast<size_t>(c)] = mark;
+    }
+  }
+  std::ostringstream os;
+  for (size_t lane = 0; lane < rows.size(); ++lane) {
+    if (lane < lane_labels.size()) {
+      os << lane_labels[lane] << " ";
+    } else {
+      os << "lane" << lane << " ";
+    }
+    os << rows[lane] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hetpipe::sim

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace hetpipe::sim {
+
+// One completed interval of work on a simulated resource (a GPU stage, a
+// link). Lanes group events by resource for display.
+struct TraceEvent {
+  std::string name;      // e.g. "FW(M3,P2)"
+  std::string category;  // e.g. "forward" / "backward" / "comm"
+  int lane = 0;
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+};
+
+// Collects TraceEvents during a simulation; renders them as a Chrome
+// about://tracing JSON file or as a Fig.-1-style ASCII Gantt chart.
+class Tracer {
+ public:
+  void Add(TraceEvent event) { events_.push_back(std::move(event)); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  // Chrome trace-event format ("traceEvents" array of X-phase events, with
+  // simulated seconds mapped to microseconds). Load via chrome://tracing or
+  // https://ui.perfetto.dev.
+  void ExportChromeJson(std::ostream& os) const;
+
+  // ASCII Gantt: one row per lane, `width` character columns spanning
+  // [t0, t1). Characters are the first letter of each event's category
+  // (F for forward, B for backward, ...); '.' is idle.
+  std::string AsciiGantt(SimTime t0, SimTime t1, int width,
+                         const std::vector<std::string>& lane_labels = {}) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace hetpipe::sim

@@ -1,0 +1,84 @@
+#include "train/data.h"
+
+#include <cmath>
+
+namespace hetpipe::train {
+
+Dataset MakeLinearRegression(int num, int dim, double noise, uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<double> w_star(static_cast<size_t>(dim));
+  for (double& w : w_star) {
+    w = rng.Normal();
+  }
+  Dataset data;
+  data.dim = dim;
+  data.x.reserve(static_cast<size_t>(num));
+  data.y.reserve(static_cast<size_t>(num));
+  for (int i = 0; i < num; ++i) {
+    std::vector<double> row(static_cast<size_t>(dim));
+    double dot = 0.0;
+    for (int j = 0; j < dim; ++j) {
+      row[static_cast<size_t>(j)] = rng.Normal();
+      dot += row[static_cast<size_t>(j)] * w_star[static_cast<size_t>(j)];
+    }
+    data.x.push_back(std::move(row));
+    data.y.push_back(dot + noise * rng.Normal());
+  }
+  return data;
+}
+
+Dataset MakeBinaryBlobs(int num, int dim, double separation, uint64_t seed) {
+  sim::Rng rng(seed);
+  Dataset data;
+  data.dim = dim;
+  for (int i = 0; i < num; ++i) {
+    const double label = (i % 2 == 0) ? 0.0 : 1.0;
+    const double center = label == 0.0 ? -separation / 2.0 : separation / 2.0;
+    std::vector<double> row(static_cast<size_t>(dim));
+    for (int j = 0; j < dim; ++j) {
+      row[static_cast<size_t>(j)] = center + rng.Normal();
+    }
+    data.x.push_back(std::move(row));
+    data.y.push_back(label);
+  }
+  return data;
+}
+
+Dataset MakeXorLike(int num, int dim, uint64_t seed) {
+  sim::Rng rng(seed);
+  Dataset data;
+  data.dim = dim;
+  for (int i = 0; i < num; ++i) {
+    std::vector<double> row(static_cast<size_t>(dim));
+    for (int j = 0; j < dim; ++j) {
+      row[static_cast<size_t>(j)] = rng.Uniform(-1.0, 1.0);
+    }
+    const double label = (row[0] * row[1 % static_cast<size_t>(dim)] > 0.0) ? 1.0 : 0.0;
+    data.x.push_back(std::move(row));
+    data.y.push_back(label);
+  }
+  return data;
+}
+
+MinibatchStream::MinibatchStream(const Dataset& data, int worker, int num_workers, uint64_t seed)
+    : rng_(seed + static_cast<uint64_t>(worker) * 0x51ed270b7f7fULL) {
+  for (int i = worker; i < data.size(); i += num_workers) {
+    shard_.push_back(i);
+  }
+  rng_.Shuffle(shard_.data(), shard_.size());
+}
+
+std::vector<int> MinibatchStream::Next(int batch) {
+  std::vector<int> indices;
+  indices.reserve(static_cast<size_t>(batch));
+  for (int i = 0; i < batch; ++i) {
+    if (cursor_ >= shard_.size()) {
+      cursor_ = 0;
+      rng_.Shuffle(shard_.data(), shard_.size());
+    }
+    indices.push_back(shard_[cursor_++]);
+  }
+  return indices;
+}
+
+}  // namespace hetpipe::train

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace hetpipe::train {
+
+// Synthetic supervised dataset: `num` rows of `dim` features with targets.
+// Substitutes for ImageNet in the convergence experiments (the repo has no
+// access to the real dataset; what the WSP analysis needs is an objective
+// whose optimum is known and whose gradients are cheap).
+struct Dataset {
+  int dim = 0;
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+
+  int size() const { return static_cast<int>(x.size()); }
+};
+
+// y = <w*, x> + noise, for linear-regression (convex least squares).
+Dataset MakeLinearRegression(int num, int dim, double noise, uint64_t seed);
+
+// Two Gaussian blobs with labels {0, 1}, for logistic regression (convex).
+Dataset MakeBinaryBlobs(int num, int dim, double separation, uint64_t seed);
+
+// Nonlinear decision boundary (XOR-of-signs), for the MLP experiments.
+Dataset MakeXorLike(int num, int dim, uint64_t seed);
+
+// Deterministic per-worker minibatch stream: worker w of n draws from its own
+// shard of the dataset, shuffled with its own seed (data parallelism assigns
+// each worker a different subset, §2.2).
+class MinibatchStream {
+ public:
+  MinibatchStream(const Dataset& data, int worker, int num_workers, uint64_t seed);
+
+  // Returns `batch` row indices; reshuffles the shard on wraparound.
+  std::vector<int> Next(int batch);
+
+ private:
+  std::vector<int> shard_;
+  size_t cursor_ = 0;
+  sim::Rng rng_;
+};
+
+}  // namespace hetpipe::train

@@ -1,0 +1,137 @@
+#include "train/model_zoo.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "sim/rng.h"
+
+namespace hetpipe::train {
+namespace {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+// Numerically stable binary cross-entropy for logit z, label y in {0,1}.
+double BceLoss(double z, double y) {
+  const double m = std::max(z, 0.0);
+  return m - z * y + std::log(std::exp(-m) + std::exp(z - m));
+}
+
+}  // namespace
+
+double TrainModel::FullLoss(const Dataset& data, const Tensor& w) const {
+  std::vector<int> all(static_cast<size_t>(data.size()));
+  std::iota(all.begin(), all.end(), 0);
+  Tensor scratch(num_params());
+  return LossAndGrad(data, all, w, &scratch);
+}
+
+double LinearRegressionModel::LossAndGrad(const Dataset& data, const std::vector<int>& indices,
+                                          const Tensor& w, Tensor* grad) const {
+  assert(w.size() == num_params());
+  double loss = 0.0;
+  const double inv = 1.0 / static_cast<double>(indices.size());
+  for (int idx : indices) {
+    const auto& row = data.x[static_cast<size_t>(idx)];
+    double pred = 0.0;
+    for (int j = 0; j < dim_; ++j) {
+      pred += w[static_cast<size_t>(j)] * row[static_cast<size_t>(j)];
+    }
+    const double err = pred - data.y[static_cast<size_t>(idx)];
+    loss += 0.5 * err * err;
+    for (int j = 0; j < dim_; ++j) {
+      (*grad)[static_cast<size_t>(j)] += inv * err * row[static_cast<size_t>(j)];
+    }
+  }
+  return loss * inv;
+}
+
+double LogisticRegressionModel::LossAndGrad(const Dataset& data, const std::vector<int>& indices,
+                                            const Tensor& w, Tensor* grad) const {
+  assert(w.size() == num_params());
+  double loss = 0.0;
+  const double inv = 1.0 / static_cast<double>(indices.size());
+  const size_t bias = static_cast<size_t>(dim_);
+  for (int idx : indices) {
+    const auto& row = data.x[static_cast<size_t>(idx)];
+    double z = w[bias];
+    for (int j = 0; j < dim_; ++j) {
+      z += w[static_cast<size_t>(j)] * row[static_cast<size_t>(j)];
+    }
+    const double y = data.y[static_cast<size_t>(idx)];
+    loss += BceLoss(z, y);
+    const double delta = Sigmoid(z) - y;
+    for (int j = 0; j < dim_; ++j) {
+      (*grad)[static_cast<size_t>(j)] += inv * delta * row[static_cast<size_t>(j)];
+    }
+    (*grad)[bias] += inv * delta;
+  }
+  return loss * inv;
+}
+
+size_t MlpModel::num_params() const {
+  // W1 (hidden x dim) + b1 (hidden) + w2 (hidden) + b2 (1).
+  return static_cast<size_t>(hidden_) * static_cast<size_t>(dim_) +
+         static_cast<size_t>(hidden_) * 2 + 1;
+}
+
+Tensor MlpModel::Init(uint64_t seed) const {
+  sim::Rng rng(seed);
+  Tensor w(num_params());
+  const double scale = 1.0 / std::sqrt(static_cast<double>(dim_));
+  for (size_t i = 0; i < w.size(); ++i) {
+    w[i] = scale * rng.Normal();
+  }
+  return w;
+}
+
+double MlpModel::LossAndGrad(const Dataset& data, const std::vector<int>& indices,
+                             const Tensor& w, Tensor* grad) const {
+  assert(w.size() == num_params());
+  const size_t w1 = 0;
+  const size_t b1 = static_cast<size_t>(hidden_) * static_cast<size_t>(dim_);
+  const size_t w2 = b1 + static_cast<size_t>(hidden_);
+  const size_t b2 = w2 + static_cast<size_t>(hidden_);
+
+  std::vector<double> h(static_cast<size_t>(hidden_));
+  std::vector<double> pre(static_cast<size_t>(hidden_));
+  double loss = 0.0;
+  const double inv = 1.0 / static_cast<double>(indices.size());
+
+  for (int idx : indices) {
+    const auto& row = data.x[static_cast<size_t>(idx)];
+    // Forward.
+    for (int u = 0; u < hidden_; ++u) {
+      double z = w[b1 + static_cast<size_t>(u)];
+      const size_t base = w1 + static_cast<size_t>(u) * static_cast<size_t>(dim_);
+      for (int j = 0; j < dim_; ++j) {
+        z += w[base + static_cast<size_t>(j)] * row[static_cast<size_t>(j)];
+      }
+      pre[static_cast<size_t>(u)] = z;
+      h[static_cast<size_t>(u)] = std::tanh(z);
+    }
+    double z_out = w[b2];
+    for (int u = 0; u < hidden_; ++u) {
+      z_out += w[w2 + static_cast<size_t>(u)] * h[static_cast<size_t>(u)];
+    }
+    const double y = data.y[static_cast<size_t>(idx)];
+    loss += BceLoss(z_out, y);
+
+    // Backward.
+    const double delta_out = Sigmoid(z_out) - y;
+    (*grad)[b2] += inv * delta_out;
+    for (int u = 0; u < hidden_; ++u) {
+      const double hu = h[static_cast<size_t>(u)];
+      (*grad)[w2 + static_cast<size_t>(u)] += inv * delta_out * hu;
+      const double delta_h = delta_out * w[w2 + static_cast<size_t>(u)] * (1.0 - hu * hu);
+      (*grad)[b1 + static_cast<size_t>(u)] += inv * delta_h;
+      const size_t base = w1 + static_cast<size_t>(u) * static_cast<size_t>(dim_);
+      for (int j = 0; j < dim_; ++j) {
+        (*grad)[base + static_cast<size_t>(j)] += inv * delta_h * row[static_cast<size_t>(j)];
+      }
+    }
+  }
+  return loss * inv;
+}
+
+}  // namespace hetpipe::train

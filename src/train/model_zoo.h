@@ -1,0 +1,69 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "train/data.h"
+#include "train/tensor.h"
+
+namespace hetpipe::train {
+
+// A differentiable training objective. LossAndGrad must be thread-safe for
+// concurrent calls with distinct `grad` outputs (workers run in parallel).
+class TrainModel {
+ public:
+  virtual ~TrainModel() = default;
+
+  virtual size_t num_params() const = 0;
+
+  // Mean loss over the rows `indices` of `data` at weights `w`; accumulates
+  // d(loss)/dw into `grad` (caller zeroes it).
+  virtual double LossAndGrad(const Dataset& data, const std::vector<int>& indices,
+                             const Tensor& w, Tensor* grad) const = 0;
+
+  // Mean loss over the whole dataset.
+  double FullLoss(const Dataset& data, const Tensor& w) const;
+};
+
+// 0.5 * (<w, x> - y)^2 — convex; used by the Theorem-1 regret experiments.
+class LinearRegressionModel final : public TrainModel {
+ public:
+  explicit LinearRegressionModel(int dim) : dim_(dim) {}
+  size_t num_params() const override { return static_cast<size_t>(dim_); }
+  double LossAndGrad(const Dataset& data, const std::vector<int>& indices, const Tensor& w,
+                     Tensor* grad) const override;
+
+ private:
+  int dim_;
+};
+
+// Binary cross-entropy with sigmoid(<w, x> + b) — convex.
+class LogisticRegressionModel final : public TrainModel {
+ public:
+  explicit LogisticRegressionModel(int dim) : dim_(dim) {}
+  size_t num_params() const override { return static_cast<size_t>(dim_) + 1; }
+  double LossAndGrad(const Dataset& data, const std::vector<int>& indices, const Tensor& w,
+                     Tensor* grad) const override;
+
+ private:
+  int dim_;
+};
+
+// One-hidden-layer tanh MLP with sigmoid output and cross-entropy loss —
+// nonconvex; exercises WSP on the kind of objective DNN training has.
+class MlpModel final : public TrainModel {
+ public:
+  MlpModel(int dim, int hidden) : dim_(dim), hidden_(hidden) {}
+  size_t num_params() const override;
+  double LossAndGrad(const Dataset& data, const std::vector<int>& indices, const Tensor& w,
+                     Tensor* grad) const override;
+
+  // Random small-weight initialization.
+  Tensor Init(uint64_t seed) const;
+
+ private:
+  int dim_;
+  int hidden_;
+};
+
+}  // namespace hetpipe::train

@@ -1,0 +1,48 @@
+#include "train/ps.h"
+
+#include <cassert>
+#include <utility>
+
+namespace hetpipe::train {
+
+ParameterServer::ParameterServer(int num_workers, Tensor init)
+    : num_workers_(num_workers), weights_(std::move(init)), clocks_(num_workers) {}
+
+void ParameterServer::PushWave(int worker, int64_t wave, const Tensor& update) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(update.size() == weights_.size());
+  weights_.Axpy(1.0, update);
+  clocks_.Advance(worker, wave);
+  const int64_t new_global = clocks_.Global();
+  if (new_global > global_wave_) {
+    global_wave_ = new_global;
+    if (wave_cb_) {
+      wave_cb_(global_wave_, weights_);
+    }
+    global_advanced_.notify_all();
+  }
+}
+
+int64_t ParameterServer::GlobalWave() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return global_wave_;
+}
+
+int64_t ParameterServer::WaitGlobalWave(int64_t min_wave) {
+  std::unique_lock<std::mutex> lock(mu_);
+  global_advanced_.wait(lock, [&] { return global_wave_ >= min_wave; });
+  return global_wave_;
+}
+
+int64_t ParameterServer::Read(Tensor* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  *out = weights_;
+  return global_wave_;
+}
+
+void ParameterServer::SetWaveCallback(std::function<void(int64_t, const Tensor&)> cb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wave_cb_ = std::move(cb);
+}
+
+}  // namespace hetpipe::train

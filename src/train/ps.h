@@ -1,0 +1,55 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "train/tensor.h"
+#include "wsp/clock.h"
+
+namespace hetpipe::train {
+
+// Thread-safe parameter server implementing the WSP protocol of §5 on real
+// weights: workers push one aggregated update per wave (w_global += u~, and
+// the worker's local clock advances); the global clock is the minimum local
+// clock; pulls return the *current* global weights, which may contain extra
+// updates beyond the global clock — exactly the E_{n,p} term of the §6
+// analysis.
+class ParameterServer {
+ public:
+  ParameterServer(int num_workers, Tensor init);
+
+  size_t dim() const { return weights_.size(); }
+  int num_workers() const { return num_workers_; }
+
+  // Applies worker's aggregated update for `wave` (0-indexed; must be the
+  // worker's next wave) and advances its local clock.
+  void PushWave(int worker, int64_t wave, const Tensor& update);
+
+  // Minimum pushed wave over all workers (-1 before everyone's first push).
+  int64_t GlobalWave() const;
+
+  // Blocks until GlobalWave() >= min_wave. Returns the observed global wave.
+  int64_t WaitGlobalWave(int64_t min_wave);
+
+  // Copy of the current global weights (w0 plus every update received so
+  // far) and the global wave at the time of the copy.
+  int64_t Read(Tensor* out) const;
+
+  // Invoked (under the server lock) each time the global wave advances, with
+  // the new wave and the current global weights. Used to record loss curves.
+  void SetWaveCallback(std::function<void(int64_t wave, const Tensor& weights)> cb);
+
+ private:
+  const int num_workers_;
+  mutable std::mutex mu_;
+  std::condition_variable global_advanced_;
+  Tensor weights_;
+  wsp::VectorClock clocks_;
+  int64_t global_wave_ = -1;
+  std::function<void(int64_t, const Tensor&)> wave_cb_;
+};
+
+}  // namespace hetpipe::train

@@ -1,0 +1,60 @@
+#include "train/regret.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "train/wsp_trainer.h"
+
+namespace hetpipe::train {
+
+double SolveOptimum(const TrainModel& model, const Dataset& data, int iters, double lr,
+                    Tensor* w_star) {
+  *w_star = Tensor(model.num_params());
+  std::vector<int> all(static_cast<size_t>(data.size()));
+  std::iota(all.begin(), all.end(), 0);
+  double loss = 0.0;
+  for (int i = 0; i < iters; ++i) {
+    Tensor grad(model.num_params());
+    loss = model.LossAndGrad(data, all, *w_star, &grad);
+    w_star->Axpy(-lr, grad);
+  }
+  return loss;
+}
+
+RegretResult RunRegretExperiment(const Dataset& data, const RegretExperimentOptions& options) {
+  const LinearRegressionModel model(data.dim);
+
+  RegretResult result;
+  Tensor w_star;
+  result.optimum_loss = SolveOptimum(model, data, /*iters=*/500, /*lr=*/0.2, &w_star);
+
+  double prev_regret = std::numeric_limits<double>::infinity();
+  for (int64_t waves : options.horizons) {
+    TrainerOptions topt = WspOptions(options.num_workers, waves, options.nm, options.d);
+    topt.worker.batch = options.batch;
+    topt.worker.lr = options.lr;
+    topt.worker.sqrt_lr_decay = true;
+    topt.worker.seed = options.seed;
+    const TrainerResult run = TrainWsp(model, data, topt);
+
+    RegretPoint point;
+    point.total_steps = run.total_minibatches;
+    // R[W] = mean over t of f_t(w~_t), minus f(w*).
+    double mean_noisy_loss = 0.0;
+    // TrainWsp does not expose per-worker losses; approximate the mean noisy
+    // loss with the aggregate recorded by workers (sum over all minibatches).
+    mean_noisy_loss = run.total_minibatches > 0
+                          ? run.sum_noisy_loss / static_cast<double>(run.total_minibatches)
+                          : 0.0;
+    point.regret = mean_noisy_loss - result.optimum_loss;
+    point.sqrt_t_scaled = point.regret * std::sqrt(static_cast<double>(point.total_steps));
+    if (point.regret > prev_regret) {
+      result.decreasing = false;
+    }
+    prev_regret = point.regret;
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+}  // namespace hetpipe::train

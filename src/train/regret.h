@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "train/data.h"
+#include "train/model_zoo.h"
+
+namespace hetpipe::train {
+
+// Empirical validation of Theorem 1: trains a *convex* objective under WSP
+// with eta_t = lr / sqrt(t) and measures the regret
+//   R[W] = (1/T) sum_t f_t(w~_t) - f(w*),
+// where w* is obtained by running plain gradient descent to (near) optimum.
+// Theorem 1 bounds R[W] by 4*M*L*sqrt((2*s_g + s_l) * N / T), so R[W] must
+// shrink like O(1/sqrt(T)).
+struct RegretExperimentOptions {
+  int num_workers = 4;
+  int nm = 4;
+  int d = 1;
+  int batch = 4;
+  double lr = 0.1;
+  uint64_t seed = 7;
+  std::vector<int64_t> horizons = {64, 256, 1024};  // waves per measurement
+};
+
+struct RegretPoint {
+  int64_t total_steps = 0;  // T: total minibatch updates across workers
+  double regret = 0.0;      // measured R[W]
+  double sqrt_t_scaled = 0.0;  // regret * sqrt(T): bounded if Theorem 1 holds
+};
+
+struct RegretResult {
+  double optimum_loss = 0.0;
+  std::vector<RegretPoint> points;
+  // True if regret decreases with T across the measured horizons.
+  bool decreasing = true;
+};
+
+RegretResult RunRegretExperiment(const Dataset& data, const RegretExperimentOptions& options);
+
+// Reference optimum via full-batch gradient descent.
+double SolveOptimum(const TrainModel& model, const Dataset& data, int iters, double lr,
+                    Tensor* w_star);
+
+}  // namespace hetpipe::train

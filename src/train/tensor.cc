@@ -1,0 +1,50 @@
+#include "train/tensor.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace hetpipe::train {
+
+void Tensor::Zero() { Fill(0.0); }
+
+void Tensor::Fill(double v) {
+  for (double& x : data_) {
+    x = v;
+  }
+}
+
+void Tensor::Axpy(double a, const Tensor& x) {
+  assert(size() == x.size());
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += a * x.data_[i];
+  }
+}
+
+void Tensor::Scale(double a) {
+  for (double& x : data_) {
+    x *= a;
+  }
+}
+
+double Tensor::Dot(const Tensor& x) const {
+  assert(size() == x.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    sum += data_[i] * x.data_[i];
+  }
+  return sum;
+}
+
+double Tensor::Norm() const { return std::sqrt(SquaredNorm()); }
+
+double Tensor::DistanceTo(const Tensor& x) const {
+  assert(size() == x.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    const double d = data_[i] - x.data_[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace hetpipe::train

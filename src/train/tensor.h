@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hetpipe::train {
+
+// Dense fp64 vector used as the parameter/gradient container of the real
+// (numeric) training substrate. Deliberately minimal: the convergence and
+// regret experiments run on small convex/MLP problems, not on the DNNs the
+// performance simulator models.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(size_t n) : data_(n, 0.0) {}
+
+  size_t size() const { return data_.size(); }
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double& operator[](size_t i) { return data_[i]; }
+  double operator[](size_t i) const { return data_[i]; }
+
+  void Zero();
+  void Fill(double v);
+  // this += a * x
+  void Axpy(double a, const Tensor& x);
+  void Scale(double a);
+  double Dot(const Tensor& x) const;
+  double SquaredNorm() const { return Dot(*this); }
+  double Norm() const;
+  // Euclidean distance to x.
+  double DistanceTo(const Tensor& x) const;
+
+ private:
+  std::vector<double> data_;
+};
+
+}  // namespace hetpipe::train

@@ -1,0 +1,93 @@
+#include "train/wsp_trainer.h"
+
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace hetpipe::train {
+
+TrainerResult TrainWsp(const TrainModel& model, const Dataset& data,
+                       const TrainerOptions& options) {
+  Tensor init = options.init.size() == model.num_params() ? options.init
+                                                          : Tensor(model.num_params());
+  ParameterServer ps(options.num_workers, std::move(init));
+
+  TrainerResult result;
+  std::mutex curve_mu;
+  ps.SetWaveCallback([&](int64_t wave, const Tensor& weights) {
+    // Sample the loss curve sparsely to keep the callback cheap.
+    if (wave % 8 != 0) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(curve_mu);
+    result.loss_curve.emplace_back(wave, model.FullLoss(data, weights));
+  });
+
+  std::vector<std::unique_ptr<WspWorker>> workers;
+  workers.reserve(static_cast<size_t>(options.num_workers));
+  for (int w = 0; w < options.num_workers; ++w) {
+    workers.push_back(
+        std::make_unique<WspWorker>(w, model, data, ps, options.num_workers, options.worker));
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers.size());
+  for (auto& worker : workers) {
+    threads.emplace_back([&worker] { worker->Run(); });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+
+  result.final_weights = Tensor(model.num_params());
+  ps.Read(&result.final_weights);
+  result.final_loss = model.FullLoss(data, result.final_weights);
+
+  double staleness_sum = 0.0;
+  size_t staleness_count = 0;
+  for (const auto& worker : workers) {
+    result.total_minibatches += worker->minibatches_processed();
+    result.sum_noisy_loss += worker->sum_minibatch_loss();
+    result.worst_observed_staleness =
+        std::max(result.worst_observed_staleness, worker->staleness().worst_observed());
+    result.staleness_within_bound &= worker->staleness().WithinBound();
+    staleness_sum += worker->staleness().observed().sum();
+    staleness_count += worker->staleness().observed().count();
+    result.total_wait_seconds += worker->wait_seconds();
+  }
+  result.mean_observed_staleness =
+      staleness_count > 0 ? staleness_sum / static_cast<double>(staleness_count) : 0.0;
+  return result;
+}
+
+TrainerOptions BspOptions(int num_workers, int64_t steps) {
+  TrainerOptions options;
+  options.num_workers = num_workers;
+  options.worker.nm = 1;
+  options.worker.sync = wsp::SyncPolicy::Wsp(0);
+  options.worker.waves = steps;
+  return options;
+}
+
+TrainerOptions SspOptions(int num_workers, int64_t steps, int s) {
+  TrainerOptions options = BspOptions(num_workers, steps);
+  options.worker.sync = wsp::SyncPolicy::Wsp(s);
+  return options;
+}
+
+TrainerOptions AspOptions(int num_workers, int64_t steps) {
+  TrainerOptions options = BspOptions(num_workers, steps);
+  options.worker.sync = wsp::SyncPolicy::Asp();
+  return options;
+}
+
+TrainerOptions WspOptions(int num_workers, int64_t waves, int nm, int d) {
+  TrainerOptions options;
+  options.num_workers = num_workers;
+  options.worker.nm = nm;
+  options.worker.sync = wsp::SyncPolicy::Wsp(d);
+  options.worker.waves = waves;
+  return options;
+}
+
+}  // namespace hetpipe::train

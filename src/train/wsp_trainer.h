@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "train/data.h"
+#include "train/model_zoo.h"
+#include "train/worker.h"
+
+namespace hetpipe::train {
+
+struct TrainerOptions {
+  int num_workers = 4;
+  WorkerOptions worker;
+  Tensor init;  // empty: zeros
+};
+
+// Outcome of a multi-threaded WSP training run.
+struct TrainerResult {
+  // (global wave, full-dataset loss at the global weights) samples.
+  std::vector<std::pair<int64_t, double>> loss_curve;
+  double final_loss = 0.0;
+  Tensor final_weights;
+
+  int64_t total_minibatches = 0;
+  // Sum over every minibatch of f_t(w~_t), the loss at the noisy weights it
+  // was computed with (the regret experiment's numerator).
+  double sum_noisy_loss = 0.0;
+  int64_t worst_observed_staleness = 0;
+  bool staleness_within_bound = true;
+  double mean_observed_staleness = 0.0;
+  double total_wait_seconds = 0.0;
+};
+
+// Spawns `num_workers` WSP workers on real threads sharing one parameter
+// server and trains `model` on `data`. This is the numeric counterpart of
+// the performance simulator: it validates that WSP converges (§6) and that
+// the staleness bounds hold during real concurrent execution.
+TrainerResult TrainWsp(const TrainModel& model, const Dataset& data,
+                       const TrainerOptions& options);
+
+// Convenience baselines on the same machinery:
+//   BSP  = Nm=1, D=0;  SSP(s) = Nm=1, D=s;  ASP = no gating.
+TrainerOptions BspOptions(int num_workers, int64_t steps);
+TrainerOptions SspOptions(int num_workers, int64_t steps, int s);
+TrainerOptions AspOptions(int num_workers, int64_t steps);
+TrainerOptions WspOptions(int num_workers, int64_t waves, int nm, int d);
+
+}  // namespace hetpipe::train

@@ -1,0 +1,23 @@
+#include "wsp/clock.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hetpipe::wsp {
+
+void VectorClock::Advance(int worker, int64_t clock) {
+  int64_t& slot = clocks_.at(static_cast<size_t>(worker));
+  assert(clock >= slot && "local clocks are monotonic");
+  slot = std::max(slot, clock);
+}
+
+int64_t VectorClock::Global() const {
+  return *std::min_element(clocks_.begin(), clocks_.end());
+}
+
+int64_t VectorClock::Distance() const {
+  const auto [lo, hi] = std::minmax_element(clocks_.begin(), clocks_.end());
+  return *hi - *lo;
+}
+
+}  // namespace hetpipe::wsp

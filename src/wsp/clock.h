@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hetpipe::wsp {
+
+// Per-virtual-worker local clocks plus the derived global clock (§5: the
+// parameter server's global clock is the minimum local clock; the clock
+// distance is the spread between the fastest and slowest virtual worker).
+class VectorClock {
+ public:
+  explicit VectorClock(int num_workers) : clocks_(static_cast<size_t>(num_workers), -1) {}
+
+  int num_workers() const { return static_cast<int>(clocks_.size()); }
+  int64_t local(int worker) const { return clocks_.at(static_cast<size_t>(worker)); }
+
+  // Advances `worker`'s local clock to `clock` (monotonic).
+  void Advance(int worker, int64_t clock);
+
+  // Global clock: minimum local clock over all workers (-1 before any push).
+  int64_t Global() const;
+  // max(local) - min(local); the WSP invariant requires distance <= D.
+  int64_t Distance() const;
+
+ private:
+  std::vector<int64_t> clocks_;
+};
+
+}  // namespace hetpipe::wsp

@@ -1,0 +1,150 @@
+#include "wsp/param_server.h"
+
+#include <algorithm>
+#include <map>
+
+namespace hetpipe::wsp {
+
+VwCommTimes ComputePsCommTimes(const partition::Partition& partition, const hw::Cluster& cluster,
+                               PlacementPolicy placement) {
+  const int num_nodes = cluster.num_nodes();
+  // Remote bytes funneling through each node's NIC, and the largest
+  // single-GPU PCIe transfer.
+  std::map<int, uint64_t> remote_bytes_by_node;
+  double max_pcie_s = 0.0;
+
+  for (const partition::StageAssignment& stage : partition.stages) {
+    // Parameter bytes of this stage = weights that must be synchronized.
+    const uint64_t stage_params = stage.param_bytes;
+    uint64_t local = 0;
+    uint64_t remote = 0;
+    switch (placement) {
+      case PlacementPolicy::kLocal:
+        local = stage_params;
+        break;
+      case PlacementPolicy::kRoundRobin:
+        // Layers spread evenly across all nodes: 1/H lands on this stage's
+        // own node, the rest crosses Infiniband.
+        local = stage_params / static_cast<uint64_t>(num_nodes);
+        remote = stage_params - local;
+        break;
+    }
+    max_pcie_s = std::max(max_pcie_s, cluster.pcie().TransferTime(local));
+    remote_bytes_by_node[stage.node] += remote;
+  }
+
+  double max_ib_s = 0.0;
+  for (const auto& [node, bytes] : remote_bytes_by_node) {
+    max_ib_s = std::max(max_ib_s, cluster.infiniband().TransferTime(bytes));
+  }
+
+  VwCommTimes times;
+  times.push_s = std::max(max_pcie_s, max_ib_s);
+  times.pull_s = times.push_s;  // symmetric: weights down, updates up
+  return times;
+}
+
+uint64_t CrossNodeSyncBytes(const partition::Partition& partition, PlacementPolicy placement,
+                            int num_nodes) {
+  if (placement == PlacementPolicy::kLocal) {
+    return 0;
+  }
+  uint64_t total = 0;
+  for (const partition::StageAssignment& stage : partition.stages) {
+    const uint64_t local = stage.param_bytes / static_cast<uint64_t>(num_nodes);
+    total += stage.param_bytes - local;
+  }
+  return total;
+}
+
+WspCoordinator::WspCoordinator(sim::Simulator& simulator, const WspCoordinatorOptions& options,
+                               std::vector<VwCommTimes> comm)
+    : simulator_(&simulator),
+      options_(options),
+      comm_(std::move(comm)),
+      clocks_(options.num_vws),
+      pulled_wave_(static_cast<size_t>(options.num_vws), -1),
+      pull_in_flight_(static_cast<size_t>(options.num_vws), false),
+      waiters_(static_cast<size_t>(options.num_vws)) {}
+
+bool WspCoordinator::RequestInjection(int vw, int64_t p, std::function<void()> wake) {
+  const int64_t pulled = pulled_wave_[static_cast<size_t>(vw)];
+  const int64_t own_wave = (p - 1) / options_.nm;
+  const auto sample_lag = [&] {
+    if (own_wave >= 1) {
+      observed_lag_.Add(static_cast<double>(std::max<int64_t>(0, own_wave - 1 - pulled)));
+    }
+  };
+  if (options_.policy.mode == SyncMode::kAsp) {
+    sample_lag();
+    return true;
+  }
+  const int64_t required = RequiredGlobalWave(p, options_.nm, options_.policy.d);
+  if (required < 0 || pulled >= required) {
+    sample_lag();
+    return true;
+  }
+  waiters_[static_cast<size_t>(vw)] = Waiter{required, std::move(wake)};
+  StartPullIfNeeded(vw);
+  return false;
+}
+
+void WspCoordinator::OnWaveComplete(int vw, int64_t wave) {
+  // The aggregated update u~ travels to the parameter servers.
+  simulator_->Schedule(comm_[static_cast<size_t>(vw)].push_s,
+                       [this, vw, wave] { OnPushArrived(vw, wave); });
+}
+
+void WspCoordinator::OnPushArrived(int vw, int64_t wave) {
+  clocks_.Advance(vw, wave);
+  clock_distance_.Add(static_cast<double>(clocks_.Distance()));
+  MaybeAdvanceGlobal();
+  StartPullIfNeeded(vw);  // refresh this VW's local copy if it is behind
+}
+
+void WspCoordinator::MaybeAdvanceGlobal() {
+  const int64_t new_global = clocks_.Global();
+  if (new_global <= global_wave_) {
+    return;
+  }
+  global_wave_ = new_global;
+  // Freshly completed global waves may unblock waiting virtual workers.
+  for (int vw = 0; vw < options_.num_vws; ++vw) {
+    StartPullIfNeeded(vw);
+  }
+}
+
+void WspCoordinator::StartPullIfNeeded(int vw) {
+  const auto idx = static_cast<size_t>(vw);
+  if (pull_in_flight_[idx]) {
+    return;
+  }
+  // Pull when a waiter needs a wave that is now globally complete, or eagerly
+  // whenever fresher global weights exist (virtual workers refresh their
+  // local copy at wave boundaries without blocking, per §5).
+  const bool waiter_ready =
+      waiters_[idx].has_value() && global_wave_ >= waiters_[idx]->required_wave;
+  const bool stale_copy = global_wave_ > pulled_wave_[idx];
+  if (!waiter_ready && !stale_copy) {
+    return;
+  }
+  pull_in_flight_[idx] = true;
+  const int64_t wave = global_wave_;
+  simulator_->Schedule(comm_[idx].pull_s, [this, vw, wave] { OnPullComplete(vw, wave); });
+}
+
+void WspCoordinator::OnPullComplete(int vw, int64_t wave) {
+  const auto idx = static_cast<size_t>(vw);
+  pull_in_flight_[idx] = false;
+  pulled_wave_[idx] = std::max(pulled_wave_[idx], wave);
+  if (waiters_[idx].has_value() && pulled_wave_[idx] >= waiters_[idx]->required_wave) {
+    auto wake = std::move(waiters_[idx]->wake);
+    waiters_[idx].reset();
+    wake();
+  } else {
+    // The global wave may have advanced past `wave` while pulling.
+    StartPullIfNeeded(vw);
+  }
+}
+
+}  // namespace hetpipe::wsp

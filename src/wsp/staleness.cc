@@ -1,0 +1,26 @@
+#include "wsp/staleness.h"
+
+#include <cmath>
+
+namespace hetpipe::wsp {
+
+int64_t Lemma1CardinalityBound(int64_t sg, int64_t sl, int num_workers) {
+  return (2 * sg + sl) * (num_workers - 1);
+}
+
+int64_t Lemma1MinIndexBound(int64_t t, int64_t sg, int64_t sl, int num_workers) {
+  return std::max<int64_t>(1, t - (sg + sl) * num_workers);
+}
+
+double Theorem1RegretBound(double m, double l, int64_t sg, int64_t sl, int num_workers,
+                           int64_t t) {
+  return 4.0 * m * l *
+         std::sqrt(static_cast<double>((2 * sg + sl) * num_workers) / static_cast<double>(t));
+}
+
+void StalenessTracker::RecordInjection(int64_t /*p*/, int64_t missing_updates) {
+  worst_ = std::max(worst_, missing_updates);
+  observed_.Add(static_cast<double>(missing_updates));
+}
+
+}  // namespace hetpipe::wsp

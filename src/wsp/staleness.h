@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <algorithm>
+
+#include "sim/stats.h"
+#include "wsp/sync_policy.h"
+
+namespace hetpipe::wsp {
+
+// Quantities from the convergence analysis (§6, Lemma 1), with
+// sg = s_global and sl = s_local + 1 as abbreviated in the paper.
+
+// Upper bound on |R_t| + |Q_t|: (2*sg + sl) * (N - 1).
+int64_t Lemma1CardinalityBound(int64_t sg, int64_t sl, int num_workers);
+
+// Lower bound on min(R_t ∪ Q_t): max(1, t - (sg + sl) * N).
+int64_t Lemma1MinIndexBound(int64_t t, int64_t sg, int64_t sl, int num_workers);
+
+// Theorem 1 regret bound: 4 * M * L * sqrt((2*sg + sl) * N / T).
+double Theorem1RegretBound(double m, double l, int64_t sg, int64_t sl, int num_workers,
+                           int64_t t);
+
+// Records the staleness actually observed at each minibatch injection so
+// experiments can verify the WSP bounds empirically and so the convergence
+// model can consume *measured* (not worst-case) staleness.
+class StalenessTracker {
+ public:
+  StalenessTracker(int nm, int d) : nm_(nm), d_(d) {}
+
+  // `missing_updates`: number of most-recent global minibatch updates absent
+  // from the weights minibatch p trains with.
+  void RecordInjection(int64_t p, int64_t missing_updates);
+
+  int64_t worst_observed() const { return worst_; }
+  const sim::Accumulator& observed() const { return observed_; }
+  // True iff every recorded injection respected the s_global bound.
+  bool WithinBound() const { return worst_ <= GlobalStaleness(nm_, d_); }
+  int64_t bound() const { return GlobalStaleness(nm_, d_); }
+
+ private:
+  int nm_;
+  int d_;
+  int64_t worst_ = 0;
+  sim::Accumulator observed_;
+};
+
+}  // namespace hetpipe::wsp

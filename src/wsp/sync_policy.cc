@@ -1,0 +1,30 @@
+#include "wsp/sync_policy.h"
+
+namespace hetpipe::wsp {
+
+std::string SyncPolicy::ToString() const {
+  switch (mode) {
+    case SyncMode::kWsp:
+      return "WSP(D=" + std::to_string(d) + ")";
+    case SyncMode::kAsp:
+      return "ASP";
+  }
+  return "?";
+}
+
+int64_t LocalStaleness(int nm) { return nm - 1; }
+
+int64_t GlobalStaleness(int nm, int d) {
+  const int64_t s_local = LocalStaleness(nm);
+  return (d + 1) * (s_local + 1) + s_local - 1;
+}
+
+int64_t RequiredGlobalWave(int64_t p, int nm, int d) {
+  const int64_t m = p - GlobalStaleness(nm, d) - 1;
+  if (m < 1) {
+    return -1;
+  }
+  return (m - 1) / nm;
+}
+
+}  // namespace hetpipe::wsp

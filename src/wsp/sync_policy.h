@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hetpipe::wsp {
+
+// Parameter synchronization models supported at the virtual-worker level.
+//  kWsp  — Wave Synchronous Parallel with clock-distance threshold D
+//          (D = 0 is the BSP-like configuration of §5).
+//  kAsp  — Asynchronous Parallel: no gating at all (known not to guarantee
+//          convergence; provided as a baseline).
+enum class SyncMode {
+  kWsp,
+  kAsp,
+};
+
+struct SyncPolicy {
+  SyncMode mode = SyncMode::kWsp;
+  int d = 0;  // maximum clock distance (ignored for kAsp)
+
+  static SyncPolicy Wsp(int d) { return SyncPolicy{SyncMode::kWsp, d}; }
+  static SyncPolicy Asp() { return SyncPolicy{SyncMode::kAsp, 0}; }
+
+  std::string ToString() const;
+};
+
+// Local staleness threshold for Nm concurrent minibatches (§4): s_local = Nm - 1.
+int64_t LocalStaleness(int nm);
+
+// Global staleness bound (§5):
+//   s_global = (D + 1) * (s_local + 1) + s_local - 1.
+// A minibatch p may proceed only with weights reflecting all global updates
+// from minibatches 1 .. p - (s_global + 1).
+int64_t GlobalStaleness(int nm, int d);
+
+// The newest *wave* (0-indexed) whose aggregated global updates minibatch p
+// (1-indexed) must have before it may start, or -1 if none. Derived from the
+// global staleness bound, given that updates become globally visible one
+// whole wave at a time: p needs the global updates of minibatch
+// m = p - s_global - 1, i.e. the entire wave floor((m - 1) / Nm) that m
+// belongs to.
+int64_t RequiredGlobalWave(int64_t p, int nm, int d);
+
+}  // namespace hetpipe::wsp

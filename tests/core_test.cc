@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/convergence.h"
+#include "core/experiment.h"
+#include "core/hetpipe.h"
+#include "model/resnet.h"
+#include "model/vgg.h"
+
+namespace hetpipe::core {
+namespace {
+
+HetPipeConfig FastConfig() {
+  HetPipeConfig config;
+  config.waves = 20;
+  config.warmup_waves = 3;
+  return config;
+}
+
+TEST(HetPipeTest, EdLocalResNetRuns) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildResNet152();
+  HetPipeConfig config = FastConfig();
+  config.allocation = cluster::AllocationPolicy::kEqualDistribution;
+  config.placement = wsp::PlacementPolicy::kLocal;
+  const HetPipeReport report = HetPipe(cluster, graph, config).Run();
+  ASSERT_TRUE(report.feasible) << report.infeasible_reason;
+  EXPECT_EQ(report.vws.size(), 4u);
+  EXPECT_GT(report.throughput_img_s, 0.0);
+  EXPECT_GE(report.nm, 1);
+  EXPECT_EQ(report.s_local, report.nm - 1);
+}
+
+TEST(HetPipeTest, NmOverrideCapsNm) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildResNet152();
+  HetPipeConfig config = FastConfig();
+  config.nm = 2;
+  const HetPipeReport report = HetPipe(cluster, graph, config).Run();
+  ASSERT_TRUE(report.feasible);
+  EXPECT_EQ(report.nm, 2);
+}
+
+TEST(HetPipeTest, NpBoundByWhimpyVirtualWorker) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildResNet152();
+  // Batch 64 makes the GGGG virtual worker's 6 GiB GPUs the binding
+  // constraint, as in the paper's observation.
+  HetPipeConfig np = FastConfig();
+  np.batch_size = 64;
+  np.allocation = cluster::AllocationPolicy::kNodePartition;
+  HetPipeConfig ed = np;
+  ed.allocation = cluster::AllocationPolicy::kEqualDistribution;
+  const HetPipeReport np_report = HetPipe(cluster, graph, np).Run();
+  const HetPipeReport ed_report = HetPipe(cluster, graph, ed).Run();
+  ASSERT_TRUE(np_report.feasible);
+  ASSERT_TRUE(ed_report.feasible);
+  // §8.3: "With NP, training performance ... is low as Nm is bounded by the
+  // virtual worker with the smallest GPU memory" (the GGGG one): the ED
+  // allocation can run at least as many concurrent minibatches and is faster.
+  EXPECT_LE(np_report.nm, ed_report.nm);
+  EXPECT_LT(np_report.throughput_img_s, ed_report.throughput_img_s);
+}
+
+TEST(HetPipeTest, AllVwsRunAllWaves) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildVgg19();
+  HetPipeConfig config = FastConfig();
+  config.placement = wsp::PlacementPolicy::kLocal;
+  const HetPipeReport report = HetPipe(cluster, graph, config).Run();
+  ASSERT_TRUE(report.feasible);
+  for (const VwReport& vw : report.vws) {
+    EXPECT_GT(vw.throughput_img_s, 0.0);
+    EXPECT_GT(vw.max_stage_utilization, 0.0);
+    EXPECT_LE(vw.max_stage_utilization, 1.0);
+  }
+}
+
+TEST(HetPipeTest, DeterministicWithoutJitter) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildResNet152();
+  HetPipeConfig config = FastConfig();
+  const double a = HetPipe(cluster, graph, config).Run().throughput_img_s;
+  const double b = HetPipe(cluster, graph, config).Run().throughput_img_s;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(HetPipeTest, SingleVirtualWorkerInfeasibleNmReported) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildResNet152();
+  HetPipeConfig config = FastConfig();
+  config.batch_size = 64;
+  // GGGG at Nm=7, batch 64 exceeds the 6 GiB RTX 2060s.
+  const HetPipeReport report =
+      HetPipe::RunSingleVirtualWorker(cluster, graph, {8, 9, 10, 11}, 7, config);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_FALSE(report.infeasible_reason.empty());
+}
+
+TEST(ExperimentTest, PickGpusByCode) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const auto vvqq = PickGpusByCode(cluster, "VVQQ");
+  ASSERT_EQ(vvqq.size(), 4u);
+  EXPECT_EQ(cluster.gpu(vvqq[0]).type, hw::GpuType::kTitanV);
+  EXPECT_EQ(cluster.gpu(vvqq[1]).type, hw::GpuType::kTitanV);
+  EXPECT_NE(vvqq[0], vvqq[1]);
+  EXPECT_EQ(cluster.gpu(vvqq[2]).type, hw::GpuType::kQuadroP4000);
+  EXPECT_THROW(PickGpusByCode(cluster, "VVVVV"), std::invalid_argument);
+}
+
+TEST(ExperimentTest, Fig3NormalizedStartsAtOne) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildVgg19();
+  const auto points = RunFig3Config(cluster, graph, "RRRR", 3);
+  ASSERT_GE(points.size(), 1u);
+  ASSERT_TRUE(points[0].feasible);
+  EXPECT_DOUBLE_EQ(points[0].normalized, 1.0);
+  if (points[1].feasible) {
+    EXPECT_GT(points[1].normalized, 1.0);
+  }
+}
+
+TEST(AccuracyCurveTest, InverseConsistency) {
+  const AccuracyCurve curve = AccuracyCurve::ResNet152();
+  const double epochs = curve.EpochsToAccuracy(0.74);
+  EXPECT_NEAR(curve.Accuracy(epochs), 0.74, 1e-9);
+  EXPECT_TRUE(std::isinf(curve.EpochsToAccuracy(0.99)));
+  EXPECT_DOUBLE_EQ(curve.Accuracy(0.0), 0.0);
+}
+
+TEST(ConvergenceTest, EfficiencyDecreasesWithStaleness) {
+  EXPECT_DOUBLE_EQ(StatisticalEfficiency(0.05, 0.0), 1.0);
+  EXPECT_LT(StatisticalEfficiency(0.05, 10.0), 1.0);
+  EXPECT_LT(StatisticalEfficiency(0.05, 20.0), StatisticalEfficiency(0.05, 10.0));
+}
+
+TEST(ConvergenceTest, VggMoreSensitiveThanResNet) {
+  EXPECT_GT(StalenessSensitivity(model::ModelFamily::kVgg19),
+            StalenessSensitivity(model::ModelFamily::kResNet152));
+}
+
+TEST(ConvergenceTest, HigherThroughputConvergesFaster) {
+  const ConvergenceModel model = ConvergenceModel::For(model::ModelFamily::kResNet152);
+  ConvergenceInput slow;
+  slow.throughput_img_s = 300.0;
+  ConvergenceInput fast = slow;
+  fast.throughput_img_s = 600.0;
+  const double t_slow = model.HoursToAccuracy(slow, 0.74);
+  const double t_fast = model.HoursToAccuracy(fast, 0.74);
+  EXPECT_NEAR(t_slow / t_fast, 2.0, 1e-9);
+}
+
+TEST(ConvergenceTest, StalenessSlowsConvergence) {
+  const ConvergenceModel model = ConvergenceModel::For(model::ModelFamily::kVgg19);
+  ConvergenceInput clean;
+  clean.throughput_img_s = 600.0;
+  ConvergenceInput stale = clean;
+  stale.avg_missing_updates = 10.0;
+  EXPECT_GT(model.HoursToAccuracy(stale, 0.67), model.HoursToAccuracy(clean, 0.67));
+}
+
+TEST(ConvergenceTest, CurveIsMonotone) {
+  const ConvergenceModel model = ConvergenceModel::For(model::ModelFamily::kVgg19);
+  ConvergenceInput input;
+  input.throughput_img_s = 500.0;
+  const sim::TimeSeries curve = model.Curve(input, 100.0, 1.0);
+  ASSERT_GT(curve.size(), 10u);
+  for (size_t i = 1; i < curve.points().size(); ++i) {
+    EXPECT_GE(curve.points()[i].second, curve.points()[i - 1].second);
+  }
+}
+
+TEST(ConfigTest, ToStringIncludesPolicy) {
+  HetPipeConfig config;
+  config.allocation = cluster::AllocationPolicy::kNodePartition;
+  EXPECT_NE(config.ToString().find("NP"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetpipe::core

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "dp/allreduce.h"
+#include "dp/horovod.h"
+#include "dp/placement.h"
+#include "hw/cluster.h"
+#include "model/profiler.h"
+#include "model/resnet.h"
+#include "model/vgg.h"
+#include "partition/partitioner.h"
+
+namespace hetpipe::dp {
+namespace {
+
+TEST(AllReduceTest, ZeroForTrivialCases) {
+  RingAllReduceParams p;
+  p.num_workers = 1;
+  p.bytes = 1000;
+  p.bottleneck_bps = 1e9;
+  EXPECT_DOUBLE_EQ(RingAllReduceTime(p), 0.0);
+  p.num_workers = 4;
+  p.bytes = 0;
+  EXPECT_DOUBLE_EQ(RingAllReduceTime(p), 0.0);
+}
+
+TEST(AllReduceTest, BandwidthOptimalVolume) {
+  RingAllReduceParams p;
+  p.num_workers = 4;
+  p.bytes = 4ULL << 20;
+  p.bottleneck_bps = 1e9;
+  p.per_step_latency_s = 0.0;
+  // 2*(N-1)/N * bytes / bw.
+  const double expected = 2.0 * 3.0 / 4.0 * static_cast<double>(4ULL << 20) / 1e9;
+  EXPECT_NEAR(RingAllReduceTime(p), expected, 1e-12);
+}
+
+TEST(AllReduceTest, LatencyScalesWithSteps) {
+  RingAllReduceParams p;
+  p.num_workers = 8;
+  p.bytes = 1;
+  p.bottleneck_bps = 1e12;
+  p.per_step_latency_s = 1e-3;
+  EXPECT_NEAR(RingAllReduceTime(p), 14e-3, 1e-6);
+}
+
+TEST(AllReduceTest, MoreWorkersMoreVolume) {
+  RingAllReduceParams p;
+  p.bytes = 100ULL << 20;
+  p.bottleneck_bps = 5e9;
+  p.num_workers = 2;
+  const double t2 = RingAllReduceTime(p);
+  p.num_workers = 16;
+  const double t16 = RingAllReduceTime(p);
+  EXPECT_GT(t16, t2);
+}
+
+TEST(SharedFabricTest, DividesBandwidth) {
+  EXPECT_DOUBLE_EQ(SharedFabricBandwidth(10e9, 4, 1.0), 2.5e9);
+  EXPECT_DOUBLE_EQ(SharedFabricBandwidth(10e9, 0, 0.5), 5e9);  // clamps to 1
+}
+
+TEST(HorovodTest, ResNetExcludesWhimpyGpus) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  const HorovodResult result = SimulateHorovod(cluster, profile);
+  ASSERT_TRUE(result.feasible);
+  // §8.3: "For ResNet-152 ... Horovod uses only 12 GPUs" — the four 6 GiB
+  // RTX 2060s cannot hold the model.
+  EXPECT_EQ(result.worker_gpus.size(), 12u);
+  EXPECT_EQ(result.num_excluded, 4);
+  for (int id : result.worker_gpus) {
+    EXPECT_NE(cluster.gpu(id).type, hw::GpuType::kRtx2060);
+  }
+}
+
+TEST(HorovodTest, VggUsesAllGpus) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildVgg19();
+  const model::ModelProfile profile(graph, 32);
+  const HorovodResult result = SimulateHorovod(cluster, profile);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.worker_gpus.size(), 16u);
+  EXPECT_EQ(result.num_excluded, 0);
+}
+
+TEST(HorovodTest, BspWaitsForSlowestWorker) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildVgg19();
+  const model::ModelProfile profile(graph, 32);
+  const HorovodResult result = SimulateHorovod(cluster, profile);
+  // The slowest participating GPU is the Quadro P4000.
+  EXPECT_NEAR(result.compute_s, profile.FullModelTime(hw::GpuType::kQuadroP4000), 1e-12);
+}
+
+TEST(HorovodTest, ThroughputMatchesPaperTable4Shape) {
+  // Table 4, Horovod row for VGG-19: 164 (4 GPUs), 205 (8), 265 (12), 339 (16).
+  // The calibrated model must land near those values (±20%).
+  const model::ModelGraph graph = model::BuildVgg19();
+  const model::ModelProfile profile(graph, 32);
+  const struct {
+    const char* nodes;
+    double expected;
+  } cases[] = {{"V", 164.0}, {"VR", 205.0}, {"VRQ", 265.0}, {"VRQG", 339.0}};
+  double prev = 0.0;
+  for (const auto& c : cases) {
+    const hw::Cluster cluster = hw::Cluster::PaperSubset(c.nodes);
+    const HorovodResult result = SimulateHorovod(cluster, profile);
+    EXPECT_NEAR(result.throughput_img_s, c.expected, c.expected * 0.2) << c.nodes;
+    EXPECT_GT(result.throughput_img_s, prev);  // more GPUs helps
+    prev = result.throughput_img_s;
+  }
+}
+
+TEST(HorovodTest, ResNetThroughputShape) {
+  // Table 4, Horovod row for ResNet-152: 233 (4), 353 (8), 415 (12).
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  const struct {
+    const char* nodes;
+    double expected;
+  } cases[] = {{"V", 233.0}, {"VR", 353.0}, {"VRQ", 415.0}};
+  for (const auto& c : cases) {
+    const hw::Cluster cluster = hw::Cluster::PaperSubset(c.nodes);
+    const HorovodResult result = SimulateHorovod(cluster, profile);
+    EXPECT_NEAR(result.throughput_img_s, c.expected, c.expected * 0.2) << c.nodes;
+  }
+}
+
+TEST(PlacementTest, HorovodCrossNodeBytesMatchesPaperAccounting) {
+  // §8.3: VGG-19 over 16 workers moves ~515 MB across nodes per iteration.
+  const model::ModelGraph graph = model::BuildVgg19();
+  const uint64_t bytes = HorovodCrossNodeBytes(graph.total_param_bytes(), 16);
+  EXPECT_NEAR(static_cast<double>(bytes) / (1 << 20), 515.0, 15.0);
+  EXPECT_EQ(HorovodCrossNodeBytes(1000, 1), 0u);
+}
+
+TEST(PlacementTest, EdLocalParameterTrafficIsZero) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildVgg19();
+  const model::ModelProfile profile(graph, 32);
+  const partition::Partitioner partitioner(profile, cluster);
+  partition::PartitionOptions options;
+  options.nm = 1;
+  const partition::Partition partition = partitioner.Solve({0, 4, 8, 12}, options);
+  ASSERT_TRUE(partition.feasible);
+  EXPECT_EQ(PsCrossNodeBytesPerMinibatch(partition, 4, /*local=*/true, 1), 0u);
+  EXPECT_GT(PsCrossNodeBytesPerMinibatch(partition, 4, /*local=*/false, 1), 0u);
+}
+
+TEST(PlacementTest, EdVwStillMovesActivationsAcrossNodes) {
+  // §8.3: even ED-local ResNet moves ~298 MB across nodes (activations).
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  const partition::Partitioner partitioner(profile, cluster);
+  partition::PartitionOptions options;
+  options.nm = 1;
+  const partition::Partition partition = partitioner.Solve({0, 4, 8, 12}, options);
+  ASSERT_TRUE(partition.feasible);
+  const uint64_t bytes = ActivationCrossNodeBytes(partition, profile);
+  EXPECT_GT(bytes, 0u);
+  // All three boundaries cross nodes in an ED virtual worker.
+  EXPECT_GT(bytes, 50ULL << 20);
+}
+
+TEST(PlacementTest, WaveAmortizationDividesByNm) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildVgg19();
+  const model::ModelProfile profile(graph, 32);
+  const partition::Partitioner partitioner(profile, cluster);
+  partition::PartitionOptions options;
+  options.nm = 4;
+  const partition::Partition partition = partitioner.Solve({0, 4, 8, 12}, options);
+  ASSERT_TRUE(partition.feasible);
+  const uint64_t per1 = PsCrossNodeBytesPerMinibatch(partition, 4, false, 1);
+  const uint64_t per4 = PsCrossNodeBytesPerMinibatch(partition, 4, false, 4);
+  EXPECT_EQ(per4, per1 / 4);
+}
+
+}  // namespace
+}  // namespace hetpipe::dp

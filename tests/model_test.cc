@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "model/model_graph.h"
+#include "model/profiler.h"
+#include "model/resnet.h"
+#include "model/vgg.h"
+
+namespace hetpipe::model {
+namespace {
+
+double MiB(uint64_t bytes) { return static_cast<double>(bytes) / (1 << 20); }
+
+TEST(ResNetTest, ParameterSizeMatchesPaper) {
+  const ModelGraph graph = BuildResNet152();
+  // §8.3: ResNet-152's parameter size is ~230 MB (60.2M fp32 params).
+  EXPECT_NEAR(MiB(graph.total_param_bytes()), 230.0, 15.0);
+  EXPECT_EQ(graph.family(), ModelFamily::kResNet152);
+}
+
+TEST(ResNetTest, ForwardFlopsInPublishedRange) {
+  const ModelGraph graph = BuildResNet152();
+  // ResNet-152 is ~11.3 G multiply-adds per image; this repo counts a MAC as
+  // 2 FLOPs, so ~22.6 GFLOPs forward.
+  EXPECT_GT(graph.total_fwd_flops(), 20e9);
+  EXPECT_LT(graph.total_fwd_flops(), 26e9);
+}
+
+TEST(ResNetTest, BlockStructure) {
+  const ModelGraph graph = BuildResNet152();
+  // conv1 + maxpool + 50 bottleneck blocks + avgpool + fc.
+  EXPECT_EQ(graph.num_layers(), 54);
+  int blocks = 0;
+  for (const Layer& layer : graph.layers()) {
+    blocks += (layer.kind == LayerKind::kBlock) ? 1 : 0;
+  }
+  EXPECT_EQ(blocks, 3 + 8 + 36 + 3);
+}
+
+TEST(ResNetTest, GenericBuilderResNet50) {
+  const ModelGraph graph = BuildBottleneckResNet("ResNet-50", 3, 4, 6, 3);
+  EXPECT_EQ(graph.family(), ModelFamily::kGeneric);
+  // ResNet-50 has ~25.6M params.
+  EXPECT_NEAR(MiB(graph.total_param_bytes()), 98.0, 10.0);
+}
+
+TEST(VggTest, ParameterSizeMatchesPaper) {
+  const ModelGraph graph = BuildVgg19();
+  // §8.3: VGG-19's parameter size is ~548 MB (143.7M fp32 params).
+  EXPECT_NEAR(MiB(graph.total_param_bytes()), 548.0, 15.0);
+  EXPECT_EQ(graph.family(), ModelFamily::kVgg19);
+}
+
+TEST(VggTest, ForwardFlopsInPublishedRange) {
+  const ModelGraph graph = BuildVgg19();
+  // VGG-19 is ~19.6 G multiply-adds per 224x224 image = ~39.3 GFLOPs at
+  // 2 ops per MAC.
+  EXPECT_GT(graph.total_fwd_flops(), 36e9);
+  EXPECT_LT(graph.total_fwd_flops(), 43e9);
+}
+
+TEST(VggTest, Vgg16Smaller) {
+  const ModelGraph v19 = BuildVgg19();
+  const ModelGraph v16 = BuildVgg16();
+  EXPECT_LT(v16.total_fwd_flops(), v19.total_fwd_flops());
+  EXPECT_LT(v16.total_param_bytes(), v19.total_param_bytes());
+  EXPECT_EQ(v16.num_layers(), v19.num_layers() - 3);
+}
+
+TEST(VggTest, FcLayersDominateParams) {
+  const ModelGraph graph = BuildVgg19();
+  uint64_t fc_bytes = 0;
+  for (const Layer& layer : graph.layers()) {
+    if (layer.kind == LayerKind::kFc) {
+      fc_bytes += layer.param_bytes;
+    }
+  }
+  // The classifier holds ~86% of VGG-19's parameters — the reason the paper
+  // calls VGG-19 "the model with a large parameter set".
+  EXPECT_GT(static_cast<double>(fc_bytes) / graph.total_param_bytes(), 0.8);
+}
+
+TEST(ModelGraphTest, RangesSumToTotals) {
+  const ModelGraph graph = BuildResNet152();
+  const int last = graph.num_layers() - 1;
+  EXPECT_EQ(graph.ParamBytesInRange(0, last), graph.total_param_bytes());
+  EXPECT_EQ(graph.StashBytesInRange(0, last), graph.total_stash_bytes());
+  const uint64_t head = graph.ParamBytesInRange(0, 9);
+  const uint64_t tail = graph.ParamBytesInRange(10, last);
+  EXPECT_EQ(head + tail, graph.total_param_bytes());
+}
+
+TEST(ModelGraphTest, BoundaryBytesMatchLayerOutputs) {
+  const ModelGraph graph = BuildVgg19();
+  for (int i = 0; i < graph.num_layers() - 1; ++i) {
+    EXPECT_EQ(graph.BoundaryBytes(i), graph.layer(i).out_bytes);
+  }
+}
+
+TEST(LayerTest, ConvCostFormulas) {
+  const Layer conv = MakeConv("c", 3, 64, 128, 56, 56);
+  EXPECT_DOUBLE_EQ(conv.fwd_flops, 2.0 * 9 * 64 * 128 * 56 * 56);
+  EXPECT_EQ(conv.param_bytes, (9ULL * 64 * 128 + 128) * 4);
+  EXPECT_EQ(conv.out_bytes, 128ULL * 56 * 56 * 4);
+}
+
+TEST(LayerTest, FcCostFormulas) {
+  const Layer fc = MakeFc("f", 4096, 1000);
+  EXPECT_DOUBLE_EQ(fc.fwd_flops, 2.0 * 4096 * 1000);
+  EXPECT_EQ(fc.param_bytes, (4096ULL * 1000 + 1000) * 4);
+  EXPECT_EQ(fc.out_bytes, 4000u);
+}
+
+TEST(LayerTest, BottleneckProjectsWhenChannelsChange) {
+  const Layer same = MakeBottleneckBlock("b", 256, 64, 256, 56, 56);
+  const Layer proj = MakeBottleneckBlock("b", 64, 64, 256, 56, 56);
+  // The projection shortcut adds parameters and FLOPs.
+  const Layer no_proj_base = MakeBottleneckBlock("b", 256, 64, 256, 56, 56);
+  EXPECT_EQ(same.param_bytes, no_proj_base.param_bytes);
+  EXPECT_GT(proj.fwd_flops, 0.0);
+  EXPECT_GT(same.stash_bytes, same.out_bytes);  // stash includes internals
+}
+
+TEST(ProfilerTest, FasterGpuHasShorterTimes) {
+  const ModelGraph graph = BuildResNet152();
+  const ModelProfile profile(graph, 32);
+  const double v = profile.FullModelTime(hw::GpuType::kTitanV);
+  const double r = profile.FullModelTime(hw::GpuType::kTitanRtx);
+  const double g = profile.FullModelTime(hw::GpuType::kRtx2060);
+  const double q = profile.FullModelTime(hw::GpuType::kQuadroP4000);
+  EXPECT_LT(v, r);
+  EXPECT_LT(r, g);
+  EXPECT_LT(g, q);
+}
+
+TEST(ProfilerTest, BackwardRoughlyTwiceForward) {
+  const ModelGraph graph = BuildVgg19();
+  const ModelProfile profile(graph, 32);
+  const int last = graph.num_layers() - 1;
+  const double fwd = profile.StageFwdTime(0, last, hw::GpuType::kTitanV);
+  const double bwd = profile.StageBwdTime(0, last, hw::GpuType::kTitanV);
+  EXPECT_NEAR(bwd / fwd, 2.0, 0.1);
+}
+
+TEST(ProfilerTest, StageTimesAreAdditive) {
+  const ModelGraph graph = BuildVgg19();
+  const ModelProfile profile(graph, 32);
+  const int last = graph.num_layers() - 1;
+  const double whole = profile.StageTotalTime(0, last, hw::GpuType::kRtx2060);
+  const double split = profile.StageTotalTime(0, 9, hw::GpuType::kRtx2060) +
+                       profile.StageTotalTime(10, last, hw::GpuType::kRtx2060);
+  EXPECT_NEAR(whole, split, 1e-12);
+}
+
+TEST(ProfilerTest, CalibrationMatchesFig3SingleWorkerThroughput) {
+  // Fig. 3 absolute Nm=1 throughputs (img/s): pipelining with Nm=1 is
+  // sequential execution, so batch / FullModelTime must be close to the
+  // published numbers (communication adds a little on top).
+  struct Case {
+    ModelGraph graph;
+    hw::GpuType gpu;
+    double img_s;
+  };
+  const Case cases[] = {
+      {BuildResNet152(), hw::GpuType::kTitanV, 96.0},
+      {BuildResNet152(), hw::GpuType::kTitanRtx, 87.0},
+      {BuildResNet152(), hw::GpuType::kRtx2060, 58.0},
+      {BuildResNet152(), hw::GpuType::kQuadroP4000, 43.0},
+      {BuildVgg19(), hw::GpuType::kTitanV, 119.0},
+      {BuildVgg19(), hw::GpuType::kTitanRtx, 107.0},
+      {BuildVgg19(), hw::GpuType::kRtx2060, 62.0},
+      {BuildVgg19(), hw::GpuType::kQuadroP4000, 51.0},
+  };
+  for (const Case& c : cases) {
+    const ModelProfile profile(c.graph, 32);
+    const double throughput = 32.0 / profile.FullModelTime(c.gpu);
+    EXPECT_NEAR(throughput, c.img_s, c.img_s * 0.15)
+        << c.graph.name() << " on " << hw::CodeOf(c.gpu);
+  }
+}
+
+TEST(ProfilerTest, BoundaryTransferScalesWithBatch) {
+  const ModelGraph graph = BuildVgg19();
+  const ModelProfile p32(graph, 32);
+  const ModelProfile p64(graph, 64);
+  EXPECT_EQ(p64.BoundaryTransferBytes(0), 2 * p32.BoundaryTransferBytes(0));
+}
+
+}  // namespace
+}  // namespace hetpipe::model

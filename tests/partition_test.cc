@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "hw/cluster.h"
+#include "model/profiler.h"
+#include "model/resnet.h"
+#include "model/vgg.h"
+#include "partition/memory_model.h"
+#include "partition/partitioner.h"
+
+namespace hetpipe::partition {
+namespace {
+
+using hw::Cluster;
+using hw::GpuType;
+using model::BuildResNet152;
+using model::BuildVgg19;
+using model::ModelProfile;
+
+TEST(InFlightTest, MatchesFig1) {
+  // Fig. 1: k=4, Nm=4 — GPU1 holds all 4 minibatches, GPU4 exactly 1.
+  EXPECT_EQ(InFlightAtStage(0, 4, 4), 4);
+  EXPECT_EQ(InFlightAtStage(1, 4, 4), 4);  // window 5, clipped by Nm
+  EXPECT_EQ(InFlightAtStage(2, 4, 4), 3);
+  EXPECT_EQ(InFlightAtStage(3, 4, 4), 1);
+}
+
+TEST(InFlightTest, LastStageAlwaysOne) {
+  for (int k = 1; k <= 8; ++k) {
+    for (int nm = 1; nm <= 8; ++nm) {
+      EXPECT_EQ(InFlightAtStage(k - 1, k, nm), 1);
+    }
+  }
+}
+
+TEST(InFlightTest, BoundedByNmAndWindow) {
+  for (int k = 2; k <= 6; ++k) {
+    for (int nm = 1; nm <= 10; ++nm) {
+      for (int q = 0; q < k; ++q) {
+        const int f = InFlightAtStage(q, k, nm);
+        EXPECT_GE(f, 1);
+        EXPECT_LE(f, nm);
+        EXPECT_LE(f, 2 * (k - 1 - q) + 1);
+      }
+    }
+  }
+}
+
+TEST(MemoryModelTest, MonotonicInNm) {
+  const auto graph = BuildResNet152();
+  const ModelProfile profile(graph, 32);
+  uint64_t prev = 0;
+  for (int nm = 1; nm <= 7; ++nm) {
+    const uint64_t bytes = StageMemoryBytes(profile, 0, 10, 0, 4, nm);
+    EXPECT_GE(bytes, prev);
+    prev = bytes;
+  }
+}
+
+TEST(MemoryModelTest, WeightStashingCosts) {
+  const auto graph = BuildResNet152();
+  const ModelProfile profile(graph, 32);
+  StageMemoryParams with;
+  StageMemoryParams without;
+  without.stash_weights = false;
+  EXPECT_GT(StageMemoryBytes(profile, 0, 20, 0, 4, 4, with),
+            StageMemoryBytes(profile, 0, 20, 0, 4, 4, without));
+}
+
+TEST(MemoryModelTest, ResNetDoesNotFitRtx2060) {
+  // §8.3: "ResNet-152 ... is too big to be loaded into a single GPU with G
+  // type, and thus Horovod uses only 12 GPUs."
+  const auto graph = BuildResNet152();
+  const ModelProfile profile(graph, 32);
+  EXPECT_FALSE(FitsOnSingleGpu(profile, GpuType::kRtx2060));
+  EXPECT_TRUE(FitsOnSingleGpu(profile, GpuType::kQuadroP4000));
+  EXPECT_TRUE(FitsOnSingleGpu(profile, GpuType::kTitanV));
+  EXPECT_TRUE(FitsOnSingleGpu(profile, GpuType::kTitanRtx));
+}
+
+TEST(MemoryModelTest, VggFitsEveryGpu) {
+  // VGG-19 fits everywhere (Horovod uses all 16 GPUs in Fig. 4b).
+  const auto graph = BuildVgg19();
+  const ModelProfile profile(graph, 32);
+  for (const auto& spec : hw::AllGpuSpecs()) {
+    EXPECT_TRUE(FitsOnSingleGpu(profile, spec.type)) << spec.name;
+  }
+}
+
+class PartitionerTest : public ::testing::Test {
+ protected:
+  Cluster cluster_ = Cluster::Paper();
+};
+
+TEST_F(PartitionerTest, CoversAllLayersContiguously) {
+  const auto graph = BuildResNet152();
+  const ModelProfile profile(graph, 32);
+  const Partitioner partitioner(profile, cluster_);
+  PartitionOptions options;
+  options.nm = 1;
+  const Partition partition = partitioner.Solve({0, 1, 2, 3}, options);
+  ASSERT_TRUE(partition.feasible);
+  ASSERT_EQ(partition.num_stages(), 4);
+  int expected_first = 0;
+  for (const StageAssignment& stage : partition.stages) {
+    EXPECT_EQ(stage.first_layer, expected_first);
+    EXPECT_LE(stage.first_layer, stage.last_layer);
+    expected_first = stage.last_layer + 1;
+  }
+  EXPECT_EQ(expected_first, graph.num_layers());
+}
+
+TEST_F(PartitionerTest, RespectsMemoryCaps) {
+  const auto graph = BuildResNet152();
+  const ModelProfile profile(graph, 32);
+  const Partitioner partitioner(profile, cluster_);
+  PartitionOptions options;
+  options.nm = 2;
+  // The G node (6 GiB) is the tight one.
+  const Partition partition = partitioner.Solve({8, 9, 10, 11}, options);
+  ASSERT_TRUE(partition.feasible);
+  for (const StageAssignment& stage : partition.stages) {
+    EXPECT_LE(stage.memory_bytes, stage.memory_cap);
+  }
+}
+
+TEST_F(PartitionerTest, BottleneckIsMaxStageTime) {
+  const auto graph = BuildVgg19();
+  const ModelProfile profile(graph, 32);
+  const Partitioner partitioner(profile, cluster_);
+  PartitionOptions options;
+  options.nm = 1;
+  const Partition partition = partitioner.Solve({0, 4, 8, 12}, options);
+  ASSERT_TRUE(partition.feasible);
+  double max_time = 0.0;
+  double sum_time = 0.0;
+  for (const StageAssignment& stage : partition.stages) {
+    max_time = std::max(max_time, stage.TotalTime());
+    sum_time += stage.TotalTime();
+  }
+  EXPECT_DOUBLE_EQ(partition.bottleneck_time, max_time);
+  EXPECT_NEAR(partition.sum_time, sum_time, 1e-12);
+}
+
+TEST_F(PartitionerTest, BalancedOnHomogeneousGpus) {
+  const auto graph = BuildResNet152();
+  const ModelProfile profile(graph, 32);
+  const Partitioner partitioner(profile, cluster_);
+  PartitionOptions options;
+  options.nm = 1;
+  const Partition partition = partitioner.Solve({0, 1, 2, 3}, options);
+  ASSERT_TRUE(partition.feasible);
+  // On four identical GPUs the min-max split should be near 1/4 of total.
+  const double ideal = partition.sum_time / 4.0;
+  EXPECT_LT(partition.bottleneck_time, ideal * 1.5);
+}
+
+TEST_F(PartitionerTest, OrderSearchNotWorseThanFixedOrder) {
+  const auto graph = BuildResNet152();
+  const ModelProfile profile(graph, 32);
+  const Partitioner partitioner(profile, cluster_);
+  PartitionOptions searched;
+  searched.nm = 2;
+  searched.search_gpu_orders = true;
+  PartitionOptions fixed = searched;
+  fixed.search_gpu_orders = false;
+  const std::vector<int> vrgq = {0, 4, 8, 12};
+  const Partition best = partitioner.Solve(vrgq, searched);
+  const Partition plain = partitioner.Solve(vrgq, fixed);
+  ASSERT_TRUE(best.feasible);
+  if (plain.feasible) {
+    EXPECT_LE(best.bottleneck_time, plain.bottleneck_time + 1e-12);
+  }
+}
+
+TEST_F(PartitionerTest, FewerStagesThanGpusOfOne) {
+  const auto graph = BuildVgg19();
+  const ModelProfile profile(graph, 32);
+  const Partitioner partitioner(profile, cluster_);
+  PartitionOptions options;
+  options.nm = 1;
+  // k=1: the whole model on one R (24 GiB) GPU.
+  const Partition partition = partitioner.Solve({4}, options);
+  ASSERT_TRUE(partition.feasible);
+  EXPECT_EQ(partition.num_stages(), 1);
+  EXPECT_EQ(partition.stages[0].first_layer, 0);
+  EXPECT_EQ(partition.stages[0].last_layer, graph.num_layers() - 1);
+}
+
+TEST_F(PartitionerTest, FindMaxNmMonotoneFeasibility) {
+  // At batch 64 the 6 GiB RTX 2060s genuinely bound the number of concurrent
+  // minibatches a GGGG virtual worker can hold.
+  const auto graph = BuildResNet152();
+  const ModelProfile profile(graph, 64);
+  const Partitioner partitioner(profile, cluster_);
+  const std::vector<int> gpus = {8, 9, 10, 11};  // GGGG, 6 GiB each
+  const int max_nm = partitioner.FindMaxNm(gpus, 7);
+  ASSERT_GT(max_nm, 0);
+  ASSERT_LT(max_nm, 7);  // whimpy GPUs cannot hold 7 concurrent minibatches
+  PartitionOptions options;
+  for (int nm = 1; nm <= 7; ++nm) {
+    options.nm = nm;
+    EXPECT_EQ(partitioner.Solve(gpus, options).feasible, nm <= max_nm) << nm;
+  }
+}
+
+TEST_F(PartitionerTest, BiggerMemoryAllowsMoreConcurrency) {
+  const auto graph = BuildResNet152();
+  const ModelProfile profile(graph, 64);
+  const Partitioner partitioner(profile, cluster_);
+  const int g_nm = partitioner.FindMaxNm({8, 9, 10, 11}, 7);   // GGGG
+  const int r_nm = partitioner.FindMaxNm({4, 5, 6, 7}, 7);     // RRRR
+  EXPECT_GT(r_nm, g_nm);
+}
+
+TEST_F(PartitionerTest, ParamBytesCoverModel) {
+  const auto graph = BuildVgg19();
+  const ModelProfile profile(graph, 32);
+  const Partitioner partitioner(profile, cluster_);
+  PartitionOptions options;
+  options.nm = 1;
+  const Partition partition = partitioner.Solve({0, 1, 2, 3}, options);
+  ASSERT_TRUE(partition.feasible);
+  uint64_t total = 0;
+  for (const StageAssignment& stage : partition.stages) {
+    total += stage.param_bytes;
+  }
+  EXPECT_EQ(total, graph.total_param_bytes());
+}
+
+TEST_F(PartitionerTest, InfeasibleWhenTooManyStages) {
+  const auto graph = BuildVgg19();
+  const ModelProfile profile(graph, 32);
+  const Partitioner partitioner(profile, cluster_);
+  PartitionOptions options;
+  options.nm = 1;
+  // More stages than layers cannot work.
+  std::vector<int> gpus;
+  for (int i = 0; i < graph.num_layers() + 1 && i < 16; ++i) {
+    gpus.push_back(i % 16);
+  }
+  // 16 < num_layers, so instead test empty gpu list.
+  const Partition partition = partitioner.Solve({}, options);
+  EXPECT_FALSE(partition.feasible);
+}
+
+}  // namespace
+}  // namespace hetpipe::partition

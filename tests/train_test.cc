@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "train/data.h"
+#include "train/model_zoo.h"
+#include "train/ps.h"
+#include "train/regret.h"
+#include "train/tensor.h"
+#include "train/wsp_trainer.h"
+
+namespace hetpipe::train {
+namespace {
+
+TEST(TensorTest, BasicOps) {
+  Tensor a(3);
+  a[0] = 1.0;
+  a[1] = 2.0;
+  a[2] = 3.0;
+  Tensor b(3);
+  b.Fill(1.0);
+  a.Axpy(2.0, b);
+  EXPECT_DOUBLE_EQ(a[0], 3.0);
+  EXPECT_DOUBLE_EQ(a[2], 5.0);
+  EXPECT_DOUBLE_EQ(b.Dot(b), 3.0);
+  a.Scale(0.5);
+  EXPECT_DOUBLE_EQ(a[1], 2.0);
+  a.Zero();
+  EXPECT_DOUBLE_EQ(a.Norm(), 0.0);
+}
+
+TEST(TensorTest, Distance) {
+  Tensor a(2);
+  Tensor b(2);
+  b[0] = 3.0;
+  b[1] = 4.0;
+  EXPECT_DOUBLE_EQ(a.DistanceTo(b), 5.0);
+}
+
+TEST(DataTest, LinearRegressionShape) {
+  const Dataset data = MakeLinearRegression(100, 5, 0.1, 1);
+  EXPECT_EQ(data.size(), 100);
+  EXPECT_EQ(data.dim, 5);
+  EXPECT_EQ(data.x[0].size(), 5u);
+}
+
+TEST(DataTest, BlobsAreSeparated) {
+  const Dataset data = MakeBinaryBlobs(200, 3, 6.0, 2);
+  double mean0 = 0.0;
+  double mean1 = 0.0;
+  int n0 = 0;
+  int n1 = 0;
+  for (int i = 0; i < data.size(); ++i) {
+    if (data.y[static_cast<size_t>(i)] == 0.0) {
+      mean0 += data.x[static_cast<size_t>(i)][0];
+      ++n0;
+    } else {
+      mean1 += data.x[static_cast<size_t>(i)][0];
+      ++n1;
+    }
+  }
+  EXPECT_GT(mean1 / n1, mean0 / n0 + 3.0);
+}
+
+TEST(DataTest, StreamsAreDisjointShards) {
+  const Dataset data = MakeLinearRegression(40, 2, 0.0, 3);
+  MinibatchStream s0(data, 0, 2, 5);
+  MinibatchStream s1(data, 1, 2, 5);
+  const auto b0 = s0.Next(20);
+  const auto b1 = s1.Next(20);
+  for (int i : b0) {
+    EXPECT_EQ(i % 2, 0);
+  }
+  for (int i : b1) {
+    EXPECT_EQ(i % 2, 1);
+  }
+}
+
+TEST(DataTest, StreamWrapsAround) {
+  const Dataset data = MakeLinearRegression(10, 2, 0.0, 4);
+  MinibatchStream s(data, 0, 1, 6);
+  const auto batch = s.Next(25);  // bigger than the shard
+  EXPECT_EQ(batch.size(), 25u);
+}
+
+// Finite-difference gradient check for every model in the zoo.
+void CheckGradients(const TrainModel& model, const Dataset& data, const Tensor& w) {
+  std::vector<int> idx{0, 1, 2, 3};
+  Tensor grad(model.num_params());
+  model.LossAndGrad(data, idx, w, &grad);
+  const double eps = 1e-6;
+  for (size_t j = 0; j < model.num_params(); j += std::max<size_t>(1, model.num_params() / 7)) {
+    Tensor wp = w;
+    wp[j] += eps;
+    Tensor wm = w;
+    wm[j] -= eps;
+    Tensor scratch(model.num_params());
+    const double lp = model.LossAndGrad(data, idx, wp, &scratch);
+    scratch.Zero();
+    const double lm = model.LossAndGrad(data, idx, wm, &scratch);
+    const double fd = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(grad[j], fd, 1e-4 * std::max(1.0, std::abs(fd))) << "param " << j;
+  }
+}
+
+TEST(ModelZooTest, LinearRegressionGradientsCorrect) {
+  const Dataset data = MakeLinearRegression(20, 6, 0.1, 11);
+  const LinearRegressionModel model(6);
+  Tensor w(model.num_params());
+  w.Fill(0.3);
+  CheckGradients(model, data, w);
+}
+
+TEST(ModelZooTest, LogisticRegressionGradientsCorrect) {
+  const Dataset data = MakeBinaryBlobs(20, 4, 2.0, 12);
+  const LogisticRegressionModel model(4);
+  Tensor w(model.num_params());
+  w.Fill(-0.2);
+  CheckGradients(model, data, w);
+}
+
+TEST(ModelZooTest, MlpGradientsCorrect) {
+  const Dataset data = MakeXorLike(20, 3, 13);
+  const MlpModel model(3, 5);
+  const Tensor w = model.Init(14);
+  CheckGradients(model, data, w);
+}
+
+TEST(ParameterServerTest, PushAdvancesClocksAndWeights) {
+  ParameterServer ps(2, Tensor(3));
+  Tensor u(3);
+  u.Fill(1.0);
+  ps.PushWave(0, 0, u);
+  EXPECT_EQ(ps.GlobalWave(), -1);
+  ps.PushWave(1, 0, u);
+  EXPECT_EQ(ps.GlobalWave(), 0);
+  Tensor w(3);
+  ps.Read(&w);
+  EXPECT_DOUBLE_EQ(w[0], 2.0);
+}
+
+TEST(ParameterServerTest, WaveCallbackFires) {
+  ParameterServer ps(1, Tensor(1));
+  int64_t last_wave = -1;
+  ps.SetWaveCallback([&](int64_t wave, const Tensor&) { last_wave = wave; });
+  Tensor u(1);
+  ps.PushWave(0, 0, u);
+  ps.PushWave(0, 1, u);
+  EXPECT_EQ(last_wave, 1);
+}
+
+TEST(TrainerTest, BspConvergesOnConvexProblem) {
+  const Dataset data = MakeLinearRegression(400, 8, 0.05, 21);
+  const LinearRegressionModel model(8);
+  TrainerOptions options = BspOptions(/*num_workers=*/4, /*steps=*/400);
+  options.worker.lr = 0.05;
+  options.worker.batch = 8;
+  const TrainerResult result = TrainWsp(model, data, options);
+  EXPECT_LT(result.final_loss, 0.05);
+  EXPECT_TRUE(result.staleness_within_bound);
+  EXPECT_EQ(result.worst_observed_staleness, 0);  // BSP has zero staleness
+}
+
+TEST(TrainerTest, WspConvergesWithPipelineStaleness) {
+  const Dataset data = MakeLinearRegression(400, 8, 0.05, 22);
+  const LinearRegressionModel model(8);
+  TrainerOptions options = WspOptions(/*num_workers=*/4, /*waves=*/150, /*nm=*/4, /*d=*/1);
+  options.worker.lr = 0.02;
+  options.worker.batch = 8;
+  const TrainerResult result = TrainWsp(model, data, options);
+  EXPECT_LT(result.final_loss, 0.1);
+  EXPECT_TRUE(result.staleness_within_bound);
+  EXPECT_EQ(result.total_minibatches, 4 * 150 * 4);
+}
+
+TEST(TrainerTest, SspStalenessRespectsBound) {
+  const Dataset data = MakeLinearRegression(200, 6, 0.05, 23);
+  const LinearRegressionModel model(6);
+  TrainerOptions options = SspOptions(/*num_workers=*/4, /*steps=*/300, /*s=*/3);
+  options.worker.lr = 0.03;
+  const TrainerResult result = TrainWsp(model, data, options);
+  EXPECT_TRUE(result.staleness_within_bound);
+  EXPECT_LT(result.final_loss, 0.1);
+}
+
+TEST(TrainerTest, AspStillMakesProgress) {
+  const Dataset data = MakeLinearRegression(200, 6, 0.05, 24);
+  const LinearRegressionModel model(6);
+  TrainerOptions options = AspOptions(/*num_workers=*/4, /*steps=*/300);
+  options.worker.lr = 0.03;
+  const TrainerResult result = TrainWsp(model, data, options);
+  const double initial_loss = model.FullLoss(data, Tensor(model.num_params()));
+  EXPECT_LT(result.final_loss, initial_loss * 0.5);
+}
+
+TEST(TrainerTest, LossCurveIsRecorded) {
+  const Dataset data = MakeLinearRegression(200, 4, 0.05, 25);
+  const LinearRegressionModel model(4);
+  TrainerOptions options = WspOptions(2, 64, 2, 0);
+  options.worker.lr = 0.05;
+  const TrainerResult result = TrainWsp(model, data, options);
+  ASSERT_GE(result.loss_curve.size(), 2u);
+  // Loss should broadly decrease over training.
+  EXPECT_LT(result.loss_curve.back().second, result.loss_curve.front().second);
+}
+
+TEST(TrainerTest, MlpTrainsOnNonlinearData) {
+  const Dataset data = MakeXorLike(300, 2, 26);
+  const MlpModel model(2, 8);
+  TrainerOptions options = WspOptions(2, 200, 2, 1);
+  options.worker.lr = 0.3;
+  options.worker.batch = 16;
+  options.init = model.Init(27);
+  const TrainerResult result = TrainWsp(model, data, options);
+  const double initial = model.FullLoss(data, model.Init(27));
+  EXPECT_LT(result.final_loss, initial * 0.8);
+  EXPECT_TRUE(result.staleness_within_bound);
+}
+
+TEST(RegretTest, OptimumSolverReachesLowLoss) {
+  const Dataset data = MakeLinearRegression(200, 5, 0.01, 31);
+  const LinearRegressionModel model(5);
+  Tensor w_star;
+  const double loss = SolveOptimum(model, data, 400, 0.2, &w_star);
+  EXPECT_LT(loss, 1e-3);
+}
+
+TEST(RegretTest, RegretDecreasesWithHorizon) {
+  const Dataset data = MakeLinearRegression(300, 5, 0.02, 32);
+  RegretExperimentOptions options;
+  options.num_workers = 2;
+  options.nm = 2;
+  options.d = 1;
+  options.horizons = {32, 128, 512};
+  const RegretResult result = RunRegretExperiment(data, options);
+  ASSERT_EQ(result.points.size(), 3u);
+  EXPECT_TRUE(result.decreasing);
+  // Theorem 1: R[W] = O(1/sqrt(T)); regret at the longest horizon must be
+  // well below the shortest one.
+  EXPECT_LT(result.points.back().regret, result.points.front().regret);
+}
+
+}  // namespace
+}  // namespace hetpipe::train
