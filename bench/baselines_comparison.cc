@@ -1,78 +1,120 @@
 // Extension study: HetPipe against the full family of data-parallel
 // synchronization strategies the paper discusses — AllReduce BSP (Horovod),
 // parameter-server BSP/SSP/ASP (§2.2), and decentralized AD-PSGD (§9) — on
-// the 16-GPU heterogeneous cluster.
+// the 16-GPU heterogeneous cluster. Six experiments per model, one sweep.
+//
+// Flags: --threads=N --json[=PATH] --csv[=PATH]
 #include <cstdio>
+#include <vector>
 
 #include "core/convergence.h"
-#include "core/hetpipe.h"
-#include "dp/decentralized.h"
-#include "dp/horovod.h"
-#include "dp/ps_baselines.h"
-#include "model/resnet.h"
-#include "model/vgg.h"
+#include "core/experiment.h"
+#include "runner/cli.h"
 
 namespace {
 
 using namespace hetpipe;
 
-void Row(const char* label, bool feasible, int workers, double throughput, double staleness,
+void Row(const core::ExperimentResult& r, int workers, double staleness,
          const core::ConvergenceModel& conv, double target) {
-  if (!feasible) {
-    std::printf("  %-22s %10s\n", label, "X");
+  if (!r.feasible) {
+    std::printf("  %-22s %10s\n", r.name.c_str(), "X");
     return;
   }
   core::ConvergenceInput input;
-  input.throughput_img_s = throughput;
+  input.throughput_img_s = r.throughput_img_s;
   input.avg_missing_updates = staleness;
-  std::printf("  %-22s %7.0f img/s  %3d GPUs  staleness %5.1f  hours-to-target %6.1f\n", label,
-              throughput, workers, staleness, conv.HoursToAccuracy(input, target));
+  std::printf("  %-22s %7.0f img/s  %3d GPUs  staleness %5.1f  hours-to-target %6.1f\n",
+              r.name.c_str(), r.throughput_img_s, workers, staleness,
+              conv.HoursToAccuracy(input, target));
+}
+
+std::vector<core::Experiment> ModelExperiments(core::ModelKind model) {
+  std::vector<core::Experiment> experiments;
+
+  core::Experiment horovod;
+  horovod.name = "Horovod (AllReduce)";
+  horovod.kind = core::ExperimentKind::kHorovod;
+  horovod.model = model;
+  experiments.push_back(std::move(horovod));
+
+  const struct {
+    const char* label;
+    dp::PsSyncMode mode;
+    int staleness;
+  } kPsModes[] = {
+      {"PS BSP", dp::PsSyncMode::kBsp, 0},
+      {"PS SSP(s=3)", dp::PsSyncMode::kSsp, 3},
+      {"PS ASP", dp::PsSyncMode::kAsp, 0},
+  };
+  for (const auto& ps : kPsModes) {
+    core::Experiment e;
+    e.name = ps.label;
+    e.kind = core::ExperimentKind::kPsDataParallel;
+    e.model = model;
+    e.ps.mode = ps.mode;
+    e.ps.staleness = ps.staleness;
+    experiments.push_back(std::move(e));
+  }
+
+  core::Experiment adpsgd;
+  adpsgd.name = "AD-PSGD (gossip)";
+  adpsgd.kind = core::ExperimentKind::kAdPsgd;
+  adpsgd.model = model;
+  experiments.push_back(std::move(adpsgd));
+
+  core::Experiment hetpipe;
+  hetpipe.name = "HetPipe ED-local D=0";
+  hetpipe.kind = core::ExperimentKind::kFullCluster;
+  hetpipe.model = model;
+  hetpipe.config.allocation = cluster::AllocationPolicy::kEqualDistribution;
+  hetpipe.config.placement = wsp::PlacementPolicy::kLocal;
+  hetpipe.config.sync = wsp::SyncPolicy::Wsp(0);
+  hetpipe.config.jitter_cv = 0.1;
+  experiments.push_back(std::move(hetpipe));
+
+  return experiments;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  runner::BenchArgs args = runner::BenchArgs::Parse(argc, argv);
+  runner::SweepRunner sweep(args.sweep_options());
   const hw::Cluster cluster = hw::Cluster::Paper();
+
   for (const bool vgg : {false, true}) {
-    const model::ModelGraph graph = vgg ? model::BuildVgg19() : model::BuildResNet152();
-    const model::ModelProfile profile(graph, 32);
-    const core::ConvergenceModel conv = core::ConvergenceModel::For(graph.family());
+    const core::ModelKind model = vgg ? core::ModelKind::kVgg19 : core::ModelKind::kResNet152;
+    const core::ConvergenceModel conv = core::ConvergenceModel::For(
+        vgg ? model::ModelFamily::kVgg19 : model::ModelFamily::kResNet152);
     const double target = vgg ? 0.67 : 0.74;
-    std::printf("\n=== %s (target top-1 %.0f%%) ===\n", graph.name().c_str(), target * 100);
+    std::printf("\n=== %s (target top-1 %.0f%%) ===\n", core::ModelName(model), target * 100);
 
-    const dp::HorovodResult horovod = dp::SimulateHorovod(cluster, profile);
-    Row("Horovod (AllReduce)", horovod.feasible, static_cast<int>(horovod.worker_gpus.size()),
-        horovod.throughput_img_s, 0.0, conv, target);
-
-    dp::PsDpOptions ps;
-    ps.mode = dp::PsSyncMode::kBsp;
-    const auto bsp = dp::SimulatePsDataParallel(cluster, profile, ps);
-    Row("PS BSP", bsp.feasible, bsp.num_workers, bsp.throughput_img_s, bsp.expected_staleness,
-        conv, target);
-
-    ps.mode = dp::PsSyncMode::kSsp;
-    ps.staleness = 3;
-    const auto ssp = dp::SimulatePsDataParallel(cluster, profile, ps);
-    Row("PS SSP(s=3)", ssp.feasible, ssp.num_workers, ssp.throughput_img_s,
-        ssp.expected_staleness, conv, target);
-
-    ps.mode = dp::PsSyncMode::kAsp;
-    const auto asp = dp::SimulatePsDataParallel(cluster, profile, ps);
-    Row("PS ASP", asp.feasible, asp.num_workers, asp.throughput_img_s, asp.expected_staleness,
-        conv, target);
-
-    const auto adpsgd = dp::SimulateAdPsgd(cluster, profile);
-    Row("AD-PSGD (gossip)", adpsgd.feasible, adpsgd.num_workers, adpsgd.throughput_img_s,
-        adpsgd.expected_staleness, conv, target);
-
-    core::HetPipeConfig config;
-    config.allocation = cluster::AllocationPolicy::kEqualDistribution;
-    config.placement = wsp::PlacementPolicy::kLocal;
-    config.sync = wsp::SyncPolicy::Wsp(0);
-    config.jitter_cv = 0.1;
-    const core::HetPipeReport hetpipe = core::HetPipe(cluster, graph, config).Run();
-    Row("HetPipe ED-local D=0", hetpipe.feasible, cluster.num_gpus(),
-        hetpipe.throughput_img_s, hetpipe.AvgMissingUpdates(), conv, target);
+    const auto experiments = ModelExperiments(model);
+    const auto results = sweep.Run(experiments);
+    for (size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      int workers = 0;
+      double staleness = 0.0;
+      switch (experiments[i].kind) {
+        case core::ExperimentKind::kHorovod:
+          workers = static_cast<int>(r.horovod.worker_gpus.size());
+          break;
+        case core::ExperimentKind::kPsDataParallel:
+          workers = r.ps.num_workers;
+          staleness = r.ps.expected_staleness;
+          break;
+        case core::ExperimentKind::kAdPsgd:
+          workers = r.adpsgd.num_workers;
+          staleness = r.adpsgd.expected_staleness;
+          break;
+        default:
+          workers = cluster.num_gpus();
+          staleness = r.report.AvgMissingUpdates();
+          break;
+      }
+      Row(r, workers, staleness, conv, target);
+    }
   }
   std::printf("\nHetPipe is the only strategy that can use every GPU for ResNet-152 and the\n"
               "only one whose effective throughput is not capped by the slowest replica.\n");

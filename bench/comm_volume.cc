@@ -1,41 +1,56 @@
 // Reproduces the §8.3 cross-node data-transfer accounting: VGG-19 over
 // Horovod moves ~515 MB across nodes per iteration vs ~103 MB per minibatch
 // with ED-local; ResNet-152's ED-local traffic (~298 MB) exceeds Horovod's
-// (~211 MB) because of large inter-stage activations.
+// (~211 MB) because of large inter-stage activations. The partition solves
+// run through the sweep runner (and its cache).
+//
+// Flags: --threads=N --json[=PATH] --csv[=PATH]
 #include <cstdio>
+#include <vector>
 
 #include "core/experiment.h"
 #include "dp/placement.h"
 #include "model/resnet.h"
 #include "model/vgg.h"
-#include "partition/partitioner.h"
+#include "runner/cli.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hetpipe;
+  runner::BenchArgs args = runner::BenchArgs::Parse(argc, argv);
+  runner::SweepRunner sweep(args.sweep_options());
   const hw::Cluster cluster = hw::Cluster::Paper();
+
+  std::vector<core::Experiment> experiments;
+  for (const bool vgg : {true, false}) {
+    core::Experiment e;
+    e.kind = core::ExperimentKind::kPartitionOnly;
+    e.model = vgg ? core::ModelKind::kVgg19 : core::ModelKind::kResNet152;
+    e.vw_codes = "VRGQ";
+    e.config.nm = vgg ? 3 : 4;
+    e.simulate = false;  // only the split is needed for the traffic accounting
+    experiments.push_back(std::move(e));
+  }
+  const auto results = sweep.Run(experiments);
 
   std::printf("Sec 8.3 — cross-node traffic per minibatch (MB)\n\n");
   std::printf("%-12s %14s %18s %18s %18s\n", "model", "Horovod", "ED-local params",
               "ED-local acts", "ED default params");
-  for (const bool vgg : {true, false}) {
-    const model::ModelGraph graph = vgg ? model::BuildVgg19() : model::BuildResNet152();
-    const model::ModelProfile profile(graph, 32);
-    const partition::Partitioner partitioner(profile, cluster);
-    partition::PartitionOptions options;
-    options.nm = vgg ? 3 : 4;
-    const partition::Partition partition =
-        partitioner.Solve(core::PickGpusByCode(cluster, "VRGQ"), options);
+  for (size_t i = 0; i < experiments.size(); ++i) {
+    const core::Experiment& e = experiments[i];
+    const partition::Partition& partition = results[i].partition;
+    const model::ModelGraph graph = core::BuildModel(e.model);
+    const model::ModelProfile profile(graph, e.config.batch_size);
 
     const double mb = 1.0 / (1 << 20);
     const double horovod =
         static_cast<double>(dp::HorovodCrossNodeBytes(graph.total_param_bytes(), 16)) * mb;
     const double local_params = static_cast<double>(dp::PsCrossNodeBytesPerMinibatch(
-                                    partition, cluster.num_nodes(), true, options.nm)) *
+                                    partition, cluster.num_nodes(), true, e.config.nm)) *
                                 mb;
     const double acts =
         static_cast<double>(dp::ActivationCrossNodeBytes(partition, profile)) * mb;
     const double rr_params = static_cast<double>(dp::PsCrossNodeBytesPerMinibatch(
-                                 partition, cluster.num_nodes(), false, options.nm)) *
+                                 partition, cluster.num_nodes(), false, e.config.nm)) *
                              mb;
     std::printf("%-12s %14.0f %18.0f %18.0f %18.0f\n", graph.name().c_str(), horovod,
                 local_params, acts, rr_params);

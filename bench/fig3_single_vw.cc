@@ -1,15 +1,19 @@
 // Reproduces Fig. 3: normalized throughput and maximum per-stage GPU
 // utilization of a single virtual worker as Nm varies, for the seven GPU
 // configurations of Table 3, on ResNet-152 and VGG-19.
+//
+// Flags: --threads=N --json[=PATH] --csv[=PATH]
 #include <cstdio>
 
 #include "core/experiment.h"
 #include "model/resnet.h"
 #include "model/vgg.h"
+#include "runner/cli.h"
 
 namespace {
 
-void RunModel(const hetpipe::hw::Cluster& cluster, const hetpipe::model::ModelGraph& graph) {
+void RunModel(const hetpipe::hw::Cluster& cluster, const hetpipe::model::ModelGraph& graph,
+              hetpipe::runner::SweepRunner& runner) {
   constexpr int kNmMax = 7;
   const char* configs[] = {"VVVV", "RRRR", "GGGG", "QQQQ", "VRGQ", "VVQQ", "RRGG"};
 
@@ -21,7 +25,7 @@ void RunModel(const hetpipe::hw::Cluster& cluster, const hetpipe::model::ModelGr
   std::printf("   | max GPU util at each Nm\n");
 
   for (const char* codes : configs) {
-    const auto points = hetpipe::core::RunFig3Config(cluster, graph, codes, kNmMax);
+    const auto points = hetpipe::core::RunFig3Config(cluster, graph, codes, kNmMax, &runner);
     std::printf("%-6s %-10.0f", codes, points[0].throughput_img_s);
     for (const auto& p : points) {
       if (p.feasible) {
@@ -44,12 +48,15 @@ void RunModel(const hetpipe::hw::Cluster& cluster, const hetpipe::model::ModelGr
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hetpipe::runner::BenchArgs args = hetpipe::runner::BenchArgs::Parse(argc, argv);
+  hetpipe::runner::SweepRunner runner(args.sweep_options());
+
   std::printf("Fig. 3 — single virtual worker: normalized throughput vs Nm\n");
   std::printf("(normalized to the same configuration's Nm=1 throughput;\n");
   std::printf(" '-' marks Nm values whose partition exceeds GPU memory)\n");
   const hetpipe::hw::Cluster cluster = hetpipe::hw::Cluster::Paper();
-  RunModel(cluster, hetpipe::model::BuildResNet152());
-  RunModel(cluster, hetpipe::model::BuildVgg19());
+  RunModel(cluster, hetpipe::model::BuildResNet152(), runner);
+  RunModel(cluster, hetpipe::model::BuildVgg19(), runner);
   return 0;
 }

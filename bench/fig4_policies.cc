@@ -1,15 +1,21 @@
 // Reproduces Fig. 4 (and prints Table 3): whole-cluster training throughput
 // of Horovod vs HetPipe under the NP / ED / ED-local / HD allocation
 // policies, D=0, on ResNet-152 and VGG-19.
+//
+// Flags: --threads=N --json[=PATH] --csv[=PATH]
 #include <cstdio>
+#include <string>
 
 #include "cluster/allocator.h"
 #include "core/experiment.h"
 #include "model/resnet.h"
 #include "model/vgg.h"
+#include "runner/cli.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hetpipe;
+  runner::BenchArgs args = runner::BenchArgs::Parse(argc, argv);
+  runner::SweepRunner sweep(args.sweep_options());
   const hw::Cluster cluster = hw::Cluster::Paper();
 
   std::printf("Table 3 — resource allocation for the three policies:\n");
@@ -25,7 +31,7 @@ int main() {
     const model::ModelGraph graph = vgg ? model::BuildVgg19() : model::BuildResNet152();
     std::printf("\nFig. 4%s — %s, D=0 (bar = images/sec; number = Nm):\n", vgg ? "b" : "a",
                 graph.name().c_str());
-    const auto rows = core::RunFig4(cluster, graph, kJitter);
+    const auto rows = core::RunFig4(cluster, graph, kJitter, &sweep);
     for (const auto& row : rows) {
       if (!row.feasible) {
         std::printf("  %-9s  infeasible\n", row.label.c_str());

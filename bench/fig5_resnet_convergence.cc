@@ -2,14 +2,20 @@
 // Horovod (12 GPUs), HetPipe (12 GPUs), and HetPipe (16 GPUs), D=0.
 // Paper result: HetPipe-12 converges 35% faster than Horovod-12 and
 // HetPipe-16 39% faster.
+//
+// Flags: --threads=N --json[=PATH] --csv[=PATH]
 #include <cstdio>
 
 #include "core/experiment.h"
+#include "runner/cli.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hetpipe;
+  runner::BenchArgs args = runner::BenchArgs::Parse(argc, argv);
+  runner::SweepRunner sweep(args.sweep_options());
+
   constexpr double kTarget = 0.74;
-  const auto series = core::RunFig5(/*jitter_cv=*/0.1, kTarget);
+  const auto series = core::RunFig5(/*jitter_cv=*/0.1, kTarget, &sweep);
 
   std::printf("Fig. 5 — ResNet-152 top-1 accuracy vs time (target %.0f%%)\n\n", kTarget * 100);
   std::printf("%-20s %10s %12s %14s\n", "series", "img/s", "staleness", "hours to 74%");

@@ -2,14 +2,20 @@
 // HetPipe (ED-local) with D in {0, 4, 32}. Paper result: D=0 converges 29%
 // faster than Horovod; D=4 49% faster than Horovod (28% faster than D=0);
 // D=32 degrades ~4.7% vs D=4 despite similar throughput.
+//
+// Flags: --threads=N --json[=PATH] --csv[=PATH]
 #include <cstdio>
 
 #include "core/experiment.h"
+#include "runner/cli.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hetpipe;
+  runner::BenchArgs args = runner::BenchArgs::Parse(argc, argv);
+  runner::SweepRunner sweep(args.sweep_options());
+
   constexpr double kTarget = 0.67;
-  const auto series = core::RunFig6(/*jitter_cv=*/0.15, kTarget);
+  const auto series = core::RunFig6(/*jitter_cv=*/0.15, kTarget, &sweep);
 
   std::printf("Fig. 6 — VGG-19 top-1 accuracy vs time (target %.0f%%)\n\n", kTarget * 100);
   std::printf("%-16s %10s %12s %14s\n", "series", "img/s", "staleness", "hours to 67%");

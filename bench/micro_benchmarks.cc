@@ -1,6 +1,6 @@
 // google-benchmark micro-benchmarks for the repo's core kernels: the DES
-// event queue, the min-max partitioner, the AllReduce cost model, and the
-// real WSP trainer step.
+// event queue, the min-max partitioner (serial, pruned, parallel, cached),
+// the AllReduce cost model, and the real WSP trainer step.
 #include <benchmark/benchmark.h>
 
 #include "dp/allreduce.h"
@@ -10,6 +10,8 @@
 #include "model/vgg.h"
 #include "partition/partitioner.h"
 #include "pipeline/virtual_worker.h"
+#include "runner/partition_cache.h"
+#include "runner/thread_pool.h"
 #include "sim/simulator.h"
 #include "train/data.h"
 #include "train/model_zoo.h"
@@ -62,6 +64,61 @@ void BM_PartitionerSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PartitionerSolve)->Arg(1)->Arg(4)->Arg(7);
+
+void BM_PartitionerSolveNoPrune(benchmark::State& state) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  const partition::Partitioner partitioner(profile, cluster);
+  partition::PartitionOptions options;
+  options.nm = static_cast<int>(state.range(0));
+  options.prune = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partitioner.Solve({0, 4, 8, 12}, options));
+  }
+}
+BENCHMARK(BM_PartitionerSolveNoPrune)->Arg(4);
+
+void BM_PartitionerSolveParallelOrders(benchmark::State& state) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  const partition::Partitioner partitioner(profile, cluster);
+  runner::ThreadPool pool(static_cast<int>(state.range(0)));
+  partition::PartitionOptions options;
+  options.nm = 4;
+  options.pool = &pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partitioner.Solve({0, 4, 8, 12}, options));
+  }
+}
+BENCHMARK(BM_PartitionerSolveParallelOrders)->Arg(2)->Arg(8);
+
+void BM_PartitionCacheHit(benchmark::State& state) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  const partition::Partitioner partitioner(profile, cluster);
+  runner::PartitionCache cache;
+  partition::PartitionOptions options;
+  options.nm = 4;
+  cache.Solve(partitioner, {0, 4, 8, 12}, options);  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Solve(partitioner, {0, 4, 8, 12}, options));
+  }
+}
+BENCHMARK(BM_PartitionCacheHit);
+
+void BM_ThreadPoolParallelFor(benchmark::State& state) {
+  runner::ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(256, [&](int64_t i) { sum.fetch_add(i, std::memory_order_relaxed); });
+    benchmark::DoNotOptimize(sum.load());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_ThreadPoolParallelFor)->Arg(1)->Arg(4);
 
 void BM_PipelineSimulation(benchmark::State& state) {
   const hw::Cluster cluster = hw::Cluster::Paper();

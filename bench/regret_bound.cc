@@ -1,15 +1,25 @@
 // Empirical validation of Theorem 1 (§6, Appendix A): the regret of WSP's
 // noisy distributed pipeline SGD on a convex objective shrinks like
 // O(1/sqrt(T)), i.e. regret * sqrt(T) stays bounded as the horizon grows.
+// The horizons run concurrently on the sweep runner (each is an independent
+// training run) and report in horizon order.
+//
+// Flags: --threads=N --json[=PATH] --csv[=PATH]
 #include <cstdio>
+#include <vector>
 
+#include "runner/cli.h"
 #include "train/data.h"
+#include "train/model_zoo.h"
 #include "train/regret.h"
 #include "wsp/staleness.h"
 #include "wsp/sync_policy.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hetpipe;
+  runner::BenchArgs args = runner::BenchArgs::Parse(argc, argv);
+  runner::SweepRunner sweep(args.sweep_options());
+
   const train::Dataset data = train::MakeLinearRegression(600, 8, 0.02, 424242);
 
   train::RegretExperimentOptions options;
@@ -18,21 +28,56 @@ int main() {
   options.d = 1;
   options.batch = 4;
   options.lr = 0.08;
-  options.horizons = {32, 128, 512, 2048};
+  const std::vector<int64_t> horizons = {32, 128, 512, 2048};
 
   std::printf("Theorem 1 — regret of WSP (N=%d workers, Nm=%d, D=%d) on convex least squares\n\n",
               options.num_workers, options.nm, options.d);
-  const train::RegretResult result = train::RunRegretExperiment(data, options);
+
+  // Solve f(w*) once; the parallel horizons only need the reference loss.
+  {
+    const train::LinearRegressionModel model(data.dim);
+    train::Tensor w_star;
+    options.precomputed_optimum_loss =
+        train::SolveOptimum(model, data, /*iters=*/500, /*lr=*/0.2, &w_star);
+  }
+
+  const std::vector<train::RegretResult> per_horizon = sweep.Map<train::RegretResult>(
+      static_cast<int64_t>(horizons.size()), [&](int64_t i) {
+        train::RegretExperimentOptions one = options;
+        one.horizons = {horizons[static_cast<size_t>(i)]};
+        return train::RunRegretExperiment(data, one);
+      });
+
   const int64_t sl = wsp::LocalStaleness(options.nm) + 1;
   const int64_t sg = wsp::GlobalStaleness(options.nm, options.d);
   std::printf("s_local+1 = %lld, s_global = %lld, f(w*) = %.6f\n\n",
-              static_cast<long long>(sl), static_cast<long long>(sg), result.optimum_loss);
+              static_cast<long long>(sl), static_cast<long long>(sg),
+              per_horizon.front().optimum_loss);
   std::printf("%10s %14s %18s\n", "T", "regret R[W]", "R[W] * sqrt(T)");
-  for (const auto& point : result.points) {
+  bool decreasing = true;
+  double prev_regret = 0.0;
+  for (size_t i = 0; i < per_horizon.size(); ++i) {
+    const train::RegretPoint& point = per_horizon[i].points.front();
+    if (i > 0 && point.regret > prev_regret) {
+      decreasing = false;
+    }
+    prev_regret = point.regret;
     std::printf("%10lld %14.6f %18.4f\n", static_cast<long long>(point.total_steps),
                 point.regret, point.sqrt_t_scaled);
+    if (sweep.sink() != nullptr) {
+      runner::ResultRow row;
+      row.Set("name", "regret_T" + std::to_string(point.total_steps))
+          .Set("kind", "regret")
+          .Set("total_steps", point.total_steps)
+          .Set("regret", point.regret)
+          .Set("sqrt_t_scaled", point.sqrt_t_scaled);
+      sweep.sink()->Write(row);
+    }
+  }
+  if (sweep.sink() != nullptr) {
+    sweep.sink()->Flush();
   }
   std::printf("\nregret %s with T (Theorem 1 predicts O(1/sqrt(T)) decay)\n",
-              result.decreasing ? "decreases" : "DOES NOT decrease");
+              decreasing ? "decreases" : "DOES NOT decrease");
   return 0;
 }

@@ -3,15 +3,22 @@
 // the actual GPU idle time is only a fraction of the waiting time because
 // the pipeline keeps processing already-injected minibatches.
 // Paper: waiting at D=4 is 62% of waiting at D=0; idle is 18% of waiting.
+//
+// Flags: --threads=N --json[=PATH] --csv[=PATH]
 #include <cstdio>
 
 #include "core/experiment.h"
 #include "model/vgg.h"
+#include "runner/cli.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hetpipe;
+  runner::BenchArgs args = runner::BenchArgs::Parse(argc, argv);
+  runner::SweepRunner sweep(args.sweep_options());
+
   const model::ModelGraph graph = model::BuildVgg19();
-  const auto rows = core::RunStalenessWaitStudy(graph, {0, 1, 4, 32}, /*jitter_cv=*/0.15);
+  const auto rows =
+      core::RunStalenessWaitStudy(graph, {0, 1, 4, 32}, /*jitter_cv=*/0.15, &sweep);
 
   std::printf("Sec 8.4 — synchronization overhead vs clock-distance threshold D\n");
   std::printf("(VGG-19, ED-local, 4 virtual workers, task jitter cv=0.15)\n\n");

@@ -1,0 +1,131 @@
+// Acceptance benchmark for the sweep runner: a partitioner-ablation-style
+// sweep (models x VW shapes x Nm x jitter) executed three ways —
+//   serial    one RunExperiment after another, no shared partition cache
+//             (what the hand-rolled bench loops used to do),
+//   parallel  SweepRunner with N threads and a shared PartitionCache,
+//   warm      the same sweep again on the already-populated cache,
+// verifying element-wise identical results and reporting wall-clock speedup.
+//
+// Flags: --threads=N (default 8) --repeat=N (default 5) --json[=PATH] --csv[=PATH]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "runner/cli.h"
+
+namespace {
+
+using namespace hetpipe;
+using Clock = std::chrono::steady_clock;
+
+std::vector<core::Experiment> BuildSweep() {
+  const char* kCodes[] = {"VVVV", "RRRR", "GGGG", "QQQQ", "VRGQ", "VVQQ", "RRGG"};
+  std::vector<core::Experiment> experiments;
+  for (core::ModelKind model : {core::ModelKind::kResNet152, core::ModelKind::kVgg19}) {
+    for (const char* codes : kCodes) {
+      for (int nm : {1, 3, 5}) {
+        for (double jitter : {0.0, 0.1, 0.2}) {
+          core::Experiment e;
+          e.kind = core::ExperimentKind::kSingleVirtualWorker;
+          e.model = model;
+          e.vw_codes = codes;
+          e.config.nm = nm;
+          e.config.jitter_cv = jitter;
+          e.config.waves = 30;
+          experiments.push_back(std::move(e));
+        }
+      }
+    }
+  }
+  return experiments;
+}
+
+bool SameResults(const std::vector<core::ExperimentResult>& a,
+                 const std::vector<core::ExperimentResult>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].feasible != b[i].feasible ||
+        a[i].throughput_img_s != b[i].throughput_img_s ||  // bit-identical, not approximate
+        a[i].partition.bottleneck_time != b[i].partition.bottleneck_time ||
+        a[i].partition.num_stages() != b[i].partition.num_stages()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double Seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runner::BenchArgs args = runner::BenchArgs::Parse(argc, argv);
+  const int threads = args.threads > 0 ? args.threads : 8;
+  int repeat = 5;
+  for (const std::string& arg : args.rest) {
+    if (arg.rfind("--repeat=", 0) == 0) {
+      repeat = std::max(1, std::atoi(arg.c_str() + 9));
+    }
+  }
+  const std::vector<core::Experiment> experiments = BuildSweep();
+  std::printf("sweep of %zu single-VW configurations (models x shapes x Nm x jitter),\n"
+              "each mode timed over %d repetitions\n\n",
+              experiments.size(), repeat);
+
+  // Serial baseline: no shared cache, no pool — each experiment pays its own
+  // full GPU-order search, like the old hand-rolled loops.
+  std::vector<core::ExperimentResult> serial;
+  const auto serial_start = Clock::now();
+  for (int r = 0; r < repeat; ++r) {
+    serial.clear();
+    serial.reserve(experiments.size());
+    for (const core::Experiment& e : experiments) {
+      serial.push_back(core::RunExperiment(e));
+    }
+  }
+  const double serial_s = Seconds(serial_start, Clock::now()) / repeat;
+  std::printf("  %-28s %8.3f s\n", "serial, no cache:", serial_s);
+
+  // Parallel sweep with a shared cache, cold (fresh runner every repetition).
+  runner::SweepOptions options = args.sweep_options();
+  options.threads = threads;
+  std::vector<core::ExperimentResult> parallel;
+  int64_t cold_hits = 0;
+  int64_t cold_misses = 0;
+  const auto parallel_start = Clock::now();
+  for (int r = 0; r < repeat; ++r) {
+    runner::SweepRunner cold(options);
+    parallel = cold.Run(experiments);
+    cold_hits = cold.cache().hits();
+    cold_misses = cold.cache().misses();
+  }
+  const double parallel_s = Seconds(parallel_start, Clock::now()) / repeat;
+  std::printf("  %-28s %8.3f s  (%.2fx vs serial, %d threads, cache: %lld hits / %lld misses)\n",
+              "parallel, cold cache:", parallel_s, serial_s / parallel_s, threads,
+              static_cast<long long>(cold_hits), static_cast<long long>(cold_misses));
+
+  // The same sweep on an already-populated cache: every partition is a hit.
+  runner::SweepRunner sweep(options);
+  sweep.Run(experiments);  // warm it
+  std::vector<core::ExperimentResult> warm;
+  const auto warm_start = Clock::now();
+  for (int r = 0; r < repeat; ++r) {
+    warm = sweep.Run(experiments);
+  }
+  const double warm_s = Seconds(warm_start, Clock::now()) / repeat;
+  std::printf("  %-28s %8.3f s  (%.2fx vs serial)\n", "parallel, warm cache:", warm_s,
+              serial_s / warm_s);
+
+  const bool identical = SameResults(serial, parallel) && SameResults(serial, warm);
+  std::printf("\nresults element-wise identical across all three runs: %s\n",
+              identical ? "yes" : "NO — BUG");
+  return identical ? 0 : 1;
+}

@@ -1,13 +1,19 @@
 // Reproduces Table 4: throughput of Horovod vs HetPipe (ED-local) as whimpy
 // GPUs are added to the cluster: 4[V] -> 8[VR] -> 12[VRQ] -> 16[VRQG].
+//
+// Flags: --threads=N --json[=PATH] --csv[=PATH]
 #include <cstdio>
 
 #include "core/experiment.h"
 #include "model/resnet.h"
 #include "model/vgg.h"
+#include "runner/cli.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hetpipe;
+  runner::BenchArgs args = runner::BenchArgs::Parse(argc, argv);
+  runner::SweepRunner sweep(args.sweep_options());
+
   std::printf("Table 4 — performance improvement of adding whimpy GPUs\n");
   std::printf("(parenthesized: total concurrent minibatches across virtual workers;\n");
   std::printf(" X: model does not fit some GPU so Horovod cannot run)\n");
@@ -17,7 +23,7 @@ int main() {
     const model::ModelGraph graph = vgg ? model::BuildVgg19() : model::BuildResNet152();
     std::printf("\n%s:\n  %-18s %12s %16s\n", graph.name().c_str(), "cluster", "Horovod",
                 "HetPipe");
-    const auto cells = core::RunTable4(graph, kJitter);
+    const auto cells = core::RunTable4(graph, kJitter, &sweep);
     double first_hetpipe = 0.0;
     double last_hetpipe = 0.0;
     for (const auto& cell : cells) {

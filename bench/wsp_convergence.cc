@@ -1,27 +1,67 @@
 // Real-numerics convergence study backing §6: multi-threaded SGD under BSP,
 // SSP, ASP, and WSP (with pipeline-induced local staleness) on a convex
 // objective and a nonconvex MLP. WSP converges despite its bounded staleness.
+// Each trainer configuration is one task on the sweep runner; results print
+// in configuration order regardless of scheduling.
+//
+// Flags: --threads=N --json[=PATH] --csv[=PATH]
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "runner/cli.h"
 #include "train/data.h"
 #include "train/model_zoo.h"
 #include "train/wsp_trainer.h"
 
 namespace {
 
+using namespace hetpipe;
 using namespace hetpipe::train;
 
-void Report(const char* label, const TrainerResult& result) {
-  std::printf("  %-14s final loss %.5f  worst staleness %3lld (bound ok: %s)  minibatches %lld\n",
-              label, result.final_loss,
-              static_cast<long long>(result.worst_observed_staleness),
-              result.staleness_within_bound ? "yes" : "NO",
-              static_cast<long long>(result.total_minibatches));
+struct Job {
+  std::string label;
+  const TrainModel* model = nullptr;
+  const Dataset* data = nullptr;
+  TrainerOptions options;
+};
+
+void RunSection(runner::SweepRunner& sweep, const std::vector<Job>& jobs) {
+  const std::vector<TrainerResult> results = sweep.Map<TrainerResult>(
+      static_cast<int64_t>(jobs.size()), [&](int64_t i) {
+        const Job& job = jobs[static_cast<size_t>(i)];
+        return TrainWsp(*job.model, *job.data, job.options);
+      });
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const TrainerResult& result = results[i];
+    std::printf(
+        "  %-14s final loss %.5f  worst staleness %3lld (bound ok: %s)  minibatches %lld\n",
+        jobs[i].label.c_str(), result.final_loss,
+        static_cast<long long>(result.worst_observed_staleness),
+        result.staleness_within_bound ? "yes" : "NO",
+        static_cast<long long>(result.total_minibatches));
+    if (sweep.sink() != nullptr) {
+      runner::ResultRow row;
+      row.Set("name", jobs[i].label)
+          .Set("kind", "wsp_trainer")
+          .Set("final_loss", result.final_loss)
+          .Set("worst_staleness", result.worst_observed_staleness)
+          .Set("staleness_within_bound", result.staleness_within_bound)
+          .Set("minibatches", result.total_minibatches);
+      sweep.sink()->Write(row);
+    }
+  }
+  if (sweep.sink() != nullptr) {
+    sweep.sink()->Flush();
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  runner::BenchArgs args = runner::BenchArgs::Parse(argc, argv);
+  runner::SweepRunner sweep(args.sweep_options());
+
   std::printf("WSP vs BSP/SSP/ASP — real threaded SGD (4 workers)\n");
 
   {
@@ -29,25 +69,28 @@ int main() {
     const LinearRegressionModel model(10);
     std::printf("\nconvex least squares (d=10, n=800):\n");
 
-    TrainerOptions bsp = BspOptions(4, 600);
-    bsp.worker.lr = 0.05;
-    Report("BSP", TrainWsp(model, data, bsp));
-
-    TrainerOptions ssp = SspOptions(4, 600, 3);
-    ssp.worker.lr = 0.05;
-    Report("SSP(s=3)", TrainWsp(model, data, ssp));
-
-    TrainerOptions asp = AspOptions(4, 600);
-    asp.worker.lr = 0.05;
-    Report("ASP", TrainWsp(model, data, asp));
-
+    std::vector<Job> jobs;
+    {
+      TrainerOptions bsp = BspOptions(4, 600);
+      bsp.worker.lr = 0.05;
+      jobs.push_back({"BSP", &model, &data, bsp});
+    }
+    {
+      TrainerOptions ssp = SspOptions(4, 600, 3);
+      ssp.worker.lr = 0.05;
+      jobs.push_back({"SSP(s=3)", &model, &data, ssp});
+    }
+    {
+      TrainerOptions asp = AspOptions(4, 600);
+      asp.worker.lr = 0.05;
+      jobs.push_back({"ASP", &model, &data, asp});
+    }
     for (int d : {0, 1, 4}) {
       TrainerOptions wsp = WspOptions(4, 150, 4, d);
       wsp.worker.lr = 0.02;
-      char label[32];
-      std::snprintf(label, sizeof(label), "WSP(Nm=4,D=%d)", d);
-      Report(label, TrainWsp(model, data, wsp));
+      jobs.push_back({"WSP(Nm=4,D=" + std::to_string(d) + ")", &model, &data, wsp});
     }
+    RunSection(sweep, jobs);
   }
 
   {
@@ -57,17 +100,22 @@ int main() {
     const double init_loss = model.FullLoss(data, model.Init(7));
     std::printf("  initial loss %.5f\n", init_loss);
 
-    TrainerOptions bsp = BspOptions(4, 800);
-    bsp.worker.lr = 0.3;
-    bsp.worker.batch = 16;
-    bsp.init = model.Init(7);
-    Report("BSP", TrainWsp(model, data, bsp));
-
-    TrainerOptions wsp = WspOptions(4, 200, 4, 1);
-    wsp.worker.lr = 0.15;
-    wsp.worker.batch = 16;
-    wsp.init = model.Init(7);
-    Report("WSP(Nm=4,D=1)", TrainWsp(model, data, wsp));
+    std::vector<Job> jobs;
+    {
+      TrainerOptions bsp = BspOptions(4, 800);
+      bsp.worker.lr = 0.3;
+      bsp.worker.batch = 16;
+      bsp.init = model.Init(7);
+      jobs.push_back({"BSP", &model, &data, bsp});
+    }
+    {
+      TrainerOptions wsp = WspOptions(4, 200, 4, 1);
+      wsp.worker.lr = 0.15;
+      wsp.worker.batch = 16;
+      wsp.init = model.Init(7);
+      jobs.push_back({"WSP(Nm=4,D=1)", &model, &data, wsp});
+    }
+    RunSection(sweep, jobs);
   }
   return 0;
 }

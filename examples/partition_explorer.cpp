@@ -1,38 +1,50 @@
 // Inspect how the memory-constrained min-max partitioner splits a model over
 // a (possibly heterogeneous) virtual worker, and how the split shifts as Nm
-// grows and memory pressure mounts.
+// grows and memory pressure mounts. The Nm sweep runs on the sweep runner,
+// so the solves are cached, pruned, and order-searched in parallel.
 //
-// Usage: partition_explorer [gpu-codes] [model]
+// Usage: partition_explorer [gpu-codes] [model] [--threads=N] [--json] [--csv]
 //   gpu-codes  one letter per GPU in the virtual worker (default "VRGQ")
 //   model      resnet152 | vgg19 (default resnet152)
 #include <cstdio>
-#include <cstring>
+#include <exception>
 #include <string>
+#include <vector>
 
 #include "core/experiment.h"
-#include "model/resnet.h"
-#include "model/vgg.h"
-#include "partition/partitioner.h"
+#include "runner/cli.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int Run(int argc, char** argv) {
   using namespace hetpipe;
-  const std::string codes = argc > 1 ? argv[1] : "VRGQ";
-  const bool vgg = argc > 2 && std::strcmp(argv[2], "vgg19") == 0;
+  runner::BenchArgs args = runner::BenchArgs::Parse(argc, argv);
+  const std::string codes = !args.rest.empty() ? args.rest[0] : "VRGQ";
+  const bool vgg = args.rest.size() > 1 && args.rest[1] == "vgg19";
 
-  const hw::Cluster cluster = hw::Cluster::Paper();
-  const model::ModelGraph graph = vgg ? model::BuildVgg19() : model::BuildResNet152();
-  const model::ModelProfile profile(graph, 32);
-  const partition::Partitioner partitioner(profile, cluster);
-  const std::vector<int> gpus = core::PickGpusByCode(cluster, codes);
+  const core::ModelKind kind = vgg ? core::ModelKind::kVgg19 : core::ModelKind::kResNet152;
+  const model::ModelGraph graph = core::BuildModel(kind);
+
+  const std::vector<int> nms = {1, 3, 5, 7};
+  std::vector<core::Experiment> experiments;
+  for (int nm : nms) {
+    core::Experiment e;
+    e.kind = core::ExperimentKind::kPartitionOnly;
+    e.model = kind;
+    e.vw_codes = codes;
+    e.config.nm = nm;
+    e.simulate = false;
+    experiments.push_back(std::move(e));
+  }
+  runner::SweepRunner sweep(args.sweep_options());
+  const auto results = sweep.Run(experiments);
 
   std::printf("%s over a %s virtual worker (batch 32)\n\n", graph.Summary().c_str(),
               codes.c_str());
 
-  for (int nm : {1, 3, 5, 7}) {
-    partition::PartitionOptions options;
-    options.nm = nm;
-    const partition::Partition partition = partitioner.Solve(gpus, options);
-    std::printf("Nm=%d: ", nm);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const partition::Partition& partition = results[i].partition;
+    std::printf("Nm=%d: ", nms[i]);
     if (!partition.feasible) {
       std::printf("infeasible (some stage exceeds its GPU memory)\n");
       continue;
@@ -54,4 +66,16 @@ int main(int argc, char** argv) {
   std::printf("\nNote how rising Nm inflates the early stages' activation stash, forcing\n"
               "the partitioner to move layers toward the back of the pipeline.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n(gpu-codes is a string over V/R/G/Q, at most 4 of each)\n",
+                 e.what());
+    return 1;
+  }
 }

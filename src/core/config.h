@@ -8,6 +8,11 @@
 #include "wsp/param_server.h"
 #include "wsp/sync_policy.h"
 
+namespace hetpipe::runner {
+class PartitionCache;
+class ThreadPool;
+}  // namespace hetpipe::runner
+
 namespace hetpipe::core {
 
 // Configuration of one HetPipe training run.
@@ -40,6 +45,13 @@ struct HetPipeConfig {
   int64_t warmup_waves = 5;
 
   partition::StageMemoryParams mem_params;
+
+  // Shared partition memoization and worker pool, both optional and not
+  // owned. The sweep runner plumbs these through so repeated virtual-worker
+  // shapes across a sweep hit the cache instead of re-running the GPU-order
+  // search; a run with them unset behaves identically, just colder.
+  runner::PartitionCache* partition_cache = nullptr;
+  runner::ThreadPool* pool = nullptr;
 
   std::string ToString() const;
 };

@@ -1,10 +1,15 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 
 #include "model/resnet.h"
 #include "model/vgg.h"
+#include "pipeline/virtual_worker.h"
+#include "runner/partition_cache.h"
+#include "runner/sweep_runner.h"
+#include "sim/simulator.h"
 
 namespace hetpipe::core {
 
@@ -29,87 +34,324 @@ std::vector<int> PickGpusByCode(const hw::Cluster& cluster, const std::string& c
   return picked;
 }
 
-std::vector<Fig3Point> RunFig3Config(const hw::Cluster& cluster, const model::ModelGraph& graph,
-                                     const std::string& codes, int nm_max) {
-  const std::vector<int> gpus = PickGpusByCode(cluster, codes);
+const char* ModelName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kResNet152:
+      return "resnet152";
+    case ModelKind::kVgg19:
+      return "vgg19";
+  }
+  return "unknown";
+}
+
+model::ModelGraph BuildModel(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kResNet152:
+      return model::BuildResNet152();
+    case ModelKind::kVgg19:
+      return model::BuildVgg19();
+  }
+  throw std::invalid_argument("unknown model kind");
+}
+
+ModelKind ModelKindOf(const model::ModelGraph& graph) {
+  switch (graph.family()) {
+    case model::ModelFamily::kResNet152:
+      return ModelKind::kResNet152;
+    case model::ModelFamily::kVgg19:
+      return ModelKind::kVgg19;
+    case model::ModelFamily::kGeneric:
+      break;
+  }
+  throw std::invalid_argument("no ModelKind for graph " + graph.name());
+}
+
+const char* StrategyName(PartitionStrategy strategy) {
+  switch (strategy) {
+    case PartitionStrategy::kMinMaxDp:
+      return "min_max_dp";
+    case PartitionStrategy::kEqualLayers:
+      return "equal_layers";
+    case PartitionStrategy::kParamBalanced:
+      return "param_balanced";
+  }
+  return "unknown";
+}
+
+const char* KindName(ExperimentKind kind) {
+  switch (kind) {
+    case ExperimentKind::kFullCluster:
+      return "full_cluster";
+    case ExperimentKind::kSingleVirtualWorker:
+      return "single_vw";
+    case ExperimentKind::kPartitionOnly:
+      return "partition";
+    case ExperimentKind::kHorovod:
+      return "horovod";
+    case ExperimentKind::kPsDataParallel:
+      return "ps_dp";
+    case ExperimentKind::kAdPsgd:
+      return "ad_psgd";
+  }
+  return "unknown";
+}
+
+std::string NodeCodesOf(const hw::Cluster& cluster) {
+  std::string codes;
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    codes.push_back(hw::CodeOf(cluster.NodeType(n)));
+  }
+  return codes;
+}
+
+std::string Experiment::Describe() const {
+  std::ostringstream os;
+  os << KindName(kind) << " " << ModelName(model) << " " << cluster_nodes;
+  if (!vw_codes.empty()) {
+    os << " vw=" << vw_codes;
+  }
+  if (kind == ExperimentKind::kPartitionOnly) {
+    os << " " << StrategyName(strategy);
+  }
+  if (config.nm > 0) {
+    os << " nm=" << config.nm;
+  }
+  if (kind == ExperimentKind::kFullCluster) {
+    os << " " << cluster::PolicyName(config.allocation) << " d=" << config.sync.d;
+  }
+  return os.str();
+}
+
+HetPipeConfig EdLocalConfig(int d, double jitter_cv) {
   HetPipeConfig config;
-  config.waves = 40;
-  config.warmup_waves = 5;
-  config.jitter_cv = 0.0;  // Fig. 3 is a deterministic single-VW sweep
+  config.allocation = cluster::AllocationPolicy::kEqualDistribution;
+  config.placement = wsp::PlacementPolicy::kLocal;
+  config.sync = wsp::SyncPolicy::Wsp(d);
+  config.jitter_cv = jitter_cv;
+  // Correlated slowdowns accompany the iid jitter in the convergence and
+  // wait-time studies: they are what the clock-distance threshold D absorbs.
+  config.drift_cv = jitter_cv * 2.0;
+  config.speed_bias_cv = jitter_cv > 0.0 ? 0.05 : 0.0;
+  config.waves = 60;
+  return config;
+}
+
+namespace {
+
+ExperimentResult RunPartitionOnly(const Experiment& experiment, const hw::Cluster& cluster,
+                                  const model::ModelGraph& graph) {
+  ExperimentResult result;
+  const model::ModelProfile profile(graph, experiment.config.batch_size);
+  const partition::Partitioner partitioner(profile, cluster);
+  const std::vector<int> gpu_ids = PickGpusByCode(cluster, experiment.vw_codes);
+  const int nm = std::max(1, experiment.config.nm);
+
+  if (experiment.strategy == PartitionStrategy::kMinMaxDp) {
+    partition::PartitionOptions options;
+    options.nm = nm;
+    options.mem_params = experiment.config.mem_params;
+    options.pool = experiment.config.pool;
+    result.partition = experiment.config.partition_cache != nullptr
+                           ? experiment.config.partition_cache->Solve(partitioner, gpu_ids, options)
+                           : partitioner.Solve(gpu_ids, options);
+  } else {
+    const partition::NaiveSplit kind = experiment.strategy == PartitionStrategy::kEqualLayers
+                                           ? partition::NaiveSplit::kEqualLayers
+                                           : partition::NaiveSplit::kParamBalanced;
+    result.partition = partition::BuildFixedPartition(
+        profile, cluster, gpu_ids,
+        partition::NaiveStageLasts(graph, static_cast<int>(gpu_ids.size()), kind), nm,
+        experiment.config.mem_params);
+  }
+  result.feasible = !result.partition.stages.empty();
+
+  // The ablations simulate naive splits even when they blow the memory cap;
+  // `partition.feasible` still records whether every stage fits.
+  if (experiment.simulate && result.feasible) {
+    sim::Simulator simulator;
+    pipeline::OpenGate gate;
+    pipeline::VirtualWorkerOptions options;
+    options.nm = nm;
+    options.jitter_cv = experiment.config.jitter_cv;
+    options.seed = experiment.config.seed;
+    options.max_minibatches = experiment.config.waves * nm;
+    pipeline::VirtualWorkerSim vw(0, simulator, result.partition, gate, options);
+    vw.Start();
+    simulator.Run();
+    result.throughput_img_s =
+        SteadyStateThroughput(vw.completion_times(), experiment.config.warmup_waves * nm,
+                              experiment.config.batch_size);
+  }
+  return result;
+}
+
+}  // namespace
+
+ExperimentResult RunExperiment(const Experiment& experiment) {
+  const hw::Cluster cluster = hw::Cluster::PaperSubset(experiment.cluster_nodes);
+  const model::ModelGraph graph = BuildModel(experiment.model);
+
+  ExperimentResult result;
+  switch (experiment.kind) {
+    case ExperimentKind::kFullCluster: {
+      result.report = HetPipe(cluster, graph, experiment.config).Run();
+      result.feasible = result.report.feasible;
+      result.throughput_img_s = result.report.throughput_img_s;
+      break;
+    }
+    case ExperimentKind::kSingleVirtualWorker: {
+      const std::vector<int> gpu_ids = PickGpusByCode(cluster, experiment.vw_codes);
+      const int nm = std::max(1, experiment.config.nm);
+      result.report =
+          HetPipe::RunSingleVirtualWorker(cluster, graph, gpu_ids, nm, experiment.config);
+      result.feasible = result.report.feasible;
+      result.throughput_img_s = result.report.throughput_img_s;
+      if (result.feasible && !result.report.vws.empty()) {
+        result.partition = result.report.vws.front().partition;
+      }
+      break;
+    }
+    case ExperimentKind::kPartitionOnly: {
+      result = RunPartitionOnly(experiment, cluster, graph);
+      break;
+    }
+    case ExperimentKind::kHorovod: {
+      const model::ModelProfile profile(graph, experiment.config.batch_size);
+      result.horovod = dp::SimulateHorovod(cluster, profile);
+      result.feasible = result.horovod.feasible;
+      result.throughput_img_s = result.horovod.throughput_img_s;
+      break;
+    }
+    case ExperimentKind::kPsDataParallel: {
+      const model::ModelProfile profile(graph, experiment.config.batch_size);
+      result.ps = dp::SimulatePsDataParallel(cluster, profile, experiment.ps);
+      result.feasible = result.ps.feasible;
+      result.throughput_img_s = result.ps.throughput_img_s;
+      break;
+    }
+    case ExperimentKind::kAdPsgd: {
+      const model::ModelProfile profile(graph, experiment.config.batch_size);
+      result.adpsgd = dp::SimulateAdPsgd(cluster, profile);
+      result.feasible = result.adpsgd.feasible;
+      result.throughput_img_s = result.adpsgd.throughput_img_s;
+      break;
+    }
+  }
+  result.name = experiment.name.empty() ? experiment.Describe() : experiment.name;
+  return result;
+}
+
+namespace {
+
+// Runs on the caller's runner when given, else on a transient local one.
+std::vector<ExperimentResult> RunOn(runner::SweepRunner* runner,
+                                    const std::vector<Experiment>& experiments) {
+  if (runner != nullptr) {
+    return runner->Run(experiments);
+  }
+  runner::SweepRunner local;
+  return local.Run(experiments);
+}
+
+}  // namespace
+
+std::vector<Fig3Point> RunFig3Config(const hw::Cluster& cluster, const model::ModelGraph& graph,
+                                     const std::string& codes, int nm_max,
+                                     runner::SweepRunner* runner) {
+  std::vector<Experiment> experiments;
+  for (int nm = 1; nm <= nm_max; ++nm) {
+    Experiment e;
+    e.kind = ExperimentKind::kSingleVirtualWorker;
+    e.model = ModelKindOf(graph);
+    e.cluster_nodes = NodeCodesOf(cluster);
+    e.vw_codes = codes;
+    e.config.nm = nm;
+    e.config.waves = 40;
+    e.config.warmup_waves = 5;
+    e.config.jitter_cv = 0.0;  // Fig. 3 is a deterministic single-VW sweep
+    experiments.push_back(std::move(e));
+  }
+  const std::vector<ExperimentResult> results = RunOn(runner, experiments);
 
   std::vector<Fig3Point> points;
   double base = 0.0;
-  for (int nm = 1; nm <= nm_max; ++nm) {
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& r = results[i];
     Fig3Point point;
-    point.nm = nm;
-    const HetPipeReport report =
-        HetPipe::RunSingleVirtualWorker(cluster, graph, gpus, nm, config);
-    point.feasible = report.feasible;
-    if (report.feasible) {
-      point.throughput_img_s = report.throughput_img_s;
-      point.max_utilization = report.vws.front().max_stage_utilization;
-      if (nm == 1) {
-        base = report.throughput_img_s;
+    point.nm = experiments[i].config.nm;
+    point.feasible = r.feasible;
+    if (r.feasible) {
+      point.throughput_img_s = r.throughput_img_s;
+      point.max_utilization = r.report.vws.front().max_stage_utilization;
+      if (point.nm == 1) {
+        base = r.throughput_img_s;
       }
-      point.normalized = base > 0.0 ? report.throughput_img_s / base : 0.0;
+      point.normalized = base > 0.0 ? r.throughput_img_s / base : 0.0;
     }
     points.push_back(point);
   }
   return points;
 }
 
-namespace {
-
-Fig4Row RunPolicyRow(const hw::Cluster& cluster, const model::ModelGraph& graph,
-                     const std::string& label, cluster::AllocationPolicy allocation,
-                     wsp::PlacementPolicy placement, double jitter_cv) {
-  HetPipeConfig config;
-  config.allocation = allocation;
-  config.placement = placement;
-  config.sync = wsp::SyncPolicy::Wsp(0);
-  config.jitter_cv = jitter_cv;
-  config.waves = 40;
-
-  Fig4Row row;
-  row.label = label;
-  const HetPipeReport report = HetPipe(cluster, graph, config).Run();
-  row.feasible = report.feasible;
-  if (report.feasible) {
-    row.nm = report.nm;
-    row.throughput_img_s = report.throughput_img_s;
-    row.gpus_used = cluster.num_gpus();
-  }
-  return row;
-}
-
-}  // namespace
-
 std::vector<Fig4Row> RunFig4(const hw::Cluster& cluster, const model::ModelGraph& graph,
-                             double jitter_cv) {
+                             double jitter_cv, runner::SweepRunner* runner) {
+  struct PolicyRow {
+    const char* label;
+    cluster::AllocationPolicy allocation;
+    wsp::PlacementPolicy placement;
+  };
+  const PolicyRow kPolicies[] = {
+      {"NP", cluster::AllocationPolicy::kNodePartition, wsp::PlacementPolicy::kRoundRobin},
+      {"ED", cluster::AllocationPolicy::kEqualDistribution, wsp::PlacementPolicy::kRoundRobin},
+      {"ED-local", cluster::AllocationPolicy::kEqualDistribution, wsp::PlacementPolicy::kLocal},
+      {"HD", cluster::AllocationPolicy::kHybridDistribution, wsp::PlacementPolicy::kRoundRobin},
+  };
+
+  std::vector<Experiment> experiments;
+  {
+    Experiment e;
+    e.name = "Horovod";
+    e.kind = ExperimentKind::kHorovod;
+    e.model = ModelKindOf(graph);
+    e.cluster_nodes = NodeCodesOf(cluster);
+    experiments.push_back(std::move(e));
+  }
+  for (const PolicyRow& policy : kPolicies) {
+    Experiment e;
+    e.name = policy.label;
+    e.kind = ExperimentKind::kFullCluster;
+    e.model = ModelKindOf(graph);
+    e.cluster_nodes = NodeCodesOf(cluster);
+    e.config.allocation = policy.allocation;
+    e.config.placement = policy.placement;
+    e.config.sync = wsp::SyncPolicy::Wsp(0);
+    e.config.jitter_cv = jitter_cv;
+    e.config.waves = 40;
+    experiments.push_back(std::move(e));
+  }
+  const std::vector<ExperimentResult> results = RunOn(runner, experiments);
+
   std::vector<Fig4Row> rows;
-
-  const model::ModelProfile profile(graph, 32);
-  const dp::HorovodResult horovod = dp::SimulateHorovod(cluster, profile);
-  Fig4Row hrow;
-  hrow.label = "Horovod";
-  hrow.feasible = horovod.feasible;
-  hrow.gpus_used = static_cast<int>(horovod.worker_gpus.size());
-  hrow.throughput_img_s = horovod.throughput_img_s;
-  rows.push_back(hrow);
-
-  rows.push_back(RunPolicyRow(cluster, graph, "NP", cluster::AllocationPolicy::kNodePartition,
-                              wsp::PlacementPolicy::kRoundRobin, jitter_cv));
-  rows.push_back(RunPolicyRow(cluster, graph, "ED", cluster::AllocationPolicy::kEqualDistribution,
-                              wsp::PlacementPolicy::kRoundRobin, jitter_cv));
-  rows.push_back(RunPolicyRow(cluster, graph, "ED-local",
-                              cluster::AllocationPolicy::kEqualDistribution,
-                              wsp::PlacementPolicy::kLocal, jitter_cv));
-  rows.push_back(RunPolicyRow(cluster, graph, "HD", cluster::AllocationPolicy::kHybridDistribution,
-                              wsp::PlacementPolicy::kRoundRobin, jitter_cv));
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    Fig4Row row;
+    row.label = experiments[i].name;
+    row.feasible = r.feasible;
+    if (experiments[i].kind == ExperimentKind::kHorovod) {
+      row.gpus_used = static_cast<int>(r.horovod.worker_gpus.size());
+      row.throughput_img_s = r.horovod.throughput_img_s;
+    } else if (r.feasible) {
+      row.nm = r.report.nm;
+      row.throughput_img_s = r.throughput_img_s;
+      row.gpus_used = cluster.num_gpus();
+    }
+    rows.push_back(row);
+  }
   return rows;
 }
 
-std::vector<Table4Cell> RunTable4(const model::ModelGraph& graph, double jitter_cv) {
+std::vector<Table4Cell> RunTable4(const model::ModelGraph& graph, double jitter_cv,
+                                  runner::SweepRunner* runner) {
   const struct {
     const char* nodes;
     const char* label;
@@ -120,32 +362,46 @@ std::vector<Table4Cell> RunTable4(const model::ModelGraph& graph, double jitter_
       {"VRQG", "16 GPUs 4[VRQG]"},
   };
 
-  std::vector<Table4Cell> cells;
+  std::vector<Experiment> experiments;
   for (const auto& subset : kSubsets) {
-    const hw::Cluster cluster = hw::Cluster::PaperSubset(subset.nodes);
-    Table4Cell cell;
-    cell.cluster_label = subset.label;
-    cell.num_gpus = cluster.num_gpus();
+    Experiment horovod;
+    horovod.kind = ExperimentKind::kHorovod;
+    horovod.model = ModelKindOf(graph);
+    horovod.cluster_nodes = subset.nodes;
+    experiments.push_back(std::move(horovod));
 
-    const model::ModelProfile profile(graph, 32);
-    const dp::HorovodResult horovod = dp::SimulateHorovod(cluster, profile);
-    cell.horovod_feasible =
-        horovod.feasible && horovod.num_excluded == 0;  // the paper reports X otherwise
-    cell.horovod_img_s = horovod.feasible ? horovod.throughput_img_s : 0.0;
-
-    HetPipeConfig config;
+    Experiment hetpipe;
+    hetpipe.kind = ExperimentKind::kFullCluster;
+    hetpipe.model = ModelKindOf(graph);
+    hetpipe.cluster_nodes = subset.nodes;
     // A single node forms one virtual worker (the paper's V4 case); multiple
     // nodes use ED with local parameter placement.
-    config.allocation = cluster.num_nodes() == 1 ? cluster::AllocationPolicy::kNodePartition
-                                                 : cluster::AllocationPolicy::kEqualDistribution;
-    config.placement = wsp::PlacementPolicy::kLocal;
-    config.sync = wsp::SyncPolicy::Wsp(0);
-    config.jitter_cv = jitter_cv;
-    config.waves = 40;
-    const HetPipeReport report = HetPipe(cluster, graph, config).Run();
-    if (report.feasible) {
-      cell.hetpipe_img_s = report.throughput_img_s;
-      cell.total_concurrent_minibatches = report.nm * static_cast<int>(report.vws.size());
+    hetpipe.config.allocation = std::string(subset.nodes).size() == 1
+                                    ? cluster::AllocationPolicy::kNodePartition
+                                    : cluster::AllocationPolicy::kEqualDistribution;
+    hetpipe.config.placement = wsp::PlacementPolicy::kLocal;
+    hetpipe.config.sync = wsp::SyncPolicy::Wsp(0);
+    hetpipe.config.jitter_cv = jitter_cv;
+    hetpipe.config.waves = 40;
+    experiments.push_back(std::move(hetpipe));
+  }
+  const std::vector<ExperimentResult> results = RunOn(runner, experiments);
+
+  std::vector<Table4Cell> cells;
+  for (size_t s = 0; s < std::size(kSubsets); ++s) {
+    const ExperimentResult& horovod = results[2 * s];
+    const ExperimentResult& hetpipe = results[2 * s + 1];
+    Table4Cell cell;
+    cell.cluster_label = kSubsets[s].label;
+    cell.num_gpus = hw::Cluster::PaperSubset(kSubsets[s].nodes).num_gpus();
+    cell.horovod_feasible =
+        horovod.horovod.feasible &&
+        horovod.horovod.num_excluded == 0;  // the paper reports X otherwise
+    cell.horovod_img_s = horovod.horovod.feasible ? horovod.horovod.throughput_img_s : 0.0;
+    if (hetpipe.feasible) {
+      cell.hetpipe_img_s = hetpipe.throughput_img_s;
+      cell.total_concurrent_minibatches =
+          hetpipe.report.nm * static_cast<int>(hetpipe.report.vws.size());
     }
     cells.push_back(cell);
   }
@@ -169,78 +425,100 @@ ConvergenceSeries MakeSeries(const std::string& label, const ConvergenceModel& m
   return series;
 }
 
-HetPipeReport RunEdLocal(const hw::Cluster& cluster, const model::ModelGraph& graph, int d,
-                         double jitter_cv) {
-  HetPipeConfig config;
-  config.allocation = cluster::AllocationPolicy::kEqualDistribution;
-  config.placement = wsp::PlacementPolicy::kLocal;
-  config.sync = wsp::SyncPolicy::Wsp(d);
-  config.jitter_cv = jitter_cv;
-  // Correlated slowdowns accompany the iid jitter in the convergence and
-  // wait-time studies: they are what the clock-distance threshold D absorbs.
-  config.drift_cv = jitter_cv * 2.0;
-  config.speed_bias_cv = jitter_cv > 0.0 ? 0.05 : 0.0;
-  config.waves = 60;
-  return HetPipe(cluster, graph, config).Run();
+Experiment EdLocalExperiment(const std::string& name, ModelKind model,
+                             const std::string& cluster_nodes, int d, double jitter_cv) {
+  Experiment e;
+  e.name = name;
+  e.kind = ExperimentKind::kFullCluster;
+  e.model = model;
+  e.cluster_nodes = cluster_nodes;
+  e.config = EdLocalConfig(d, jitter_cv);
+  return e;
 }
 
 }  // namespace
 
-std::vector<ConvergenceSeries> RunFig5(double jitter_cv, double target_accuracy) {
-  const model::ModelGraph graph = model::BuildResNet152();
-  const ConvergenceModel model = ConvergenceModel::For(graph.family());
+std::vector<ConvergenceSeries> RunFig5(double jitter_cv, double target_accuracy,
+                                       runner::SweepRunner* runner) {
+  const ConvergenceModel model = ConvergenceModel::For(model::ModelFamily::kResNet152);
   constexpr double kMaxHours = 72.0;
-
-  std::vector<ConvergenceSeries> out;
 
   // Horovod cannot use the G GPUs (ResNet-152 exceeds their 6 GiB), so its
   // best configuration is the 12-GPU V/R/Q subset.
-  const hw::Cluster cluster12 = hw::Cluster::PaperSubset("VRQ");
-  const model::ModelProfile profile(graph, 32);
-  const dp::HorovodResult horovod = dp::SimulateHorovod(cluster12, profile);
-  out.push_back(MakeSeries("Horovod (12 GPUs)", model, horovod.throughput_img_s, 0.0,
-                           target_accuracy, kMaxHours));
+  std::vector<Experiment> experiments;
+  {
+    Experiment horovod;
+    horovod.name = "Horovod (12 GPUs)";
+    horovod.kind = ExperimentKind::kHorovod;
+    horovod.model = ModelKind::kResNet152;
+    horovod.cluster_nodes = "VRQ";
+    experiments.push_back(std::move(horovod));
+  }
+  experiments.push_back(
+      EdLocalExperiment("HetPipe (12 GPUs)", ModelKind::kResNet152, "VRQ", 0, jitter_cv));
+  experiments.push_back(
+      EdLocalExperiment("HetPipe (16 GPUs)", ModelKind::kResNet152, "VRGQ", 0, jitter_cv));
+  const std::vector<ExperimentResult> results = RunOn(runner, experiments);
 
-  const HetPipeReport r12 = RunEdLocal(cluster12, graph, /*d=*/0, jitter_cv);
-  out.push_back(MakeSeries("HetPipe (12 GPUs)", model, r12.throughput_img_s,
-                           r12.AvgMissingUpdates(), target_accuracy, kMaxHours));
-
-  const hw::Cluster cluster16 = hw::Cluster::Paper();
-  const HetPipeReport r16 = RunEdLocal(cluster16, graph, /*d=*/0, jitter_cv);
-  out.push_back(MakeSeries("HetPipe (16 GPUs)", model, r16.throughput_img_s,
-                           r16.AvgMissingUpdates(), target_accuracy, kMaxHours));
+  std::vector<ConvergenceSeries> out;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    const double staleness = experiments[i].kind == ExperimentKind::kHorovod
+                                 ? 0.0
+                                 : r.report.AvgMissingUpdates();
+    out.push_back(MakeSeries(r.name, model, r.throughput_img_s, staleness, target_accuracy,
+                             kMaxHours));
+  }
   return out;
 }
 
-std::vector<ConvergenceSeries> RunFig6(double jitter_cv, double target_accuracy) {
-  const model::ModelGraph graph = model::BuildVgg19();
-  const ConvergenceModel model = ConvergenceModel::For(graph.family());
+std::vector<ConvergenceSeries> RunFig6(double jitter_cv, double target_accuracy,
+                                       runner::SweepRunner* runner) {
+  const ConvergenceModel model = ConvergenceModel::For(model::ModelFamily::kVgg19);
   constexpr double kMaxHours = 144.0;
 
-  std::vector<ConvergenceSeries> out;
-  const hw::Cluster cluster = hw::Cluster::Paper();
-  const model::ModelProfile profile(graph, 32);
-  const dp::HorovodResult horovod = dp::SimulateHorovod(cluster, profile);
-  out.push_back(MakeSeries("Horovod", model, horovod.throughput_img_s, 0.0, target_accuracy,
-                           kMaxHours));
-
+  std::vector<Experiment> experiments;
+  {
+    Experiment horovod;
+    horovod.name = "Horovod";
+    horovod.kind = ExperimentKind::kHorovod;
+    horovod.model = ModelKind::kVgg19;
+    experiments.push_back(std::move(horovod));
+  }
   for (int d : {0, 4, 32}) {
-    const HetPipeReport report = RunEdLocal(cluster, graph, d, jitter_cv);
-    out.push_back(MakeSeries("HetPipe D=" + std::to_string(d), model, report.throughput_img_s,
-                             report.AvgMissingUpdates(), target_accuracy, kMaxHours));
+    experiments.push_back(EdLocalExperiment("HetPipe D=" + std::to_string(d), ModelKind::kVgg19,
+                                            "VRGQ", d, jitter_cv));
+  }
+  const std::vector<ExperimentResult> results = RunOn(runner, experiments);
+
+  std::vector<ConvergenceSeries> out;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    const double staleness = experiments[i].kind == ExperimentKind::kHorovod
+                                 ? 0.0
+                                 : r.report.AvgMissingUpdates();
+    out.push_back(MakeSeries(r.name, model, r.throughput_img_s, staleness, target_accuracy,
+                             kMaxHours));
   }
   return out;
 }
 
 std::vector<StalenessWaitRow> RunStalenessWaitStudy(const model::ModelGraph& graph,
                                                     const std::vector<int>& d_values,
-                                                    double jitter_cv) {
-  const hw::Cluster cluster = hw::Cluster::Paper();
-  std::vector<StalenessWaitRow> rows;
+                                                    double jitter_cv,
+                                                    runner::SweepRunner* runner) {
+  std::vector<Experiment> experiments;
   for (int d : d_values) {
-    const HetPipeReport report = RunEdLocal(cluster, graph, d, jitter_cv);
+    experiments.push_back(EdLocalExperiment("D=" + std::to_string(d), ModelKindOf(graph),
+                                            "VRGQ", d, jitter_cv));
+  }
+  const std::vector<ExperimentResult> results = RunOn(runner, experiments);
+
+  std::vector<StalenessWaitRow> rows;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const HetPipeReport& report = results[i].report;
     StalenessWaitRow row;
-    row.d = d;
+    row.d = d_values[i];
     row.throughput_img_s = report.throughput_img_s;
     row.total_wait_s = report.total_wait_s;
     row.idle_fraction_of_wait = report.idle_fraction_of_wait;

@@ -5,9 +5,15 @@
 
 #include "core/convergence.h"
 #include "core/hetpipe.h"
+#include "dp/decentralized.h"
 #include "dp/horovod.h"
+#include "dp/ps_baselines.h"
 #include "hw/cluster.h"
 #include "model/model_graph.h"
+
+namespace hetpipe::runner {
+class SweepRunner;
+}  // namespace hetpipe::runner
 
 namespace hetpipe::core {
 
@@ -15,6 +21,77 @@ namespace hetpipe::core {
 // paper cluster returns two TITAN V GPUs (node 0) and two Quadro P4000s
 // (node 3) — the Fig. 3 virtual-worker configurations.
 std::vector<int> PickGpusByCode(const hw::Cluster& cluster, const std::string& codes);
+
+// ---- One experiment = one independently runnable configuration. ----
+// Experiments are cheap value types described by names and codes (not live
+// cluster/graph objects) so the sweep runner can copy them across threads and
+// the result sink can echo them verbatim into JSON/CSV rows.
+
+enum class ModelKind {
+  kResNet152,
+  kVgg19,
+};
+const char* ModelName(ModelKind kind);
+model::ModelGraph BuildModel(ModelKind kind);
+// Maps a built graph back to its kind (throws for generic graphs).
+ModelKind ModelKindOf(const model::ModelGraph& graph);
+
+// How kPartitionOnly experiments split the model over the virtual worker.
+enum class PartitionStrategy {
+  kMinMaxDp,       // the paper's memory-constrained min-max partitioner
+  kEqualLayers,    // naive ablation baseline: equal layer counts
+  kParamBalanced,  // naive ablation baseline: equal parameter bytes
+};
+const char* StrategyName(PartitionStrategy strategy);
+
+enum class ExperimentKind {
+  kFullCluster,         // HetPipe::Run: allocate VWs, partition, simulate WSP
+  kSingleVirtualWorker, // one VW picked by codes, fixed Nm, no global gate
+  kPartitionOnly,       // solve/build one VW's partition; optionally simulate
+  kHorovod,             // AllReduce BSP data parallelism
+  kPsDataParallel,      // parameter-server BSP/SSP/ASP data parallelism
+  kAdPsgd,              // decentralized gossip data parallelism
+};
+const char* KindName(ExperimentKind kind);
+
+struct Experiment {
+  std::string name;  // row label, defaults to an auto-generated description
+  ExperimentKind kind = ExperimentKind::kFullCluster;
+  ModelKind model = ModelKind::kResNet152;
+  // Paper-testbed node codes handed to hw::Cluster::PaperSubset ("VRGQ" is
+  // the full 16-GPU cluster of Fig. 2).
+  std::string cluster_nodes = "VRGQ";
+  // GPU codes of the virtual worker for the single-VW / partition-only kinds.
+  std::string vw_codes;
+  PartitionStrategy strategy = PartitionStrategy::kMinMaxDp;
+  // kPartitionOnly: also run the open-gate pipeline simulation on the result.
+  bool simulate = true;
+  // Policies, sync, Nm, jitter, waves, and the (optional) shared partition
+  // cache / thread pool all travel inside the config.
+  HetPipeConfig config;
+  // kPsDataParallel flavor.
+  dp::PsDpOptions ps;
+
+  std::string Describe() const;
+};
+
+struct ExperimentResult {
+  std::string name;  // echo of Experiment::name / Describe()
+  bool feasible = false;
+  double throughput_img_s = 0.0;
+
+  HetPipeReport report;             // kFullCluster / kSingleVirtualWorker
+  partition::Partition partition;   // kPartitionOnly (also vws[0] for single-VW)
+  dp::HorovodResult horovod;        // kHorovod
+  dp::PsDpResult ps;                // kPsDataParallel
+  dp::DecentralizedResult adpsgd;   // kAdPsgd
+};
+
+// Runs one experiment synchronously on the calling thread. Deterministic:
+// the same Experiment always produces the same result, with or without a
+// partition cache in its config. This is the unit of work SweepRunner
+// schedules.
+ExperimentResult RunExperiment(const Experiment& experiment);
 
 // ---- Fig. 3: single-virtual-worker throughput and utilization vs Nm. ----
 struct Fig3Point {
@@ -25,7 +102,8 @@ struct Fig3Point {
   double max_utilization = 0.0;
 };
 std::vector<Fig3Point> RunFig3Config(const hw::Cluster& cluster, const model::ModelGraph& graph,
-                                     const std::string& codes, int nm_max);
+                                     const std::string& codes, int nm_max,
+                                     runner::SweepRunner* runner = nullptr);
 
 // ---- Fig. 4: whole-cluster throughput under the allocation policies. ----
 struct Fig4Row {
@@ -36,7 +114,7 @@ struct Fig4Row {
   double throughput_img_s = 0.0;
 };
 std::vector<Fig4Row> RunFig4(const hw::Cluster& cluster, const model::ModelGraph& graph,
-                             double jitter_cv);
+                             double jitter_cv, runner::SweepRunner* runner = nullptr);
 
 // ---- Table 4: adding whimpy GPUs (4[V], 8[VR], 12[VRQ], 16[VRQG]). ----
 struct Table4Cell {
@@ -47,7 +125,8 @@ struct Table4Cell {
   double hetpipe_img_s = 0.0;
   int total_concurrent_minibatches = 0;  // N_vw * Nm, shown in parentheses
 };
-std::vector<Table4Cell> RunTable4(const model::ModelGraph& graph, double jitter_cv);
+std::vector<Table4Cell> RunTable4(const model::ModelGraph& graph, double jitter_cv,
+                                  runner::SweepRunner* runner = nullptr);
 
 // ---- Figs. 5/6: accuracy-vs-time convergence curves. ----
 struct ConvergenceSeries {
@@ -60,10 +139,12 @@ struct ConvergenceSeries {
 
 // Fig. 5: ResNet-152 — Horovod (12 GPUs), HetPipe (12 GPUs), HetPipe (16
 // GPUs), all with D=0, ED-local.
-std::vector<ConvergenceSeries> RunFig5(double jitter_cv, double target_accuracy);
+std::vector<ConvergenceSeries> RunFig5(double jitter_cv, double target_accuracy,
+                                       runner::SweepRunner* runner = nullptr);
 
 // Fig. 6: VGG-19 — Horovod and HetPipe with D in {0, 4, 32}, ED-local.
-std::vector<ConvergenceSeries> RunFig6(double jitter_cv, double target_accuracy);
+std::vector<ConvergenceSeries> RunFig6(double jitter_cv, double target_accuracy,
+                                       runner::SweepRunner* runner = nullptr);
 
 // ---- §8.4: synchronization overhead vs D. ----
 struct StalenessWaitRow {
@@ -76,6 +157,16 @@ struct StalenessWaitRow {
 };
 std::vector<StalenessWaitRow> RunStalenessWaitStudy(const model::ModelGraph& graph,
                                                     const std::vector<int>& d_values,
-                                                    double jitter_cv);
+                                                    double jitter_cv,
+                                                    runner::SweepRunner* runner = nullptr);
+
+// The ED-local configuration shared by the convergence and wait studies
+// (correlated slowdowns accompany the iid jitter: they are what the
+// clock-distance threshold D absorbs).
+HetPipeConfig EdLocalConfig(int d, double jitter_cv);
+
+// Node codes of a paper-testbed cluster ("VRGQ" for the full testbed), the
+// inverse of hw::Cluster::PaperSubset.
+std::string NodeCodesOf(const hw::Cluster& cluster);
 
 }  // namespace hetpipe::core

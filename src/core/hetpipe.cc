@@ -4,25 +4,29 @@
 #include <memory>
 #include <sstream>
 
+#include "runner/partition_cache.h"
 #include "sim/simulator.h"
 #include "wsp/sync_policy.h"
 
 namespace hetpipe::core {
-namespace {
 
-// Steady-state throughput of one virtual worker, excluding the first
-// `warmup` completions.
-double MeasureThroughput(const pipeline::VirtualWorkerSim& vw, int64_t warmup, int batch) {
-  const auto& times = vw.completion_times();
-  const int64_t n = static_cast<int64_t>(times.size());
+double SteadyStateThroughput(const std::vector<sim::SimTime>& completion_times, int64_t warmup,
+                             int batch_size) {
+  const int64_t n = static_cast<int64_t>(completion_times.size());
   if (n <= warmup + 1) {
     return 0.0;
   }
-  const double window = times.back() - times[static_cast<size_t>(warmup)];
+  const double window = completion_times.back() - completion_times[static_cast<size_t>(warmup)];
   if (window <= 0.0) {
     return 0.0;
   }
-  return static_cast<double>(n - 1 - warmup) * batch / window;
+  return static_cast<double>(n - 1 - warmup) * batch_size / window;
+}
+
+namespace {
+
+double MeasureThroughput(const pipeline::VirtualWorkerSim& vw, int64_t warmup, int batch) {
+  return SteadyStateThroughput(vw.completion_times(), warmup, batch);
 }
 
 }  // namespace
@@ -57,15 +61,24 @@ HetPipeReport HetPipe::Run() const {
   const model::ModelProfile profile(*graph_, config_.batch_size);
   const partition::Partitioner partitioner(profile, *cluster_);
 
+  // A run revisits the same virtual-worker shapes many times (the Maxm probe,
+  // the Nm estimate loop, the final solve — and under ED all VWs share one
+  // shape), so even a standalone run keeps a local memo when the sweep runner
+  // did not hand one down. Cache hits return exactly what a cold solve would.
+  runner::PartitionCache local_cache;
+  runner::PartitionCache* cache =
+      config_.partition_cache != nullptr ? config_.partition_cache : &local_cache;
+
   partition::PartitionOptions popt;
   popt.mem_params = config_.mem_params;
+  popt.pool = config_.pool;
 
   // Nm must be identical across virtual workers (§4): the cap is the minimum
   // Maxm (memory feasibility) over VWs...
   int nm_cap = config_.nm_cap;
   std::vector<int> max_nms;
   for (const std::vector<int>& gpus : alloc.vw_gpus) {
-    const int max_nm = partitioner.FindMaxNm(gpus, config_.nm_cap, popt);
+    const int max_nm = cache->FindMaxNm(partitioner, gpus, config_.nm_cap, popt);
     if (max_nm == 0) {
       report.infeasible_reason = "no feasible partition for a virtual worker";
       return report;
@@ -92,7 +105,7 @@ HetPipeReport HetPipe::Run() const {
       double estimate = 0.0;
       bool all_feasible = true;
       for (const std::vector<int>& gpus : alloc.vw_gpus) {
-        const partition::Partition p = partitioner.Solve(gpus, nm_opt);
+        const partition::Partition p = cache->Solve(partitioner, gpus, nm_opt);
         if (!p.feasible) {
           all_feasible = false;
           break;
@@ -121,7 +134,7 @@ HetPipeReport HetPipe::Run() const {
   std::vector<partition::Partition> partitions;
   std::vector<wsp::VwCommTimes> comm;
   for (const std::vector<int>& gpus : alloc.vw_gpus) {
-    partitions.push_back(partitioner.Solve(gpus, popt));
+    partitions.push_back(cache->Solve(partitioner, gpus, popt));
     comm.push_back(wsp::ComputePsCommTimes(partitions.back(), *cluster_, config_.placement));
   }
 
@@ -196,7 +209,10 @@ HetPipeReport HetPipe::RunSingleVirtualWorker(const hw::Cluster& cluster,
   partition::PartitionOptions popt;
   popt.nm = nm;
   popt.mem_params = config.mem_params;
-  const partition::Partition partition = partitioner.Solve(gpu_ids, popt);
+  popt.pool = config.pool;
+  const partition::Partition partition =
+      config.partition_cache != nullptr ? config.partition_cache->Solve(partitioner, gpu_ids, popt)
+                                        : partitioner.Solve(gpu_ids, popt);
   if (!partition.feasible) {
     report.infeasible_reason = "partition infeasible at Nm=" + std::to_string(nm);
     return report;

@@ -14,6 +14,13 @@
 
 namespace hetpipe::core {
 
+// Steady-state throughput (images/s) of a minibatch completion-time series,
+// excluding the first `warmup` completions while the pipeline fills. The one
+// measurement convention shared by HetPipe's report and the partition-only
+// simulations.
+double SteadyStateThroughput(const std::vector<sim::SimTime>& completion_times, int64_t warmup,
+                             int batch_size);
+
 // Per-virtual-worker results of a run.
 struct VwReport {
   std::vector<int> gpu_ids;

@@ -2,13 +2,29 @@
 
 #include <algorithm>
 #include <limits>
+#include <mutex>
 #include <set>
 #include <sstream>
+
+#include "runner/thread_pool.h"
 
 namespace hetpipe::partition {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// True when `candidate` improves on `best` under the min-max objective with
+// the sum-time tie-break. Matches the serial search's "first wins" rule when
+// candidates are visited in enumeration order.
+bool Improves(const Partition& candidate, const Partition& best) {
+  if (!candidate.feasible) {
+    return false;
+  }
+  return !best.feasible || candidate.bottleneck_time < best.bottleneck_time ||
+         (candidate.bottleneck_time == best.bottleneck_time &&
+          candidate.sum_time < best.sum_time);
+}
+
 }  // namespace
 
 std::string Partition::ToString(const model::ModelProfile& profile) const {
@@ -29,8 +45,92 @@ std::string Partition::ToString(const model::ModelProfile& profile) const {
 Partitioner::Partitioner(const model::ModelProfile& profile, const hw::Cluster& cluster)
     : profile_(&profile), cluster_(&cluster) {}
 
+Partition BuildFixedPartition(const model::ModelProfile& profile, const hw::Cluster& cluster,
+                              const std::vector<int>& gpu_ids,
+                              const std::vector<int>& stage_lasts, int nm,
+                              const StageMemoryParams& mem_params) {
+  Partition result;
+  const int k = static_cast<int>(gpu_ids.size());
+  if (k == 0 || stage_lasts.size() != gpu_ids.size() ||
+      stage_lasts.back() != profile.num_layers() - 1) {
+    return result;
+  }
+
+  result.feasible = true;
+  int first = 0;
+  for (int q = 0; q < k; ++q) {
+    StageAssignment stage;
+    stage.first_layer = first;
+    stage.last_layer = stage_lasts[static_cast<size_t>(q)];
+    if (stage.last_layer < stage.first_layer) {
+      return Partition{};  // empty stage: malformed boundaries
+    }
+    stage.gpu_id = gpu_ids[static_cast<size_t>(q)];
+    stage.gpu_type = cluster.gpu(stage.gpu_id).type;
+    stage.node = cluster.gpu(stage.gpu_id).node;
+    stage.fwd_compute_s =
+        profile.StageFwdTime(stage.first_layer, stage.last_layer, stage.gpu_type);
+    stage.bwd_compute_s =
+        profile.StageBwdTime(stage.first_layer, stage.last_layer, stage.gpu_type);
+    if (q > 0) {
+      const auto& link = cluster.LinkBetween(gpu_ids[static_cast<size_t>(q) - 1],
+                                             gpu_ids[static_cast<size_t>(q)]);
+      stage.fwd_comm_in_s =
+          link.TransferTime(profile.BoundaryTransferBytes(stage.first_layer - 1));
+    }
+    if (q < k - 1) {
+      const auto& link = cluster.LinkBetween(gpu_ids[static_cast<size_t>(q)],
+                                             gpu_ids[static_cast<size_t>(q) + 1]);
+      stage.bwd_comm_in_s = link.TransferTime(profile.BoundaryTransferBytes(stage.last_layer));
+    }
+    stage.param_bytes =
+        profile.graph().ParamBytesInRange(stage.first_layer, stage.last_layer);
+    stage.memory_bytes = StageMemoryBytes(profile, stage.first_layer, stage.last_layer, q, k,
+                                          nm, mem_params);
+    stage.memory_cap = hw::MemoryBytes(stage.gpu_type);
+    result.feasible = result.feasible && stage.memory_bytes <= stage.memory_cap;
+    result.bottleneck_time = std::max(result.bottleneck_time, stage.TotalTime());
+    result.sum_time += stage.TotalTime();
+    result.stages.push_back(stage);
+    first = stage.last_layer + 1;
+  }
+  return result;
+}
+
+std::vector<int> NaiveStageLasts(const model::ModelGraph& graph, int k, NaiveSplit kind) {
+  std::vector<int> lasts;
+  const int n = graph.num_layers();
+  switch (kind) {
+    case NaiveSplit::kEqualLayers:
+      for (int q = 1; q <= k; ++q) {
+        lasts.push_back(n * q / k - 1);
+      }
+      lasts.back() = n - 1;
+      break;
+    case NaiveSplit::kParamBalanced: {
+      const uint64_t per_stage = graph.total_param_bytes() / static_cast<uint64_t>(k);
+      uint64_t acc = 0;
+      for (int i = 0; i < n; ++i) {
+        acc += graph.layer(i).param_bytes;
+        if (acc >= per_stage && static_cast<int>(lasts.size()) < k - 1 &&
+            n - i - 1 >= k - 1 - static_cast<int>(lasts.size())) {
+          lasts.push_back(i);
+          acc = 0;
+        }
+      }
+      while (static_cast<int>(lasts.size()) < k) {
+        lasts.push_back(n - 1);
+      }
+      lasts.back() = n - 1;
+      break;
+    }
+  }
+  return lasts;
+}
+
 Partition Partitioner::SolveFixedOrder(const std::vector<int>& gpu_ids,
-                                       const PartitionOptions& options) const {
+                                       const PartitionOptions& options,
+                                       double prune_above) const {
   const int n = profile_->num_layers();
   const int k = static_cast<int>(gpu_ids.size());
   Partition result;
@@ -67,7 +167,9 @@ Partition Partitioner::SolveFixedOrder(const std::vector<int>& gpu_ids,
   };
 
   // dp[q][i]: minimal bottleneck assigning the first i layers to the first q
-  // stages (all non-empty). choice[q][i]: split point achieving it.
+  // stages (all non-empty). choice[q][i]: split point achieving it. States
+  // whose bottleneck strictly exceeds `prune_above` stay at infinity — any
+  // completion would be strictly worse than the incumbent.
   std::vector<std::vector<double>> dp(static_cast<size_t>(k) + 1,
                                       std::vector<double>(static_cast<size_t>(n) + 1, kInf));
   std::vector<std::vector<int>> choice(static_cast<size_t>(k) + 1,
@@ -86,6 +188,9 @@ Partition Partitioner::SolveFixedOrder(const std::vector<int>& gpu_ids,
         }
         const double cand = std::max(dp[static_cast<size_t>(q) - 1][static_cast<size_t>(j)],
                                      stage_cost(q - 1, j, i - 1));
+        if (cand > prune_above) {
+          continue;
+        }
         if (cand < best) {
           best = cand;
           best_j = j;
@@ -100,55 +205,21 @@ Partition Partitioner::SolveFixedOrder(const std::vector<int>& gpu_ids,
     return result;
   }
 
-  // Reconstruct stage boundaries.
-  std::vector<int> last(static_cast<size_t>(k));
+  // Reconstruct stage boundaries and rebuild the stages from them.
+  std::vector<int> lasts(static_cast<size_t>(k));
   int i = n;
   for (int q = k; q >= 1; --q) {
-    last[static_cast<size_t>(q) - 1] = i - 1;
+    lasts[static_cast<size_t>(q) - 1] = i - 1;
     i = choice[static_cast<size_t>(q)][static_cast<size_t>(i)];
   }
-
-  result.feasible = true;
-  int first = 0;
-  for (int q = 0; q < k; ++q) {
-    StageAssignment stage;
-    stage.first_layer = first;
-    stage.last_layer = last[static_cast<size_t>(q)];
-    stage.gpu_id = gpu_ids[static_cast<size_t>(q)];
-    stage.gpu_type = types[static_cast<size_t>(q)];
-    stage.node = cluster_->gpu(stage.gpu_id).node;
-    stage.fwd_compute_s =
-        profile_->StageFwdTime(stage.first_layer, stage.last_layer, stage.gpu_type);
-    stage.bwd_compute_s =
-        profile_->StageBwdTime(stage.first_layer, stage.last_layer, stage.gpu_type);
-    if (q > 0) {
-      const auto& link = cluster_->LinkBetween(gpu_ids[static_cast<size_t>(q) - 1],
-                                               gpu_ids[static_cast<size_t>(q)]);
-      stage.fwd_comm_in_s =
-          link.TransferTime(profile_->BoundaryTransferBytes(stage.first_layer - 1));
-    }
-    if (q < k - 1) {
-      const auto& link = cluster_->LinkBetween(gpu_ids[static_cast<size_t>(q)],
-                                               gpu_ids[static_cast<size_t>(q) + 1]);
-      stage.bwd_comm_in_s = link.TransferTime(profile_->BoundaryTransferBytes(stage.last_layer));
-    }
-    stage.param_bytes =
-        profile_->graph().ParamBytesInRange(stage.first_layer, stage.last_layer);
-    stage.memory_bytes = StageMemoryBytes(*profile_, stage.first_layer, stage.last_layer, q, k,
-                                          options.nm, options.mem_params);
-    stage.memory_cap = hw::MemoryBytes(stage.gpu_type);
-    result.stages.push_back(stage);
-    result.bottleneck_time = std::max(result.bottleneck_time, stage.TotalTime());
-    result.sum_time += stage.TotalTime();
-    first = stage.last_layer + 1;
-  }
-  return result;
+  return BuildFixedPartition(*profile_, *cluster_, gpu_ids, lasts, options.nm,
+                             options.mem_params);
 }
 
 Partition Partitioner::Solve(const std::vector<int>& gpu_ids,
                              const PartitionOptions& options) const {
   if (!options.search_gpu_orders || gpu_ids.size() <= 1) {
-    return SolveFixedOrder(gpu_ids, options);
+    return SolveFixedOrder(gpu_ids, options, kInf);
   }
 
   // Enumerate distinct (type, node) orderings of the VW's GPUs; identical
@@ -156,7 +227,7 @@ Partition Partitioner::Solve(const std::vector<int>& gpu_ids,
   std::vector<int> ids = gpu_ids;
   std::sort(ids.begin(), ids.end());
   std::set<std::string> seen;
-  Partition best;
+  std::vector<std::vector<int>> orders;
   do {
     std::string signature;
     for (int id : ids) {
@@ -164,32 +235,66 @@ Partition Partitioner::Solve(const std::vector<int>& gpu_ids,
       signature.push_back(hw::CodeOf(g.type));
       signature.push_back(static_cast<char>('0' + g.node));
     }
-    if (!seen.insert(signature).second) {
-      continue;
-    }
-    Partition candidate = SolveFixedOrder(ids, options);
-    if (!candidate.feasible) {
-      continue;
-    }
-    const bool better =
-        !best.feasible || candidate.bottleneck_time < best.bottleneck_time ||
-        (candidate.bottleneck_time == best.bottleneck_time && candidate.sum_time < best.sum_time);
-    if (better) {
-      best = candidate;
+    if (seen.insert(signature).second) {
+      orders.push_back(ids);
     }
   } while (std::next_permutation(ids.begin(), ids.end()));
+
+  // Solve every order, sharing the incumbent bottleneck as a branch-and-bound
+  // cut. The incumbent is only ever an upper bound on the optimum, so any
+  // value observed by any thread is a valid cut; the final reduction walks
+  // the orders in enumeration order, which makes the result independent of
+  // thread interleaving.
+  std::vector<Partition> candidates(orders.size());
+  std::mutex incumbent_mu;
+  double incumbent = kInf;
+  const auto solve_one = [&](int64_t index) {
+    double bound = kInf;
+    if (options.prune) {
+      std::lock_guard<std::mutex> lock(incumbent_mu);
+      bound = incumbent;
+    }
+    Partition candidate =
+        SolveFixedOrder(orders[static_cast<size_t>(index)], options, bound);
+    if (candidate.feasible) {
+      std::lock_guard<std::mutex> lock(incumbent_mu);
+      incumbent = std::min(incumbent, candidate.bottleneck_time);
+    }
+    candidates[static_cast<size_t>(index)] = std::move(candidate);
+  };
+
+  if (options.pool != nullptr && orders.size() > 1) {
+    options.pool->ParallelFor(static_cast<int64_t>(orders.size()), solve_one);
+  } else {
+    for (int64_t index = 0; index < static_cast<int64_t>(orders.size()); ++index) {
+      solve_one(index);
+    }
+  }
+
+  Partition best;
+  for (const Partition& candidate : candidates) {
+    if (Improves(candidate, best)) {
+      best = candidate;
+    }
+  }
   return best;
 }
 
-int Partitioner::FindMaxNm(const std::vector<int>& gpu_ids, int nm_cap,
-                           PartitionOptions options) const {
+int FindMaxNmWith(const std::function<Partition(const PartitionOptions&)>& solve, int nm_cap,
+                  PartitionOptions options) {
   for (int nm = nm_cap; nm >= 1; --nm) {
     options.nm = nm;
-    if (Solve(gpu_ids, options).feasible) {
+    if (solve(options).feasible) {
       return nm;
     }
   }
   return 0;
+}
+
+int Partitioner::FindMaxNm(const std::vector<int>& gpu_ids, int nm_cap,
+                           PartitionOptions options) const {
+  return FindMaxNmWith(
+      [&](const PartitionOptions& at_nm) { return Solve(gpu_ids, at_nm); }, nm_cap, options);
 }
 
 }  // namespace hetpipe::partition

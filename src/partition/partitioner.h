@@ -1,12 +1,17 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "hw/cluster.h"
 #include "model/profiler.h"
 #include "partition/memory_model.h"
+
+namespace hetpipe::runner {
+class ThreadPool;
+}  // namespace hetpipe::runner
 
 namespace hetpipe::partition {
 
@@ -51,6 +56,16 @@ struct PartitionOptions {
   // care because memory demand falls toward the back of the pipeline while
   // the first stage needs the most.
   bool search_gpu_orders = true;
+  // Branch-and-bound across the order search: abandon a GPU order once its
+  // partial bottleneck strictly exceeds the best complete solution found so
+  // far. Only strictly-worse states are cut, so the solution (including
+  // sum-time tie-breaks) is identical with pruning on or off.
+  bool prune = true;
+  // When set, the GPU-order enumeration is solved in parallel on this pool;
+  // results are reduced in enumeration order, so the answer is byte-identical
+  // to the serial search. Nested calls from inside a pool task degrade to
+  // serial automatically (ThreadPool::ParallelFor is nesting-safe).
+  runner::ThreadPool* pool = nullptr;
   StageMemoryParams mem_params;
 };
 
@@ -59,7 +74,8 @@ struct PartitionOptions {
 // execution time (compute + input communication) subject to each stage
 // fitting its GPU's memory with Nm concurrent minibatches. The paper solves
 // this with CPLEX; this implementation solves the identical objective exactly
-// by dynamic programming over (layer, stage) plus a search over GPU orders.
+// by dynamic programming over (layer, stage) plus a branch-and-bound search
+// over GPU orders.
 class Partitioner {
  public:
   Partitioner(const model::ModelProfile& profile, const hw::Cluster& cluster);
@@ -72,13 +88,42 @@ class Partitioner {
   int FindMaxNm(const std::vector<int>& gpu_ids, int nm_cap,
                 PartitionOptions options = {}) const;
 
+  const model::ModelProfile& profile() const { return *profile_; }
+  const hw::Cluster& cluster() const { return *cluster_; }
+
  private:
   // Solves with a fixed stage->GPU assignment (gpu_ids[i] runs stage i).
-  Partition SolveFixedOrder(const std::vector<int>& gpu_ids,
-                            const PartitionOptions& options) const;
+  // DP states whose bottleneck strictly exceeds `prune_above` are abandoned;
+  // a pruned search reports infeasible, which callers must treat as "no
+  // solution better than the incumbent".
+  Partition SolveFixedOrder(const std::vector<int>& gpu_ids, const PartitionOptions& options,
+                            double prune_above) const;
 
   const model::ModelProfile* profile_;
   const hw::Cluster* cluster_;
 };
+
+// Builds the partition with prescribed stage boundaries: stage q covers
+// layers (stage_lasts[q-1], stage_lasts[q]] on gpu_ids[q]. No optimization;
+// `feasible` reports whether every stage fits its GPU's memory at `nm`.
+// Used by the naive-baseline ablations and by tools that want to inspect a
+// hand-chosen split.
+Partition BuildFixedPartition(const model::ModelProfile& profile, const hw::Cluster& cluster,
+                              const std::vector<int>& gpu_ids,
+                              const std::vector<int>& stage_lasts, int nm,
+                              const StageMemoryParams& mem_params = {});
+
+// The Maxm probe of §4 shared by Partitioner::FindMaxNm and the partition
+// cache: largest nm in [1, nm_cap] for which `solve` (called with `options`
+// at that nm) is feasible; 0 if even nm=1 is not.
+int FindMaxNmWith(const std::function<Partition(const PartitionOptions&)>& solve, int nm_cap,
+                  PartitionOptions options);
+
+// Stage boundaries of the naive baselines the ablation compares against.
+enum class NaiveSplit {
+  kEqualLayers,    // the same number of layers per stage
+  kParamBalanced,  // roughly equal parameter bytes per stage
+};
+std::vector<int> NaiveStageLasts(const model::ModelGraph& graph, int k, NaiveSplit kind);
 
 }  // namespace hetpipe::partition

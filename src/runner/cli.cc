@@ -1,0 +1,73 @@
+#include "runner/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+namespace hetpipe::runner {
+namespace {
+
+// Matches --flag / --flag=value; value is "" for the bare form.
+bool MatchFlag(const std::string& arg, const std::string& flag, std::string* value) {
+  const std::string prefix = "--" + flag;
+  if (arg == prefix) {
+    value->clear();
+    return true;
+  }
+  if (arg.rfind(prefix + "=", 0) == 0) {
+    *value = arg.substr(prefix.size() + 1);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+BenchArgs BenchArgs::Parse(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (MatchFlag(arg, "threads", &value)) {
+      args.threads = std::atoi(value.c_str());
+    } else if (MatchFlag(arg, "json", &value)) {
+      std::ostream* out = args.OpenOutput(value);
+      args.sinks_.push_back(std::make_unique<JsonlSink>(*out));
+      args.multi_.AddSink(args.sinks_.back().get());
+      args.has_sink_ = true;
+    } else if (MatchFlag(arg, "csv", &value)) {
+      std::ostream* out = args.OpenOutput(value);
+      args.sinks_.push_back(std::make_unique<CsvSink>(*out));
+      args.multi_.AddSink(args.sinks_.back().get());
+      args.has_sink_ = true;
+    } else {
+      args.rest.push_back(arg);
+    }
+  }
+  return args;
+}
+
+std::ostream* BenchArgs::OpenOutput(const std::string& path) {
+  if (path.empty() || path == "-") {
+    return &std::cout;
+  }
+  files_.push_back(std::make_unique<std::ofstream>(path));
+  if (!files_.back()->is_open()) {
+    // Silent row loss is worse than a refusal: scripts must be able to trust
+    // that exit 0 means the file holds the sweep.
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    std::exit(2);
+  }
+  return files_.back().get();
+}
+
+SweepOptions BenchArgs::sweep_options() {
+  SweepOptions options;
+  options.threads = threads;
+  options.sink = sink();
+  return options;
+}
+
+ResultSink* BenchArgs::sink() { return has_sink_ ? &multi_ : nullptr; }
+
+}  // namespace hetpipe::runner

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runner/result_sink.h"
+#include "runner/sweep_runner.h"
+
+namespace hetpipe::runner {
+
+// The flags shared by every bench binary:
+//   --threads=N       sweep-runner worker threads (default: hardware)
+//   --json[=PATH]     emit JSON Lines rows (default: stdout)
+//   --csv[=PATH]      emit CSV rows (default: stdout)
+// Unknown arguments are left for the binary's own use (in order) in `rest`.
+class BenchArgs {
+ public:
+  static BenchArgs Parse(int argc, char** argv);
+
+  // Sweep options wired to the parsed flags; sink() is null when no output
+  // flag was given. The returned pointers stay owned by this object.
+  SweepOptions sweep_options();
+  ResultSink* sink();
+
+  int threads = 0;
+  std::vector<std::string> rest;
+
+ private:
+  // Returns stdout for ""/"-", else the opened file (warning on failure).
+  std::ostream* OpenOutput(const std::string& path);
+
+  std::vector<std::unique_ptr<std::ofstream>> files_;
+  std::vector<std::unique_ptr<ResultSink>> sinks_;
+  MultiSink multi_;
+  bool has_sink_ = false;
+};
+
+}  // namespace hetpipe::runner

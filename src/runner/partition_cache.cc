@@ -1,0 +1,168 @@
+#include "runner/partition_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hetpipe::runner {
+namespace {
+
+// FNV-1a, the usual choice for cheap structural fingerprints.
+class Fingerprint {
+ public:
+  void Mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ = (hash_ ^ ((v >> (8 * i)) & 0xff)) * 0x100000001b3ULL;
+    }
+  }
+  void Mix(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    Mix(bits);
+  }
+  void Mix(const std::string& s) {
+    for (char c : s) {
+      hash_ = (hash_ ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+    }
+    Mix(static_cast<uint64_t>(s.size()));
+  }
+  uint64_t value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+// Everything the per-layer cost model feeds the partitioner: compute times
+// per GPU type, boundary transfer sizes, stash/param bytes (memory model).
+uint64_t ProfileFingerprint(const model::ModelProfile& profile) {
+  Fingerprint fp;
+  fp.Mix(profile.graph().name());
+  fp.Mix(static_cast<uint64_t>(profile.batch_size()));
+  for (int layer = 0; layer < profile.num_layers(); ++layer) {
+    for (const hw::GpuSpec& spec : hw::AllGpuSpecs()) {
+      const model::LayerTime& t = profile.TimeOf(layer, spec.type);
+      fp.Mix(t.fwd_s);
+      fp.Mix(t.bwd_s);
+    }
+    fp.Mix(profile.BoundaryTransferBytes(layer));
+    fp.Mix(profile.graph().layer(layer).param_bytes);
+    fp.Mix(profile.graph().StashBytesInRange(layer, layer));
+  }
+  return fp.value();
+}
+
+// The (type, node) sequence of the virtual worker. With the order search on,
+// Solve's answer depends only on the multiset, so the sequence is sorted and
+// any GPU-id set with the same shape maps to the same key; with the search
+// off the given order IS the stage order, so it must stay in the key.
+std::string VwSignature(const hw::Cluster& cluster, const std::vector<int>& gpu_ids,
+                        bool order_invariant) {
+  std::vector<std::pair<char, int>> shape;
+  shape.reserve(gpu_ids.size());
+  for (int id : gpu_ids) {
+    const hw::Gpu& gpu = cluster.gpu(id);
+    shape.emplace_back(hw::CodeOf(gpu.type), gpu.node);
+  }
+  if (order_invariant) {
+    std::sort(shape.begin(), shape.end());
+  }
+  std::string signature;
+  for (const auto& [code, node] : shape) {
+    signature.push_back(code);
+    signature += std::to_string(node);
+    signature.push_back('.');
+  }
+  return signature;
+}
+
+std::string MakeKey(const partition::Partitioner& partitioner, const std::vector<int>& gpu_ids,
+                    const partition::PartitionOptions& options) {
+  Fingerprint fp;
+  fp.Mix(ProfileFingerprint(partitioner.profile()));
+  fp.Mix(partitioner.cluster().ToString());
+  fp.Mix(options.mem_params.optimizer_multiplier);
+  fp.Mix(options.mem_params.framework_overhead_bytes);
+  fp.Mix(static_cast<uint64_t>(options.mem_params.stash_weights ? 1 : 0));
+  std::string key = std::to_string(fp.value());
+  key.push_back('|');
+  key += VwSignature(partitioner.cluster(), gpu_ids,
+                     /*order_invariant=*/options.search_gpu_orders);
+  key += "nm" + std::to_string(options.nm);
+  key += options.search_gpu_orders ? "s1" : "s0";
+  return key;
+}
+
+// Rewrites the cached partition's gpu ids onto `gpu_ids`. Valid because the
+// solution depends on the GPUs only through (type, node): stage times, link
+// classes, and memory caps are all unchanged under the rewrite.
+partition::Partition Remap(partition::Partition partition, const hw::Cluster& cluster,
+                           const std::vector<int>& gpu_ids) {
+  std::vector<bool> used(gpu_ids.size(), false);
+  for (partition::StageAssignment& stage : partition.stages) {
+    for (size_t i = 0; i < gpu_ids.size(); ++i) {
+      const hw::Gpu& gpu = cluster.gpu(gpu_ids[i]);
+      if (!used[i] && gpu.type == stage.gpu_type && gpu.node == stage.node) {
+        used[i] = true;
+        stage.gpu_id = gpu_ids[i];
+        break;
+      }
+    }
+  }
+  return partition;
+}
+
+}  // namespace
+
+partition::Partition PartitionCache::Solve(const partition::Partitioner& partitioner,
+                                           const std::vector<int>& gpu_ids,
+                                           const partition::PartitionOptions& options) {
+  const std::string key = MakeKey(partitioner, gpu_ids, options);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      return Remap(it->second, partitioner.cluster(), gpu_ids);
+    }
+    ++misses_;
+  }
+  partition::Partition solved = partitioner.Solve(gpu_ids, options);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.emplace(key, solved);
+  }
+  return solved;
+}
+
+int PartitionCache::FindMaxNm(const partition::Partitioner& partitioner,
+                              const std::vector<int>& gpu_ids, int nm_cap,
+                              partition::PartitionOptions options) {
+  return partition::FindMaxNmWith(
+      [&](const partition::PartitionOptions& at_nm) {
+        return Solve(partitioner, gpu_ids, at_nm);
+      },
+      nm_cap, options);
+}
+
+int64_t PartitionCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int64_t PartitionCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+int64_t PartitionCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+void PartitionCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace hetpipe::runner

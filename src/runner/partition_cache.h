@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "partition/partitioner.h"
+
+namespace hetpipe::runner {
+
+// Memoizes solved partitions across experiments. The exhaustive GPU-order
+// search dominates sweep cost, and sweeps revisit the same virtual-worker
+// shapes constantly (every ED virtual worker of a cluster, every wave of an
+// Nm sweep, every policy sharing a subset). Keyed by (model profile
+// fingerprint, cluster layout, VW GPU (type, node) multiset, Nm, order-search
+// flag, memory params) — everything Partitioner::Solve's result depends on.
+//
+// Because Solve's answer depends on the GPUs only through their (type, node)
+// multiset, a hit for a *different* GPU-id set with the same signature is
+// remapped onto the requested ids, so e.g. the four ED virtual workers of the
+// paper cluster all share one solve.
+//
+// Thread-safe: concurrent sweep tasks share one instance. A hit returns a
+// Partition identical to what a cold Solve would return (tested), so caching
+// never changes results.
+class PartitionCache {
+ public:
+  // Drop-in for Partitioner::Solve.
+  partition::Partition Solve(const partition::Partitioner& partitioner,
+                             const std::vector<int>& gpu_ids,
+                             const partition::PartitionOptions& options);
+
+  // Drop-in for Partitioner::FindMaxNm; every probed nm goes through the
+  // cache, so a later Solve at the chosen nm is a hit.
+  int FindMaxNm(const partition::Partitioner& partitioner, const std::vector<int>& gpu_ids,
+                int nm_cap, partition::PartitionOptions options);
+
+  int64_t hits() const;
+  int64_t misses() const;
+  int64_t size() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, partition::Partition> entries_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace hetpipe::runner

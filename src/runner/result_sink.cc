@@ -1,0 +1,139 @@
+#include "runner/result_sink.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace hetpipe::runner {
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) {
+    return "null";
+  }
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+std::string ValueToString(const ResultRow::Value& value, bool quote_strings) {
+  struct Visitor {
+    bool quote;
+    std::string operator()(bool v) const { return v ? "true" : "false"; }
+    std::string operator()(int64_t v) const { return std::to_string(v); }
+    std::string operator()(double v) const { return FormatDouble(v); }
+    std::string operator()(const std::string& v) const {
+      return quote ? "\"" + EscapeJson(v) + "\"" : v;
+    }
+  };
+  return std::visit(Visitor{quote_strings}, value);
+}
+
+std::string EscapeCsv(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) {
+    return s;
+  }
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::string ResultRow::Get(const std::string& key) const {
+  for (const auto& [k, v] : fields_) {
+    if (k == key) {
+      return ValueToString(v, /*quote_strings=*/false);
+    }
+  }
+  return "";
+}
+
+void JsonlSink::Write(const ResultRow& row) {
+  *out_ << "{";
+  bool first = true;
+  for (const auto& [key, value] : row.fields()) {
+    if (!first) {
+      *out_ << ",";
+    }
+    first = false;
+    *out_ << "\"" << EscapeJson(key) << "\":" << ValueToString(value, /*quote_strings=*/true);
+  }
+  *out_ << "}\n";
+}
+
+void CsvSink::Flush() {
+  if (rows_.empty()) {
+    return;
+  }
+
+  if (columns_.empty()) {
+    for (const ResultRow& row : rows_) {
+      for (const auto& [key, value] : row.fields()) {
+        (void)value;
+        bool known = false;
+        for (const std::string& c : columns_) {
+          if (c == key) {
+            known = true;
+            break;
+          }
+        }
+        if (!known) {
+          columns_.push_back(key);
+        }
+      }
+    }
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      *out_ << (i > 0 ? "," : "") << EscapeCsv(columns_[i]);
+    }
+    *out_ << "\n";
+  }
+
+  for (const ResultRow& row : rows_) {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      std::string cell;
+      for (const auto& [key, value] : row.fields()) {
+        if (key == columns_[i]) {
+          cell = ValueToString(value, /*quote_strings=*/false);
+          break;
+        }
+      }
+      *out_ << (i > 0 ? "," : "") << EscapeCsv(cell);
+    }
+    *out_ << "\n";
+  }
+  rows_.clear();
+}
+
+}  // namespace hetpipe::runner

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace hetpipe::runner {
+
+// One machine-readable result record: an ordered list of named fields.
+class ResultRow {
+ public:
+  using Value = std::variant<bool, int64_t, double, std::string>;
+
+  ResultRow& Set(std::string key, bool v) { return Add(std::move(key), Value(v)); }
+  ResultRow& Set(std::string key, int v) {
+    return Add(std::move(key), Value(static_cast<int64_t>(v)));
+  }
+  ResultRow& Set(std::string key, int64_t v) { return Add(std::move(key), Value(v)); }
+  ResultRow& Set(std::string key, double v) { return Add(std::move(key), Value(v)); }
+  ResultRow& Set(std::string key, std::string v) { return Add(std::move(key), Value(std::move(v))); }
+  ResultRow& Set(std::string key, const char* v) { return Add(std::move(key), Value(std::string(v))); }
+
+  const std::vector<std::pair<std::string, Value>>& fields() const { return fields_; }
+  // Value of `key` rendered as in the JSON output, or "" when absent.
+  std::string Get(const std::string& key) const;
+
+ private:
+  ResultRow& Add(std::string key, Value v) {
+    fields_.emplace_back(std::move(key), std::move(v));
+    return *this;
+  }
+  std::vector<std::pair<std::string, Value>> fields_;
+};
+
+// Destination for sweep results. Implementations are not required to be
+// thread-safe: the sweep runner writes rows sequentially, in experiment
+// order, after the parallel phase completes.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void Write(const ResultRow& row) = 0;
+  // Flushes buffered output (CSV needs the full column set before writing).
+  virtual void Flush() {}
+};
+
+// JSON Lines: one self-describing object per row, streamed as written.
+class JsonlSink : public ResultSink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(&out) {}
+  void Write(const ResultRow& row) override;
+
+ private:
+  std::ostream* out_;
+};
+
+// CSV with a header row. Rows are buffered until Flush (or destruction);
+// the first Flush fixes the column set — the union of keys over the rows
+// buffered so far, in first-seen order — and later flushes render their rows
+// against those columns (keys first appearing after that are dropped).
+class CsvSink : public ResultSink {
+ public:
+  explicit CsvSink(std::ostream& out) : out_(&out) {}
+  ~CsvSink() override { Flush(); }
+  void Write(const ResultRow& row) override { rows_.push_back(row); }
+  void Flush() override;
+
+ private:
+  std::ostream* out_;
+  std::vector<ResultRow> rows_;
+  std::vector<std::string> columns_;  // fixed at the first Flush
+};
+
+// Fans rows out to several sinks (e.g. --json and --csv together).
+class MultiSink : public ResultSink {
+ public:
+  void AddSink(ResultSink* sink) { sinks_.push_back(sink); }
+  void Write(const ResultRow& row) override {
+    for (ResultSink* sink : sinks_) {
+      sink->Write(row);
+    }
+  }
+  void Flush() override {
+    for (ResultSink* sink : sinks_) {
+      sink->Flush();
+    }
+  }
+  bool empty() const { return sinks_.empty(); }
+
+ private:
+  std::vector<ResultSink*> sinks_;
+};
+
+}  // namespace hetpipe::runner

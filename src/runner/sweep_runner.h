@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/experiment.h"
+#include "runner/partition_cache.h"
+#include "runner/result_sink.h"
+#include "runner/thread_pool.h"
+
+namespace hetpipe::runner {
+
+struct SweepOptions {
+  // Worker threads; <= 0 selects the hardware concurrency.
+  int threads = 0;
+  // Partition memo shared by every experiment of the sweep. When null the
+  // runner owns one, so repeated virtual-worker shapes across the sweep
+  // always coalesce; pass an external cache to share across sweeps too.
+  PartitionCache* cache = nullptr;
+  // Optional structured output; rows are written in experiment order after
+  // the parallel phase, so sinks need no locking and output is reproducible.
+  ResultSink* sink = nullptr;
+};
+
+// The standard machine-readable row for one experiment result (echoed config
+// plus the kind-specific metrics).
+ResultRow RowFor(const core::Experiment& experiment, const core::ExperimentResult& result);
+
+// Executes many experiments concurrently on a thread pool. Results come back
+// indexed exactly like the input — result ordering (and every value in it) is
+// independent of thread interleaving: experiments are independent, the
+// partition cache returns bit-identical partitions hit or miss, and rows are
+// emitted sequentially afterwards.
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  // Runs every experiment; results[i] belongs to experiments[i]. The sweep's
+  // cache and pool are plumbed into each experiment's config unless the
+  // experiment already carries its own.
+  std::vector<core::ExperimentResult> Run(const std::vector<core::Experiment>& experiments);
+
+  // Generic deterministic fan-out for sweeps that are not core::Experiments
+  // (e.g. the real-SGD convergence studies): results[i] = fn(i).
+  template <typename R>
+  std::vector<R> Map(int64_t n, const std::function<R(int64_t)>& fn) {
+    std::vector<R> results(static_cast<size_t>(n));
+    pool_.ParallelFor(n, [&](int64_t i) { results[static_cast<size_t>(i)] = fn(i); });
+    return results;
+  }
+
+  PartitionCache& cache() { return *cache_; }
+  ThreadPool& pool() { return pool_; }
+  ResultSink* sink() { return options_.sink; }
+
+ private:
+  SweepOptions options_;
+  std::unique_ptr<PartitionCache> owned_cache_;
+  PartitionCache* cache_ = nullptr;
+  ThreadPool pool_;
+};
+
+}  // namespace hetpipe::runner

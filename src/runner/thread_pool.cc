@@ -1,0 +1,119 @@
+#include "runner/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace hetpipe::runner {
+namespace {
+
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  num_threads_ = std::max(1, num_threads);
+  // The calling thread participates in every ParallelFor, so a pool of k
+  // threads needs only k - 1 dedicated workers.
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+bool ThreadPool::InWorkerThread() { return t_in_pool_worker; }
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutdown with a drained queue
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) {
+  if (n <= 0) {
+    return;
+  }
+  if (n == 1 || num_threads_ == 1 || InWorkerThread()) {
+    for (int64_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  struct SharedState {
+    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;
+    int64_t n = 0;
+  };
+  auto state = std::make_shared<SharedState>();
+  state->n = n;
+
+  const auto drain = [state, &fn] {
+    for (;;) {
+      const int64_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state->n) {
+        return;
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->error) {
+          state->error = std::current_exception();
+        }
+      }
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == state->n) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  const int64_t helpers =
+      std::min<int64_t>(static_cast<int64_t>(workers_.size()), n - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int64_t i = 0; i < helpers; ++i) {
+      queue_.emplace_back(drain);
+    }
+  }
+  cv_.notify_all();
+
+  drain();  // the calling thread works too
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] { return state->done.load(std::memory_order_acquire) == n; });
+    if (state->error) {
+      std::rethrow_exception(state->error);
+    }
+  }
+}
+
+}  // namespace hetpipe::runner

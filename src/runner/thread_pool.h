@@ -1,0 +1,51 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hetpipe::runner {
+
+// Fixed-size worker pool for the sweep runner and the partitioner's GPU-order
+// search. Nested use is safe: ParallelFor called from inside a pool worker
+// runs its body inline on the calling thread instead of re-submitting, so a
+// task that itself fans out (e.g. an experiment whose partitioner
+// parallelizes its order search over the same pool) can never deadlock.
+class ThreadPool {
+ public:
+  // num_threads <= 0 selects the hardware concurrency (at least 1). A pool of
+  // 1 executes everything on the calling thread.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // True when the calling thread is one of this process's pool workers.
+  static bool InWorkerThread();
+
+  // Runs fn(0), ..., fn(n - 1), distributing indices over the workers, and
+  // returns when all have finished. The calling thread participates. If any
+  // invocation throws, the first exception (in completion order) is rethrown
+  // after all indices finish or are abandoned.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace hetpipe::runner

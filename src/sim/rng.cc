@@ -1,10 +1,11 @@
 #include "sim/rng.h"
 
 #include <cmath>
-#include <numbers>
 
 namespace hetpipe::sim {
 namespace {
+
+constexpr double kPi = 3.14159265358979323846;
 
 uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
@@ -60,7 +61,7 @@ double Rng::Normal() {
     u1 = 0x1.0p-53;
   }
   const double r = std::sqrt(-2.0 * std::log(u1));
-  const double theta = 2.0 * std::numbers::pi * u2;
+  const double theta = 2.0 * kPi * u2;
   cached_normal_ = r * std::sin(theta);
   have_cached_normal_ = true;
   return r * std::cos(theta);

@@ -25,8 +25,12 @@ RegretResult RunRegretExperiment(const Dataset& data, const RegretExperimentOpti
   const LinearRegressionModel model(data.dim);
 
   RegretResult result;
-  Tensor w_star;
-  result.optimum_loss = SolveOptimum(model, data, /*iters=*/500, /*lr=*/0.2, &w_star);
+  if (options.precomputed_optimum_loss >= 0.0) {
+    result.optimum_loss = options.precomputed_optimum_loss;
+  } else {
+    Tensor w_star;
+    result.optimum_loss = SolveOptimum(model, data, /*iters=*/500, /*lr=*/0.2, &w_star);
+  }
 
   double prev_regret = std::numeric_limits<double>::infinity();
   for (int64_t waves : options.horizons) {

@@ -22,6 +22,9 @@ struct RegretExperimentOptions {
   double lr = 0.1;
   uint64_t seed = 7;
   std::vector<int64_t> horizons = {64, 256, 1024};  // waves per measurement
+  // When >= 0, used as f(w*) instead of re-running SolveOptimum — lets a
+  // sweep solve the optimum once and fan the horizons out in parallel.
+  double precomputed_optimum_loss = -1.0;
 };
 
 struct RegretPoint {

@@ -1,0 +1,397 @@
+// Tests for the parallel sweep runner subsystem: thread pool, partition
+// cache, result sinks, and the determinism guarantee — a multi-threaded
+// sweep must be element-wise identical to the serial run, and cache hits
+// must return exactly what a cold solve returns.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/experiment.h"
+#include "hw/cluster.h"
+#include "model/resnet.h"
+#include "model/vgg.h"
+#include "partition/partitioner.h"
+#include "runner/partition_cache.h"
+#include "runner/result_sink.h"
+#include "runner/sweep_runner.h"
+#include "runner/thread_pool.h"
+
+namespace hetpipe::runner {
+namespace {
+
+// ---- ThreadPool ----
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> counts(257);
+  pool.ParallelFor(257, [&](int64_t i) { counts[static_cast<size_t>(i)].fetch_add(1); });
+  for (const auto& c : counts) {
+    EXPECT_EQ(c.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(16, [&](int64_t) {
+    // From inside a worker this must degrade to a serial inline loop instead
+    // of deadlocking on the queue.
+    pool.ParallelFor(16, [&](int64_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 16 * 16);
+}
+
+TEST(ThreadPoolTest, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(64,
+                       [&](int64_t i) {
+                         if (i == 13) {
+                           throw std::runtime_error("boom");
+                         }
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  int64_t sum = 0;  // no atomics needed: everything runs on this thread
+  pool.ParallelFor(100, [&](int64_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950);
+}
+
+// ---- PartitionCache ----
+
+void ExpectSamePartition(const partition::Partition& a, const partition::Partition& b) {
+  ASSERT_EQ(a.feasible, b.feasible);
+  ASSERT_EQ(a.num_stages(), b.num_stages());
+  EXPECT_EQ(a.bottleneck_time, b.bottleneck_time);
+  EXPECT_EQ(a.sum_time, b.sum_time);
+  for (int q = 0; q < a.num_stages(); ++q) {
+    const auto& sa = a.stages[static_cast<size_t>(q)];
+    const auto& sb = b.stages[static_cast<size_t>(q)];
+    EXPECT_EQ(sa.first_layer, sb.first_layer);
+    EXPECT_EQ(sa.last_layer, sb.last_layer);
+    EXPECT_EQ(sa.gpu_id, sb.gpu_id);
+    EXPECT_EQ(sa.gpu_type, sb.gpu_type);
+    EXPECT_EQ(sa.node, sb.node);
+    EXPECT_EQ(sa.fwd_compute_s, sb.fwd_compute_s);
+    EXPECT_EQ(sa.bwd_compute_s, sb.bwd_compute_s);
+    EXPECT_EQ(sa.fwd_comm_in_s, sb.fwd_comm_in_s);
+    EXPECT_EQ(sa.bwd_comm_in_s, sb.bwd_comm_in_s);
+    EXPECT_EQ(sa.param_bytes, sb.param_bytes);
+    EXPECT_EQ(sa.memory_bytes, sb.memory_bytes);
+    EXPECT_EQ(sa.memory_cap, sb.memory_cap);
+  }
+}
+
+TEST(PartitionCacheTest, HitReturnsColdSolveExactly) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  const partition::Partitioner partitioner(profile, cluster);
+  PartitionCache cache;
+
+  for (int nm : {1, 2, 4}) {
+    partition::PartitionOptions options;
+    options.nm = nm;
+    const partition::Partition cold = partitioner.Solve({0, 4, 8, 12}, options);
+    const partition::Partition miss = cache.Solve(partitioner, {0, 4, 8, 12}, options);
+    const partition::Partition hit = cache.Solve(partitioner, {0, 4, 8, 12}, options);
+    ExpectSamePartition(cold, miss);
+    ExpectSamePartition(cold, hit);
+  }
+  EXPECT_EQ(cache.misses(), 3);
+  EXPECT_EQ(cache.hits(), 3);
+  EXPECT_EQ(cache.size(), 3);
+}
+
+TEST(PartitionCacheTest, RemapsSameShapeDifferentGpuIds) {
+  // The four ED virtual workers of the paper cluster all have shape
+  // {V@0, R@1, G@2, Q@3} with different GPU ids; one solve must serve all.
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildVgg19();
+  const model::ModelProfile profile(graph, 32);
+  const partition::Partitioner partitioner(profile, cluster);
+  PartitionCache cache;
+
+  partition::PartitionOptions options;
+  options.nm = 3;
+  cache.Solve(partitioner, {0, 4, 8, 12}, options);
+  EXPECT_EQ(cache.misses(), 1);
+  for (const std::vector<int>& vw : {std::vector<int>{1, 5, 9, 13},
+                                     std::vector<int>{2, 6, 10, 14},
+                                     std::vector<int>{3, 7, 11, 15}}) {
+    const partition::Partition direct = partitioner.Solve(vw, options);
+    const partition::Partition cached = cache.Solve(partitioner, vw, options);
+    ExpectSamePartition(direct, cached);  // includes the remapped gpu ids
+  }
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(), 3);
+}
+
+TEST(PartitionCacheTest, FixedOrderSolvesKeyOnTheOrder) {
+  // With the order search off, gpu_ids order IS the stage order: two orders
+  // of the same multiset are different problems and must not share an entry.
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  const partition::Partitioner partitioner(profile, cluster);
+  PartitionCache cache;
+
+  partition::PartitionOptions options;
+  options.nm = 1;
+  options.search_gpu_orders = false;
+  const std::vector<int> vr = {0, 4};  // V stage 0, R stage 1
+  const std::vector<int> rv = {4, 0};  // R stage 0, V stage 1
+  ExpectSamePartition(partitioner.Solve(vr, options), cache.Solve(partitioner, vr, options));
+  ExpectSamePartition(partitioner.Solve(rv, options), cache.Solve(partitioner, rv, options));
+  EXPECT_EQ(cache.misses(), 2);
+  ExpectSamePartition(partitioner.Solve(rv, options), cache.Solve(partitioner, rv, options));
+  EXPECT_EQ(cache.hits(), 1);
+}
+
+TEST(PartitionCacheTest, DistinguishesNmAndMemParams) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  const partition::Partitioner partitioner(profile, cluster);
+  PartitionCache cache;
+
+  partition::PartitionOptions a;
+  a.nm = 1;
+  partition::PartitionOptions b = a;
+  b.nm = 2;
+  partition::PartitionOptions c = a;
+  c.mem_params.stash_weights = false;
+  cache.Solve(partitioner, {0, 4, 8, 12}, a);
+  cache.Solve(partitioner, {0, 4, 8, 12}, b);
+  cache.Solve(partitioner, {0, 4, 8, 12}, c);
+  EXPECT_EQ(cache.misses(), 3);
+  EXPECT_EQ(cache.hits(), 0);
+}
+
+// ---- Partitioner: pruning and parallel order search never change results ----
+
+TEST(PartitionerSearchTest, PruningAndParallelSearchAreExact) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  ThreadPool pool(8);
+  for (const bool vgg : {false, true}) {
+    const model::ModelGraph graph = vgg ? model::BuildVgg19() : model::BuildResNet152();
+    const model::ModelProfile profile(graph, 32);
+    const partition::Partitioner partitioner(profile, cluster);
+    for (const char* codes : {"VRGQ", "VVQQ", "RRGG"}) {
+      for (int nm : {1, 3, 5}) {
+        const std::vector<int> gpus = core::PickGpusByCode(cluster, codes);
+        partition::PartitionOptions unpruned;
+        unpruned.nm = nm;
+        unpruned.prune = false;
+        partition::PartitionOptions pruned = unpruned;
+        pruned.prune = true;
+        partition::PartitionOptions parallel = pruned;
+        parallel.pool = &pool;
+
+        const partition::Partition base = partitioner.Solve(gpus, unpruned);
+        ExpectSamePartition(base, partitioner.Solve(gpus, pruned));
+        ExpectSamePartition(base, partitioner.Solve(gpus, parallel));
+      }
+    }
+  }
+}
+
+// ---- ResultSink ----
+
+TEST(ResultSinkTest, JsonlEscapesAndTypes) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  ResultRow row;
+  row.Set("name", "a \"quoted\" label").Set("n", 3).Set("x", 1.5).Set("ok", true);
+  sink.Write(row);
+  EXPECT_EQ(out.str(), "{\"name\":\"a \\\"quoted\\\" label\",\"n\":3,\"x\":1.5,\"ok\":true}\n");
+}
+
+TEST(ResultSinkTest, CsvUnionsColumnsAcrossRows) {
+  std::ostringstream out;
+  {
+    CsvSink sink(out);
+    ResultRow a;
+    a.Set("name", "first").Set("x", 1.0);
+    ResultRow b;
+    b.Set("name", "with,comma").Set("y", 2);
+    sink.Write(a);
+    sink.Write(b);
+    sink.Flush();
+  }
+  EXPECT_EQ(out.str(),
+            "name,x,y\n"
+            "first,1,\n"
+            "\"with,comma\",,2\n");
+}
+
+TEST(ResultSinkTest, CsvKeepsWritingAcrossFlushes) {
+  // Benches flush after every sweep batch; rows written after the first
+  // Flush must still reach the output (header only once).
+  std::ostringstream out;
+  CsvSink sink(out);
+  ResultRow a;
+  a.Set("name", "r1").Set("x", 1);
+  sink.Write(a);
+  sink.Flush();
+  ResultRow b;
+  b.Set("name", "r2").Set("x", 2);
+  sink.Write(b);
+  sink.Flush();
+  sink.Flush();  // idempotent with nothing buffered
+  EXPECT_EQ(out.str(),
+            "name,x\n"
+            "r1,1\n"
+            "r2,2\n");
+}
+
+TEST(ResultSinkTest, RowGetRendersValues) {
+  ResultRow row;
+  row.Set("a", 2.5).Set("b", "text").Set("c", false);
+  EXPECT_EQ(row.Get("a"), "2.5");
+  EXPECT_EQ(row.Get("b"), "text");
+  EXPECT_EQ(row.Get("c"), "false");
+  EXPECT_EQ(row.Get("missing"), "");
+}
+
+// ---- SweepRunner determinism: the ISSUE's acceptance test ----
+
+std::vector<core::Experiment> BuildDeterminismSweep() {
+  // 2 models x 7 VW shapes x 5 Nm = 70 >= 64 configurations.
+  const char* kCodes[] = {"VVVV", "RRRR", "GGGG", "QQQQ", "VRGQ", "VVQQ", "RRGG"};
+  std::vector<core::Experiment> experiments;
+  for (core::ModelKind model : {core::ModelKind::kResNet152, core::ModelKind::kVgg19}) {
+    for (const char* codes : kCodes) {
+      for (int nm = 1; nm <= 5; ++nm) {
+        core::Experiment e;
+        e.kind = core::ExperimentKind::kSingleVirtualWorker;
+        e.model = model;
+        e.vw_codes = codes;
+        e.config.nm = nm;
+        e.config.jitter_cv = 0.05;  // exercise the seeded RNG path too
+        e.config.waves = 12;
+        e.config.warmup_waves = 2;
+        experiments.push_back(std::move(e));
+      }
+    }
+  }
+  return experiments;
+}
+
+void ExpectSameResults(const std::vector<core::ExperimentResult>& a,
+                       const std::vector<core::ExperimentResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name) << i;
+    EXPECT_EQ(a[i].feasible, b[i].feasible) << i;
+    EXPECT_EQ(a[i].throughput_img_s, b[i].throughput_img_s) << i;  // bit-identical
+    ExpectSamePartition(a[i].partition, b[i].partition);
+  }
+}
+
+TEST(SweepRunnerTest, EightThreadSweepMatchesSerialElementwise) {
+  const std::vector<core::Experiment> experiments = BuildDeterminismSweep();
+  ASSERT_GE(experiments.size(), 64u);
+
+  // Ground truth: direct serial execution with no cache and no pool.
+  std::vector<core::ExperimentResult> direct;
+  direct.reserve(experiments.size());
+  for (const core::Experiment& e : experiments) {
+    direct.push_back(core::RunExperiment(e));
+  }
+
+  SweepOptions serial_options;
+  serial_options.threads = 1;
+  SweepRunner serial(serial_options);
+  ExpectSameResults(direct, serial.Run(experiments));
+
+  SweepOptions parallel_options;
+  parallel_options.threads = 8;
+  SweepRunner parallel(parallel_options);
+  ExpectSameResults(direct, parallel.Run(experiments));
+  EXPECT_GT(parallel.cache().hits() + parallel.cache().misses(), 0);
+
+  // Re-running on the warm cache must change nothing either.
+  ExpectSameResults(direct, parallel.Run(experiments));
+}
+
+TEST(SweepRunnerTest, RunWritesRowsInExperimentOrder) {
+  std::vector<core::Experiment> experiments;
+  for (int nm : {1, 2, 3}) {
+    core::Experiment e;
+    e.name = "nm" + std::to_string(nm);
+    e.kind = core::ExperimentKind::kSingleVirtualWorker;
+    e.model = core::ModelKind::kVgg19;
+    e.vw_codes = "VRGQ";
+    e.config.nm = nm;
+    e.config.waves = 8;
+    e.config.warmup_waves = 2;
+    experiments.push_back(std::move(e));
+  }
+
+  std::ostringstream out;
+  JsonlSink sink(out);
+  SweepOptions options;
+  options.threads = 8;
+  options.sink = &sink;
+  SweepRunner sweep(options);
+  sweep.Run(experiments);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  for (int nm : {1, 2, 3}) {
+    ASSERT_TRUE(static_cast<bool>(std::getline(lines, line)));
+    EXPECT_NE(line.find("\"name\":\"nm" + std::to_string(nm) + "\""), std::string::npos)
+        << line;
+  }
+}
+
+TEST(SweepRunnerTest, MapIsDeterministicAndOrdered) {
+  SweepOptions options;
+  options.threads = 8;
+  SweepRunner sweep(options);
+  const std::vector<int64_t> squares =
+      sweep.Map<int64_t>(100, [](int64_t i) { return i * i; });
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(squares[static_cast<size_t>(i)], i * i);
+  }
+}
+
+TEST(SweepRunnerTest, FullClusterExperimentsMatchDirectHetPipeRun) {
+  // The cached, pooled full-cluster path must agree with a direct
+  // HetPipe::Run using no cache at all.
+  core::Experiment e;
+  e.kind = core::ExperimentKind::kFullCluster;
+  e.model = core::ModelKind::kVgg19;
+  e.config = core::EdLocalConfig(/*d=*/4, /*jitter_cv=*/0.1);
+  e.config.waves = 12;
+  e.config.warmup_waves = 2;
+
+  SweepOptions options;
+  options.threads = 8;
+  SweepRunner sweep(options);
+  const auto results = sweep.Run({e, e, e});
+
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildVgg19();
+  core::HetPipeConfig config = e.config;
+  config.partition_cache = nullptr;
+  config.pool = nullptr;
+  const core::HetPipeReport direct = core::HetPipe(cluster, graph, config).Run();
+
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.throughput_img_s, direct.throughput_img_s);
+    EXPECT_EQ(r.report.nm, direct.nm);
+    EXPECT_EQ(r.report.avg_clock_distance, direct.avg_clock_distance);
+  }
+}
+
+}  // namespace
+}  // namespace hetpipe::runner
