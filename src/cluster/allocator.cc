@@ -20,18 +20,19 @@ const char* PolicyName(AllocationPolicy policy) {
 }
 
 int ComputeRank(hw::GpuType type) {
-  // §8.1: in terms of computation power, V > R > G > Q.
-  switch (type) {
-    case hw::GpuType::kTitanV:
-      return 0;
-    case hw::GpuType::kTitanRtx:
-      return 1;
-    case hw::GpuType::kRtx2060:
-      return 2;
-    case hw::GpuType::kQuadroP4000:
-      return 3;
+  // Rank by sustained compute throughput, strongest first. On the paper
+  // classes this reproduces §8.1's ordering V > R > G > Q; registered classes
+  // slot in by their declared TFLOPS (ties break toward the earlier class).
+  const hw::GpuSpec& mine = hw::SpecOf(type);
+  int rank = 0;
+  for (const hw::GpuSpec& other : hw::AllGpuSpecs()) {
+    if (other.effective_tflops > mine.effective_tflops ||
+        (other.effective_tflops == mine.effective_tflops &&
+         static_cast<int>(other.type) < static_cast<int>(type))) {
+      ++rank;
+    }
   }
-  return 3;
+  return rank;
 }
 
 std::string Allocation::ToString(const hw::Cluster& cluster) const {
@@ -59,6 +60,9 @@ Allocation AllocateNp(const hw::Cluster& cluster) {
 }
 
 Allocation AllocateEd(const hw::Cluster& cluster) {
+  // One GPU of every node per virtual worker. On clusters with unequal node
+  // sizes the number of VWs is the largest node's GPU count, and smaller
+  // nodes simply contribute to the first VWs only.
   Allocation allocation;
   allocation.policy = AllocationPolicy::kEqualDistribution;
   allocation.vw_gpus.resize(static_cast<size_t>(cluster.gpus_per_node()));
@@ -72,7 +76,8 @@ Allocation AllocateEd(const hw::Cluster& cluster) {
 }
 
 Allocation AllocateHd(const hw::Cluster& cluster) {
-  if (cluster.num_nodes() != 4 || cluster.gpus_per_node() != 4) {
+  if (cluster.num_nodes() != 4 || cluster.gpus_per_node() != 4 ||
+      !cluster.UniformGpusPerNode()) {
     throw std::invalid_argument("HD allocation requires a 4-node x 4-GPU cluster");
   }
   // Order nodes by compute power, then pair (strongest, weakest) and the two

@@ -1,9 +1,12 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <cctype>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
+#include "hw/cluster_spec.h"
 #include "model/resnet.h"
 #include "model/vgg.h"
 #include "pipeline/virtual_worker.h"
@@ -12,15 +15,34 @@
 #include "sim/simulator.h"
 
 namespace hetpipe::core {
+namespace {
 
-std::vector<int> PickGpusByCode(const hw::Cluster& cluster, const std::string& codes) {
-  std::vector<int> picked;
-  std::vector<bool> used(static_cast<size_t>(cluster.num_gpus()), false);
-  for (char code : codes) {
-    const hw::GpuType type = hw::TypeFromCode(code);
+// Strict non-negative integer parse: the whole token must be digits, so
+// malformed selector suffixes ("2junk", "0*2") fail loudly instead of
+// silently truncating at the first non-digit.
+int ParseSelectorInt(const std::string& token, const std::string& what) {
+  if (token.empty() ||
+      !std::all_of(token.begin(), token.end(),
+                   [](char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; })) {
+    throw std::invalid_argument("selector: expected a number for " + what + ", got \"" +
+                                token + "\"");
+  }
+  try {
+    return std::stoi(token);
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("selector: number out of range for " + what + ": \"" + token +
+                                "\"");
+  }
+}
+
+// Picks `count` unused GPUs of `type` (on `node` unless -1), in id order.
+void PickByType(const hw::Cluster& cluster, hw::GpuType type, int count, int node,
+                const std::string& what, std::vector<bool>& used, std::vector<int>& picked) {
+  for (int c = 0; c < count; ++c) {
     bool found = false;
     for (const hw::Gpu& gpu : cluster.gpus()) {
-      if (gpu.type == type && !used[static_cast<size_t>(gpu.id)]) {
+      if (gpu.type == type && (node < 0 || gpu.node == node) &&
+          !used[static_cast<size_t>(gpu.id)]) {
         used[static_cast<size_t>(gpu.id)] = true;
         picked.push_back(gpu.id);
         found = true;
@@ -28,8 +50,78 @@ std::vector<int> PickGpusByCode(const hw::Cluster& cluster, const std::string& c
       }
     }
     if (!found) {
-      throw std::invalid_argument("cluster has no free GPU of type " + std::string(1, code));
+      throw std::invalid_argument("cluster has no free GPU matching " + what);
     }
+  }
+}
+
+}  // namespace
+
+std::vector<int> PickGpusByCode(const hw::Cluster& cluster, const std::string& codes) {
+  std::vector<int> picked;
+  std::vector<bool> used(static_cast<size_t>(cluster.num_gpus()), false);
+  for (char code : codes) {
+    PickByType(cluster, hw::TypeFromCode(code), 1, /*node=*/-1,
+               "type " + std::string(1, code), used, picked);
+  }
+  return picked;
+}
+
+std::vector<int> PickGpus(const hw::Cluster& cluster, const std::string& selector) {
+  const bool term_form = selector.find_first_of(",*@") != std::string::npos;
+  if (!term_form && hw::FindGpuTypeByName(selector) == nullptr) {
+    // A code string ("VVQQ") when every character is a known code letter and
+    // the selector is not itself a class name (names win, so a class called
+    // "GQ" is never shadowed by the G/Q code letters).
+    const bool all_codes = !selector.empty() &&
+                           std::all_of(selector.begin(), selector.end(), [](char c) {
+                             try {
+                               hw::TypeFromCode(c);
+                               return true;
+                             } catch (const std::invalid_argument&) {
+                               return false;
+                             }
+                           });
+    if (all_codes) {
+      return PickGpusByCode(cluster, selector);
+    }
+  }
+
+  std::vector<int> picked;
+  std::vector<bool> used(static_cast<size_t>(cluster.num_gpus()), false);
+  size_t start = 0;
+  while (start <= selector.size()) {
+    const size_t comma = std::min(selector.find(',', start), selector.size());
+    std::string term = selector.substr(start, comma - start);
+    start = comma + 1;
+    if (term.empty()) {
+      continue;
+    }
+    int node = -1;
+    const size_t at = term.find('@');
+    if (at != std::string::npos) {
+      node = ParseSelectorInt(term.substr(at + 1), "node in \"" + term + "\"");
+      term.resize(at);
+    }
+    int count = 1;
+    const size_t star = term.find('*');
+    if (star != std::string::npos) {
+      count = ParseSelectorInt(term.substr(star + 1), "count in \"" + term + "\"");
+      term.resize(star);
+    }
+    const hw::GpuSpec* spec = hw::FindGpuTypeByName(term);
+    const hw::GpuType type = spec != nullptr
+                                 ? spec->type
+                                 : (term.size() == 1 ? hw::TypeFromCode(term[0])
+                                                     : throw std::invalid_argument(
+                                                           "unknown GPU class \"" + term + "\""));
+    if (count <= 0) {
+      throw std::invalid_argument("selector term " + term + " needs a positive count");
+    }
+    PickByType(cluster, type, count, node, "\"" + term + "\"", used, picked);
+  }
+  if (picked.empty()) {
+    throw std::invalid_argument("empty GPU selector");
   }
   return picked;
 }
@@ -104,9 +196,69 @@ std::string NodeCodesOf(const hw::Cluster& cluster) {
   return codes;
 }
 
+Experiment& Experiment::UseGraph(const model::ModelGraph& model_graph) {
+  graph = &model_graph;
+  model_name = model_graph.name();
+  switch (model_graph.family()) {
+    case model::ModelFamily::kResNet152:
+      model = ModelKind::kResNet152;
+      break;
+    case model::ModelFamily::kVgg19:
+      model = ModelKind::kVgg19;
+      break;
+    case model::ModelFamily::kGeneric:
+      break;  // only the pointer + name describe it
+  }
+  return *this;
+}
+
+Experiment& Experiment::UseCluster(const hw::Cluster& cluster) {
+  if (!cluster.spec_text().empty()) {
+    cluster_spec = cluster.spec_text();
+    cluster_label = cluster.name().empty() ? "spec" : cluster.name();
+    return *this;
+  }
+  // Without spec text the cluster can only be carried as paper node codes,
+  // which RunExperiment rebuilds via PaperSubset (4 GPUs per node, default
+  // links). Refuse anything that reduction would silently misrepresent —
+  // including non-default link models, which two transfer-time probes per
+  // link fully detect (the models are affine in the byte count).
+  const hw::PcieLink default_pcie;
+  const hw::InfinibandLink default_ib;
+  const bool default_links =
+      cluster.pcie().TransferTime(0) == default_pcie.TransferTime(0) &&
+      cluster.pcie().TransferTime(1ULL << 20) == default_pcie.TransferTime(1ULL << 20) &&
+      cluster.infiniband().TransferTime(0) == default_ib.TransferTime(0) &&
+      cluster.infiniband().TransferTime(1ULL << 20) == default_ib.TransferTime(1ULL << 20);
+  bool paper_nodes = true;
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    paper_nodes = paper_nodes && static_cast<int>(cluster.NodeType(n)) < hw::kNumGpuTypes &&
+                  cluster.NodeGpuCount(n) == 4;
+  }
+  if (!paper_nodes || !default_links) {
+    throw std::invalid_argument(
+        "UseCluster: non-paper clusters must be built from a hw::ClusterSpec "
+        "(spec_text is empty, so this cluster cannot be rebuilt faithfully)");
+  }
+  cluster_nodes = NodeCodesOf(cluster);
+  cluster_label.clear();
+  return *this;
+}
+
+std::string Experiment::ModelLabel() const {
+  return model_name.empty() ? ModelName(model) : model_name;
+}
+
+std::string Experiment::ClusterLabel() const {
+  if (!cluster_label.empty()) {
+    return cluster_label;
+  }
+  return cluster_spec.empty() ? cluster_nodes : "spec";
+}
+
 std::string Experiment::Describe() const {
   std::ostringstream os;
-  os << KindName(kind) << " " << ModelName(model) << " " << cluster_nodes;
+  os << KindName(kind) << " " << ModelLabel() << " " << ClusterLabel();
   if (!vw_codes.empty()) {
     os << " vw=" << vw_codes;
   }
@@ -143,7 +295,7 @@ ExperimentResult RunPartitionOnly(const Experiment& experiment, const hw::Cluste
   ExperimentResult result;
   const model::ModelProfile profile(graph, experiment.config.batch_size);
   const partition::Partitioner partitioner(profile, cluster);
-  const std::vector<int> gpu_ids = PickGpusByCode(cluster, experiment.vw_codes);
+  const std::vector<int> gpu_ids = PickGpus(cluster, experiment.vw_codes);
   const int nm = std::max(1, experiment.config.nm);
 
   if (experiment.strategy == PartitionStrategy::kMinMaxDp) {
@@ -188,8 +340,15 @@ ExperimentResult RunPartitionOnly(const Experiment& experiment, const hw::Cluste
 }  // namespace
 
 ExperimentResult RunExperiment(const Experiment& experiment) {
-  const hw::Cluster cluster = hw::Cluster::PaperSubset(experiment.cluster_nodes);
-  const model::ModelGraph graph = BuildModel(experiment.model);
+  const hw::Cluster cluster = experiment.cluster_spec.empty()
+                                  ? hw::Cluster::PaperSubset(experiment.cluster_nodes)
+                                  : hw::ClusterSpec::Parse(experiment.cluster_spec).Build();
+  std::optional<model::ModelGraph> built_model;
+  if (experiment.graph == nullptr) {
+    built_model.emplace(BuildModel(experiment.model));
+  }
+  const model::ModelGraph& graph =
+      experiment.graph != nullptr ? *experiment.graph : *built_model;
 
   ExperimentResult result;
   switch (experiment.kind) {
@@ -200,7 +359,7 @@ ExperimentResult RunExperiment(const Experiment& experiment) {
       break;
     }
     case ExperimentKind::kSingleVirtualWorker: {
-      const std::vector<int> gpu_ids = PickGpusByCode(cluster, experiment.vw_codes);
+      const std::vector<int> gpu_ids = PickGpus(cluster, experiment.vw_codes);
       const int nm = std::max(1, experiment.config.nm);
       result.report =
           HetPipe::RunSingleVirtualWorker(cluster, graph, gpu_ids, nm, experiment.config);
@@ -262,8 +421,7 @@ std::vector<Fig3Point> RunFig3Config(const hw::Cluster& cluster, const model::Mo
   for (int nm = 1; nm <= nm_max; ++nm) {
     Experiment e;
     e.kind = ExperimentKind::kSingleVirtualWorker;
-    e.model = ModelKindOf(graph);
-    e.cluster_nodes = NodeCodesOf(cluster);
+    e.UseGraph(graph).UseCluster(cluster);
     e.vw_codes = codes;
     e.config.nm = nm;
     e.config.waves = 40;
@@ -312,16 +470,14 @@ std::vector<Fig4Row> RunFig4(const hw::Cluster& cluster, const model::ModelGraph
     Experiment e;
     e.name = "Horovod";
     e.kind = ExperimentKind::kHorovod;
-    e.model = ModelKindOf(graph);
-    e.cluster_nodes = NodeCodesOf(cluster);
+    e.UseGraph(graph).UseCluster(cluster);
     experiments.push_back(std::move(e));
   }
   for (const PolicyRow& policy : kPolicies) {
     Experiment e;
     e.name = policy.label;
     e.kind = ExperimentKind::kFullCluster;
-    e.model = ModelKindOf(graph);
-    e.cluster_nodes = NodeCodesOf(cluster);
+    e.UseGraph(graph).UseCluster(cluster);
     e.config.allocation = policy.allocation;
     e.config.placement = policy.placement;
     e.config.sync = wsp::SyncPolicy::Wsp(0);
@@ -366,13 +522,13 @@ std::vector<Table4Cell> RunTable4(const model::ModelGraph& graph, double jitter_
   for (const auto& subset : kSubsets) {
     Experiment horovod;
     horovod.kind = ExperimentKind::kHorovod;
-    horovod.model = ModelKindOf(graph);
+    horovod.UseGraph(graph);
     horovod.cluster_nodes = subset.nodes;
     experiments.push_back(std::move(horovod));
 
     Experiment hetpipe;
     hetpipe.kind = ExperimentKind::kFullCluster;
-    hetpipe.model = ModelKindOf(graph);
+    hetpipe.UseGraph(graph);
     hetpipe.cluster_nodes = subset.nodes;
     // A single node forms one virtual worker (the paper's V4 case); multiple
     // nodes use ED with local parameter placement.
@@ -509,8 +665,10 @@ std::vector<StalenessWaitRow> RunStalenessWaitStudy(const model::ModelGraph& gra
                                                     runner::SweepRunner* runner) {
   std::vector<Experiment> experiments;
   for (int d : d_values) {
-    experiments.push_back(EdLocalExperiment("D=" + std::to_string(d), ModelKindOf(graph),
-                                            "VRGQ", d, jitter_cv));
+    Experiment e = EdLocalExperiment("D=" + std::to_string(d), ModelKind::kResNet152, "VRGQ",
+                                     d, jitter_cv);
+    e.UseGraph(graph);
+    experiments.push_back(std::move(e));
   }
   const std::vector<ExperimentResult> results = RunOn(runner, experiments);
 

@@ -22,6 +22,14 @@ namespace hetpipe::core {
 // (node 3) — the Fig. 3 virtual-worker configurations.
 std::vector<int> PickGpusByCode(const hw::Cluster& cluster, const std::string& codes);
 
+// Spec-driven GPU selection for any cluster. A selector is either a code
+// string as above ("VVQQ"), or a comma-separated list of terms
+//   <class-name>[*<count>][@<node>]
+// e.g. "A100*2,T4" or "A100*2@0,A100*2@1". Each term picks `count` unused
+// GPUs of that class (from node `node` when given), in GPU-id order. Throws
+// std::invalid_argument when the cluster cannot satisfy the selector.
+std::vector<int> PickGpus(const hw::Cluster& cluster, const std::string& selector);
+
 // ---- One experiment = one independently runnable configuration. ----
 // Experiments are cheap value types described by names and codes (not live
 // cluster/graph objects) so the sweep runner can copy them across threads and
@@ -33,7 +41,9 @@ enum class ModelKind {
 };
 const char* ModelName(ModelKind kind);
 model::ModelGraph BuildModel(ModelKind kind);
-// Maps a built graph back to its kind (throws for generic graphs).
+// Maps a built graph back to its kind (throws for generic graphs — callers
+// that may see generic graphs should use Experiment::UseGraph, which carries
+// the model name instead of dying here).
 ModelKind ModelKindOf(const model::ModelGraph& graph);
 
 // How kPartitionOnly experiments split the model over the virtual worker.
@@ -58,10 +68,24 @@ struct Experiment {
   std::string name;  // row label, defaults to an auto-generated description
   ExperimentKind kind = ExperimentKind::kFullCluster;
   ModelKind model = ModelKind::kResNet152;
+  // Model to run when not null: a caller-owned graph (e.g. a generic model no
+  // ModelKind names) shared read-only across sweep threads. `model` is
+  // ignored in that case and `model_name` labels the rows.
+  const model::ModelGraph* graph = nullptr;
+  // Row label for the model; empty means ModelName(model).
+  std::string model_name;
   // Paper-testbed node codes handed to hw::Cluster::PaperSubset ("VRGQ" is
-  // the full 16-GPU cluster of Fig. 2).
+  // the full 16-GPU cluster of Fig. 2). Ignored when cluster_spec is set.
   std::string cluster_nodes = "VRGQ";
-  // GPU codes of the virtual worker for the single-VW / partition-only kinds.
+  // hw::ClusterSpec text (see cluster_spec.h) describing an arbitrary
+  // cluster; when set it replaces cluster_nodes and the experiment runs on
+  // the spec-built cluster. Kept as text so Experiment stays a cheap value
+  // type the sweep runner can copy across threads and processes.
+  std::string cluster_spec;
+  // Row label for the cluster; empty means cluster_nodes (or the spec name).
+  std::string cluster_label;
+  // GPU selector for the virtual worker of the single-VW / partition-only
+  // kinds: a code string or a PickGpus selector ("A100*2,T4").
   std::string vw_codes;
   PartitionStrategy strategy = PartitionStrategy::kMinMaxDp;
   // kPartitionOnly: also run the open-gate pipeline simulation on the result.
@@ -71,6 +95,18 @@ struct Experiment {
   HetPipeConfig config;
   // kPsDataParallel flavor.
   dp::PsDpOptions ps;
+
+  // Runs on `graph` (kept by pointer, not copied): sets model_name, and the
+  // kind too when the graph's family has one. This is how experiments carry
+  // generic models without ModelKindOf throwing.
+  Experiment& UseGraph(const model::ModelGraph& model_graph);
+  // Runs on `cluster`: carries its spec text when it has one (any spec-built
+  // cluster), else its paper node codes.
+  Experiment& UseCluster(const hw::Cluster& cluster);
+
+  // Labels for reports: never throw, even for generic models / spec clusters.
+  std::string ModelLabel() const;
+  std::string ClusterLabel() const;
 
   std::string Describe() const;
 };

@@ -1,18 +1,48 @@
 #include "hw/cluster.h"
 
+#include <algorithm>
 #include <sstream>
+#include <stdexcept>
 
 namespace hetpipe::hw {
+namespace {
+
+std::vector<NodeGpus> UniformNodes(const std::vector<GpuType>& node_types, int gpus_per_node) {
+  std::vector<NodeGpus> nodes;
+  nodes.reserve(node_types.size());
+  for (GpuType type : node_types) {
+    nodes.push_back(NodeGpus{type, gpus_per_node});
+  }
+  return nodes;
+}
+
+}  // namespace
 
 Cluster::Cluster(const std::vector<GpuType>& node_types, int gpus_per_node)
-    : node_types_(node_types),
-      num_nodes_(static_cast<int>(node_types.size())),
-      gpus_per_node_(gpus_per_node) {
+    : Cluster(UniformNodes(node_types, gpus_per_node), PcieLink(), InfinibandLink()) {}
+
+Cluster::Cluster(const std::vector<NodeGpus>& nodes, const PcieLink& pcie,
+                 const InfinibandLink& infiniband, std::string name)
+    : num_nodes_(static_cast<int>(nodes.size())),
+      pcie_(pcie),
+      infiniband_(infiniband),
+      name_(std::move(name)) {
   int id = 0;
   for (int n = 0; n < num_nodes_; ++n) {
-    for (int g = 0; g < gpus_per_node_; ++g) {
-      gpus_.push_back(Gpu{id++, node_types_[static_cast<size_t>(n)], n});
+    const NodeGpus& node = nodes[static_cast<size_t>(n)];
+    if (node.count <= 0) {
+      throw std::invalid_argument("cluster node " + std::to_string(n) +
+                                  " must hold at least one GPU");
     }
+    node_types_.push_back(node.type);
+    node_counts_.push_back(node.count);
+    gpus_per_node_ = std::max(gpus_per_node_, node.count);
+    for (int g = 0; g < node.count; ++g) {
+      gpus_.push_back(Gpu{id++, node.type, n});
+    }
+  }
+  for (int count : node_counts_) {
+    uniform_ = uniform_ && count == gpus_per_node_;
   }
 }
 
@@ -48,14 +78,30 @@ const LinkModel& Cluster::LinkToNode(int gpu_id, int node) const {
 
 std::string Cluster::ToString() const {
   std::ostringstream os;
-  os << num_nodes_ << " nodes x " << gpus_per_node_ << " GPUs [";
+  bool paper_classes = true;
+  for (GpuType type : node_types_) {
+    paper_classes = paper_classes && static_cast<int>(type) < kNumGpuTypes;
+  }
+  if (uniform_ && paper_classes) {
+    os << num_nodes_ << " nodes x " << gpus_per_node_ << " GPUs [";
+    for (int n = 0; n < num_nodes_; ++n) {
+      if (n > 0) {
+        os << '|';
+      }
+      for (int g = 0; g < node_counts_[static_cast<size_t>(n)]; ++g) {
+        os << CodeOf(node_types_[static_cast<size_t>(n)]);
+      }
+    }
+    os << ']';
+    return os.str();
+  }
+  os << num_nodes_ << " nodes [";
   for (int n = 0; n < num_nodes_; ++n) {
     if (n > 0) {
       os << '|';
     }
-    for (int g = 0; g < gpus_per_node_; ++g) {
-      os << CodeOf(node_types_[static_cast<size_t>(n)]);
-    }
+    os << SpecOf(node_types_[static_cast<size_t>(n)]).name << " x"
+       << node_counts_[static_cast<size_t>(n)];
   }
   os << ']';
   return os.str();

@@ -16,13 +16,27 @@ struct Gpu {
   int node = -1;      // node the GPU lives in
 };
 
+// One node of a cluster: a homogeneous set of `count` GPUs of one class.
+struct NodeGpus {
+  GpuType type = GpuType::kTitanV;
+  int count = 0;
+};
+
 // A cluster of H nodes; each node holds a homogeneous set of GPUs, but nodes
-// may differ from one another (Fig. 2 of the paper).
+// may differ from one another in GPU class and count (Fig. 2 of the paper is
+// the uniform 4 x 4 special case). Built either from the paper testbed
+// helpers below or from a declarative hw::ClusterSpec, which may also supply
+// non-default intra-/inter-node link models.
 class Cluster {
  public:
   // Builds a cluster with one entry per node; entry i is the GPU type of node
-  // i, replicated `gpus_per_node` times.
+  // i, replicated `gpus_per_node` times. Paper-default links.
   Cluster(const std::vector<GpuType>& node_types, int gpus_per_node);
+
+  // Fully general form: per-node GPU classes and counts plus explicit link
+  // models. `name` labels the cluster in reports ("" for anonymous).
+  Cluster(const std::vector<NodeGpus>& nodes, const PcieLink& pcie,
+          const InfinibandLink& infiniband, std::string name = "");
 
   // The paper's testbed: 4 nodes x 4 GPUs = V-node, R-node, G-node, Q-node,
   // PCIe 3.0 x16 inside a node, 56 Gbps Infiniband between nodes.
@@ -33,7 +47,13 @@ class Cluster {
   static Cluster PaperSubset(const std::string& node_codes);
 
   int num_nodes() const { return num_nodes_; }
+  // Largest per-node GPU count (the common count on uniform clusters).
   int gpus_per_node() const { return gpus_per_node_; }
+  int NodeGpuCount(int node) const {
+    return node_counts_.at(static_cast<size_t>(node));
+  }
+  // True when every node holds the same number of GPUs.
+  bool UniformGpusPerNode() const { return uniform_; }
   int num_gpus() const { return static_cast<int>(gpus_.size()); }
 
   const Gpu& gpu(int id) const { return gpus_.at(static_cast<size_t>(id)); }
@@ -43,7 +63,7 @@ class Cluster {
 
   bool SameNode(int gpu_a, int gpu_b) const { return gpu(gpu_a).node == gpu(gpu_b).node; }
 
-  // Link used between two GPUs: PCIe within a node, Infiniband across nodes.
+  // Link used between two GPUs: PCIe-class within a node, network across.
   const LinkModel& LinkBetween(int gpu_a, int gpu_b) const;
   // Link between a GPU and a (parameter-server) process on node `node`.
   const LinkModel& LinkToNode(int gpu_id, int node) const;
@@ -51,16 +71,30 @@ class Cluster {
   const PcieLink& pcie() const { return pcie_; }
   const InfinibandLink& infiniband() const { return infiniband_; }
 
-  // Human-readable summary, e.g. "4 nodes x 4 GPUs [VVVV|RRRR|GGGG|QQQQ]".
+  // Spec label and canonical spec text when built from a hw::ClusterSpec
+  // (empty otherwise). The text is what a core::Experiment carries so a sweep
+  // task can rebuild this cluster on any thread or in any process.
+  const std::string& name() const { return name_; }
+  const std::string& spec_text() const { return spec_text_; }
+  void set_spec_text(std::string text) { spec_text_ = std::move(text); }
+
+  // Human-readable summary: "4 nodes x 4 GPUs [VVVV|RRRR|GGGG|QQQQ]" for
+  // uniform paper-class clusters, "3 nodes [A100 x4|A100 x4|T4 x8]" in
+  // general. Stable across processes (class names, not handles), so the
+  // partition cache can key on it.
   std::string ToString() const;
 
  private:
   std::vector<GpuType> node_types_;
+  std::vector<int> node_counts_;
   int num_nodes_ = 0;
   int gpus_per_node_ = 0;
+  bool uniform_ = true;
   std::vector<Gpu> gpus_;
   PcieLink pcie_;
   InfinibandLink infiniband_;
+  std::string name_;
+  std::string spec_text_;
 };
 
 }  // namespace hetpipe::hw

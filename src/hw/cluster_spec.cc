@@ -1,0 +1,330 @@
+#include "hw/cluster_spec.h"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace hetpipe::hw {
+namespace {
+
+[[noreturn]] void Fail(const std::string& what, const std::string& context) {
+  throw std::invalid_argument("cluster spec: " + what +
+                              (context.empty() ? "" : " in \"" + context + "\""));
+}
+
+// Shortest round-trip decimal form, so ToString() -> Parse() is lossless.
+std::string FormatDouble(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) {
+    return std::to_string(v);
+  }
+  return std::string(buf, ptr);
+}
+
+double ParseDouble(const std::string& token, const std::string& context) {
+  double v = 0.0;
+  const char* begin = token.c_str();
+  const auto [ptr, ec] = std::from_chars(begin, begin + token.size(), v);
+  if (ec != std::errc() || ptr != begin + token.size()) {
+    Fail("expected a number, got \"" + token + "\"", context);
+  }
+  return v;
+}
+
+std::vector<std::string> Tokenize(const std::string& statement) {
+  std::vector<std::string> tokens;
+  std::istringstream in(statement);
+  std::string token;
+  while (in >> token) {
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+// Splits "key=value"; returns false when `token` has no '='.
+bool SplitKeyValue(const std::string& token, std::string* key, std::string* value) {
+  const size_t eq = token.find('=');
+  if (eq == std::string::npos) {
+    return false;
+  }
+  *key = token.substr(0, eq);
+  *value = token.substr(eq + 1);
+  return true;
+}
+
+// True for the paper classes' single code letters (V/R/G/Q). Node
+// declarations deliberately accept only built-in letters — registered
+// classes are referenced by name, since their display codes are
+// auto-assigned and thus unstable across processes.
+bool IsBuiltinCodeLetter(const std::string& type) {
+  return type.size() == 1 &&
+         (type == "V" || type == "R" || type == "G" || type == "Q");
+}
+
+// Resolves a node's type string against the spec's declared classes, then the
+// global registry by name, then the built-in code letters.
+GpuType ResolveType(const ClusterSpec& spec, const std::string& type) {
+  for (const GpuClassDecl& decl : spec.gpu_classes) {
+    if (decl.name == type) {
+      return RegisterGpuType(decl.name, decl.tflops, decl.memory_gib, decl.code);
+    }
+  }
+  if (const GpuSpec* known = FindGpuTypeByName(type)) {
+    return known->type;
+  }
+  if (IsBuiltinCodeLetter(type)) {
+    return TypeFromCode(type[0]);
+  }
+  Fail("unknown GPU type \"" + type + "\"", "");
+}
+
+}  // namespace
+
+bool operator==(const GpuClassDecl& a, const GpuClassDecl& b) {
+  return a.name == b.name && a.tflops == b.tflops && a.memory_gib == b.memory_gib &&
+         a.code == b.code;
+}
+
+bool operator==(const NodeDecl& a, const NodeDecl& b) {
+  return a.type == b.type && a.count == b.count;
+}
+
+bool operator==(const ClusterSpec& a, const ClusterSpec& b) {
+  return a.name == b.name && a.gpu_classes == b.gpu_classes && a.nodes == b.nodes &&
+         a.intra_gbps == b.intra_gbps && a.inter_gbits == b.inter_gbits;
+}
+
+ClusterSpec& ClusterSpec::Named(std::string label) {
+  name = std::move(label);
+  return *this;
+}
+
+ClusterSpec& ClusterSpec::AddGpuClass(std::string class_name, double tflops, double memory_gib,
+                                      char code) {
+  gpu_classes.push_back(GpuClassDecl{std::move(class_name), tflops, memory_gib, code});
+  return *this;
+}
+
+ClusterSpec& ClusterSpec::AddNode(std::string type, int count) {
+  nodes.push_back(NodeDecl{std::move(type), count});
+  return *this;
+}
+
+ClusterSpec& ClusterSpec::IntraGbps(double gbps) {
+  intra_gbps = gbps;
+  return *this;
+}
+
+ClusterSpec& ClusterSpec::InterGbits(double gbits) {
+  inter_gbits = gbits;
+  return *this;
+}
+
+ClusterSpec ClusterSpec::Parse(const std::string& text) {
+  ClusterSpec spec;
+  std::string statement;
+  std::vector<std::string> statements;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    const char c = i < text.size() ? text[i] : '\n';
+    if (c == '#') {  // comment to end of line
+      while (i < text.size() && text[i] != '\n') {
+        ++i;
+      }
+      statements.push_back(statement);
+      statement.clear();
+    } else if (c == '\n' || c == ';') {
+      statements.push_back(statement);
+      statement.clear();
+    } else {
+      statement.push_back(c);
+    }
+  }
+
+  for (const std::string& raw : statements) {
+    const std::vector<std::string> tokens = Tokenize(raw);
+    if (tokens.empty()) {
+      continue;
+    }
+    const std::string& verb = tokens[0];
+    if (verb == "name") {
+      if (tokens.size() != 2) {
+        Fail("name takes exactly one label", raw);
+      }
+      spec.name = tokens[1];
+    } else if (verb == "gpu") {
+      if (tokens.size() < 2) {
+        Fail("gpu needs a class name", raw);
+      }
+      GpuClassDecl decl;
+      decl.name = tokens[1];
+      for (size_t t = 2; t < tokens.size(); ++t) {
+        std::string key;
+        std::string value;
+        if (!SplitKeyValue(tokens[t], &key, &value)) {
+          Fail("expected key=value, got \"" + tokens[t] + "\"", raw);
+        }
+        if (key == "tflops") {
+          decl.tflops = ParseDouble(value, raw);
+        } else if (key == "mem") {
+          decl.memory_gib = ParseDouble(value, raw);
+        } else if (key == "code") {
+          if (value.size() != 1) {
+            Fail("code must be a single character", raw);
+          }
+          decl.code = value[0];
+        } else {
+          Fail("unknown gpu attribute \"" + key + "\"", raw);
+        }
+      }
+      spec.gpu_classes.push_back(std::move(decl));
+    } else if (verb == "node") {
+      if (tokens.size() != 2) {
+        Fail("node takes exactly one <count>x<type> argument", raw);
+      }
+      NodeDecl decl;
+      const std::string& arg = tokens[1];
+      size_t digits = 0;
+      while (digits < arg.size() && std::isdigit(static_cast<unsigned char>(arg[digits])) != 0) {
+        ++digits;
+      }
+      if (digits == 0) {
+        decl.count = 1;  // bare type name: one GPU
+        decl.type = arg;
+      } else {
+        if (digits + 1 >= arg.size() || arg[digits] != 'x') {
+          Fail("expected <count>x<type>, got \"" + arg + "\"", raw);
+        }
+        try {
+          decl.count = std::stoi(arg.substr(0, digits));
+        } catch (const std::out_of_range&) {
+          Fail("node count out of range in \"" + arg + "\"", raw);
+        }
+        decl.type = arg.substr(digits + 1);
+      }
+      spec.nodes.push_back(std::move(decl));
+    } else if (verb == "intra_gbps") {
+      if (tokens.size() != 2) {
+        Fail("intra_gbps takes exactly one number", raw);
+      }
+      spec.intra_gbps = ParseDouble(tokens[1], raw);
+    } else if (verb == "inter_gbits") {
+      if (tokens.size() != 2) {
+        Fail("inter_gbits takes exactly one number", raw);
+      }
+      spec.inter_gbits = ParseDouble(tokens[1], raw);
+    } else {
+      Fail("unknown statement \"" + verb + "\"", raw);
+    }
+  }
+  spec.Validate();
+  return spec;
+}
+
+ClusterSpec ClusterSpec::PaperTestbed() {
+  ClusterSpec spec;
+  spec.Named("paper-testbed");
+  for (const char* code : {"V", "R", "G", "Q"}) {
+    spec.AddNode(code, 4);
+  }
+  return spec;
+}
+
+std::string ClusterSpec::ToString() const {
+  std::ostringstream os;
+  bool first = true;
+  const auto statement = [&]() -> std::ostream& {
+    if (!first) {
+      os << "; ";
+    }
+    first = false;
+    return os;
+  };
+  if (!name.empty()) {
+    statement() << "name " << name;
+  }
+  for (const GpuClassDecl& decl : gpu_classes) {
+    statement() << "gpu " << decl.name << " tflops=" << FormatDouble(decl.tflops)
+                << " mem=" << FormatDouble(decl.memory_gib);
+    if (decl.code != '\0') {
+      os << " code=" << decl.code;
+    }
+  }
+  for (const NodeDecl& node : nodes) {
+    statement() << "node " << node.count << 'x' << node.type;
+  }
+  if (intra_gbps != PcieLink::kDefaultPeakGBps) {
+    statement() << "intra_gbps " << FormatDouble(intra_gbps);
+  }
+  if (inter_gbits != InfinibandLink::kDefaultRawGbits) {
+    statement() << "inter_gbits " << FormatDouble(inter_gbits);
+  }
+  return os.str();
+}
+
+void ClusterSpec::Validate() const {
+  // The name is re-emitted as a bare ToString() token, so it must survive the
+  // round trip: no whitespace, statement separators, or comment markers.
+  if (name.find_first_of(" \t\n;#") != std::string::npos) {
+    Fail("name \"" + name + "\" must not contain whitespace, ';', or '#'", "");
+  }
+  for (size_t i = 0; i < gpu_classes.size(); ++i) {
+    const GpuClassDecl& decl = gpu_classes[i];
+    if (decl.tflops <= 0.0) {
+      Fail("GPU class " + decl.name + " needs tflops > 0", "");
+    }
+    if (decl.memory_gib <= 0.0) {
+      Fail("GPU class " + decl.name + " needs mem > 0", "");
+    }
+    // The code is re-emitted as a "code=<c>" token, so like the name it must
+    // survive the text round trip.
+    if (decl.code != '\0' && std::isgraph(static_cast<unsigned char>(decl.code)) == 0) {
+      Fail("GPU class " + decl.name + " has an unprintable or whitespace code", "");
+    }
+    if (decl.code == ';' || decl.code == '#' || decl.code == '=') {
+      Fail("GPU class " + decl.name + " code must not be ';', '#', or '='", "");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (gpu_classes[j].name == decl.name) {
+        Fail("duplicate GPU class \"" + decl.name + "\"", "");
+      }
+    }
+  }
+  if (nodes.empty()) {
+    Fail("at least one node is required", "");
+  }
+  for (const NodeDecl& node : nodes) {
+    if (node.count <= 0) {
+      Fail("node of type " + node.type + " must hold at least one GPU", "");
+    }
+    bool declared = false;
+    for (const GpuClassDecl& decl : gpu_classes) {
+      declared = declared || decl.name == node.type;
+    }
+    if (!declared && FindGpuTypeByName(node.type) == nullptr &&
+        !IsBuiltinCodeLetter(node.type)) {
+      Fail("unknown GPU type \"" + node.type + "\"", "");
+    }
+  }
+  if (intra_gbps <= 0.0) {
+    Fail("intra_gbps must be positive", "");
+  }
+  if (inter_gbits <= 0.0) {
+    Fail("inter_gbits must be positive", "");
+  }
+}
+
+Cluster ClusterSpec::Build() const {
+  Validate();
+  std::vector<NodeGpus> node_gpus;
+  node_gpus.reserve(nodes.size());
+  for (const NodeDecl& node : nodes) {
+    node_gpus.push_back(NodeGpus{ResolveType(*this, node.type), node.count});
+  }
+  Cluster cluster(node_gpus, PcieLink(intra_gbps), InfinibandLink(inter_gbits), name);
+  cluster.set_spec_text(ToString());
+  return cluster;
+}
+
+}  // namespace hetpipe::hw

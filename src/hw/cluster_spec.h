@@ -1,0 +1,92 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/cluster.h"
+
+namespace hetpipe::hw {
+
+// A GPU class declared by a spec (beyond the paper's Table 1): the sustained
+// compute throughput and device memory the cost model needs, nothing more.
+// A class name is a process-wide identity: every spec in one process must
+// agree on a name's numbers (the registry rejects conflicting
+// redefinitions), so sensitivity sweeps over a class's TFLOPS/memory should
+// use distinct names ("A100-18", "A100-20").
+struct GpuClassDecl {
+  std::string name;
+  double tflops = 0.0;      // sustained TFLOP/s on ResNet-class kernels
+  double memory_gib = 0.0;  // device memory capacity
+  char code = '\0';         // optional display letter ('\0' auto-assigns)
+};
+
+// One node declaration: `count` GPUs of class `type` (a declared class name,
+// a built-in class name, or a single built-in code letter V/R/G/Q).
+struct NodeDecl {
+  std::string type;
+  int count = 1;
+};
+
+// Declarative description of an arbitrary heterogeneous cluster: GPU classes
+// with TFLOPS/memory, per-node GPU counts, and intra-/inter-node link
+// bandwidths. This is the "any cluster you can imagine" entry point the
+// experiment pipeline runs on — the paper's fixed 4 x 4 testbed is just
+// PaperTestbed().
+//
+// Compact text form: statements separated by newlines or ';', tokens by
+// whitespace, '#' comments to end of line.
+//
+//   name edge-mix
+//   gpu A100 tflops=18 mem=40 code=a
+//   gpu T4  tflops=4.1 mem=16
+//   node 2xA100          # 2 GPUs of class A100
+//   node 4xT4
+//   node 4xV             # built-in paper classes by code letter
+//   intra_gbps 12        # intra-node link peak, GB/s  (default: PCIe 3.0 x16)
+//   inter_gbits 25       # inter-node link rate, Gbit/s (default: 56G IB FDR)
+//
+// ToString() emits canonical single-line text ("; "-separated) that Parse()
+// round-trips, so a core::Experiment can carry a whole cluster as one string
+// field across threads and processes.
+struct ClusterSpec {
+  std::string name;
+  std::vector<GpuClassDecl> gpu_classes;
+  std::vector<NodeDecl> nodes;
+  double intra_gbps = PcieLink::kDefaultPeakGBps;
+  double inter_gbits = InfinibandLink::kDefaultRawGbits;
+
+  // Chainable builder API.
+  ClusterSpec& Named(std::string label);
+  ClusterSpec& AddGpuClass(std::string class_name, double tflops, double memory_gib,
+                           char code = '\0');
+  ClusterSpec& AddNode(std::string type, int count = 1);
+  ClusterSpec& IntraGbps(double gbps);
+  ClusterSpec& InterGbits(double gbits);
+
+  // Parses the text form; throws std::invalid_argument (with the offending
+  // statement in the message) on malformed input. The result is validated.
+  static ClusterSpec Parse(const std::string& text);
+
+  // The paper's 4-node x 4-GPU testbed as a spec; Build() of this is
+  // equivalent to hw::Cluster::Paper().
+  static ClusterSpec PaperTestbed();
+
+  // Canonical text form (see above); Parse(ToString()) == *this.
+  std::string ToString() const;
+
+  // Throws std::invalid_argument on an unknown GPU type, a zero-GPU node, a
+  // non-positive bandwidth/TFLOPS/memory, duplicate class names, or an empty
+  // node list.
+  void Validate() const;
+
+  // Registers the declared GPU classes and materializes the cluster (with
+  // spec_text() set to ToString() so experiments can rebuild it anywhere).
+  // Validates first.
+  Cluster Build() const;
+};
+
+bool operator==(const GpuClassDecl& a, const GpuClassDecl& b);
+bool operator==(const NodeDecl& a, const NodeDecl& b);
+bool operator==(const ClusterSpec& a, const ClusterSpec& b);
+
+}  // namespace hetpipe::hw

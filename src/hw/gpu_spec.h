@@ -7,7 +7,12 @@
 
 namespace hetpipe::hw {
 
-// The four GPU classes of the paper's testbed (Table 1).
+// GPU classes known to the system. The first four are the paper's testbed
+// (Table 1); further classes can be registered at runtime (RegisterGpuType,
+// typically via hw::ClusterSpec) so experiments run on clusters the paper
+// never measured. A GpuType value is a process-local handle; the stable
+// cross-process identity of a class is its name (plus its numbers), which is
+// what the disk partition cache records.
 enum class GpuType {
   kTitanV,       // code 'V' — Volta,  5120 cores, 12 GB
   kTitanRtx,     // code 'R' — Turing, 4608 cores, 24 GB
@@ -15,27 +20,55 @@ enum class GpuType {
   kQuadroP4000,  // code 'Q' — Pascal, 1792 cores,  8 GB
 };
 
+// Number of built-in (Table 1) GPU classes.
 inline constexpr int kNumGpuTypes = 4;
 
-// Hardware description of a GPU class, straight from Table 1.
+// Hardware description of a GPU class. Built-in entries come straight from
+// Table 1; registered entries carry zeros for the fields a declarative spec
+// does not name (cores, clocks, memory bandwidth).
 struct GpuSpec {
   GpuType type;
-  const char* name;
+  const char* name;  // owned by the registry; stable for the process lifetime
   char code;  // single-letter code used throughout the paper: V R G Q
   int cuda_cores;
   int boost_clock_mhz;
   double memory_gib;      // device memory capacity
   double memory_bw_gbps;  // device memory bandwidth
+  // Sustained TFLOP/s on ResNet-class kernels. For the built-in types this is
+  // the Fig. 3 calibration (see model/profiler.cc); for registered types it
+  // is the declared throughput, and the one number the cost model runs on.
+  double effective_tflops;
 };
 
-// Returns the Table 1 spec for `type`.
+// Returns the spec for `type` (built-in or registered); throws
+// std::invalid_argument for a handle no registration produced.
 const GpuSpec& SpecOf(GpuType type);
 
-// All four specs, in Table 1 order.
-const std::vector<GpuSpec>& AllGpuSpecs();
+// All known specs: the four Table 1 classes followed by registered classes in
+// registration order.
+std::vector<GpuSpec> AllGpuSpecs();
+
+// Built-in classes plus registered ones; GpuType handles are the integers
+// [0, NumGpuTypes()).
+int NumGpuTypes();
+
+// Registers a GPU class beyond Table 1 and returns its handle. Registration
+// is idempotent: the same (name, effective_tflops, memory_gib) returns the
+// existing handle; re-registering a name with different numbers throws.
+// `code` is the display letter ('\0' auto-assigns an unused one); a code
+// already taken by a different class falls back to auto-assignment. A name
+// must be a nonempty run of [A-Za-z0-9_.-] and must not be a single built-in
+// code letter. Thread-safe.
+GpuType RegisterGpuType(const std::string& name, double effective_tflops, double memory_gib,
+                        char code = '\0');
+
+// Looks a class up by name (built-in names like "TITAN V" included).
+// Returns nullptr when no such class is registered.
+const GpuSpec* FindGpuTypeByName(std::string_view name);
 
 char CodeOf(GpuType type);
-// Parses a single-letter code ('V', 'R', 'G', 'Q'); throws std::invalid_argument otherwise.
+// Parses a single-letter code ('V', 'R', 'G', 'Q', or a registered class's
+// code); throws std::invalid_argument otherwise.
 GpuType TypeFromCode(char code);
 
 // Parses a configuration string such as "VVQQ" into GPU types.

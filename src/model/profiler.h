@@ -1,6 +1,5 @@
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -14,7 +13,9 @@ namespace hetpipe::model {
 // measures per-layer compute time on every GPU type in the cluster: here
 // per-layer time = FLOPs / effective-throughput + launch overhead, with the
 // throughput constants fit to the absolute single-virtual-worker throughputs
-// published in Fig. 3 of the paper.
+// published in Fig. 3 of the paper. GPU classes registered beyond Table 1 use
+// their declared sustained TFLOPS (ResNet-class kernels), scaled up for VGG's
+// large uniform convolutions the same ~2x the paper classes exhibit.
 double EffectiveTflops(ModelFamily family, hw::GpuType gpu);
 
 // Per-minibatch forward/backward execution time of a layer on some GPU.
@@ -54,8 +55,9 @@ class ModelProfile {
  private:
   const ModelGraph* graph_;
   int batch_size_;
-  // times_[gpu_type][layer]
-  std::array<std::vector<LayerTime>, hw::kNumGpuTypes> times_;
+  // times_[gpu_type][layer], covering every GPU class known at construction
+  // (TimeOf throws for classes registered later).
+  std::vector<std::vector<LayerTime>> times_;
 };
 
 }  // namespace hetpipe::model

@@ -139,8 +139,12 @@ Partition Partitioner::SolveFixedOrder(const std::vector<int>& gpu_ids,
   }
 
   std::vector<hw::GpuType> types(static_cast<size_t>(k));
+  std::vector<uint64_t> mem_caps(static_cast<size_t>(k));
   for (int q = 0; q < k; ++q) {
     types[static_cast<size_t>(q)] = cluster_->gpu(gpu_ids[static_cast<size_t>(q)]).type;
+    // Resolved once per order: SpecOf takes the registry lock for classes
+    // beyond Table 1, which the O(n^2 k) DP loop must not.
+    mem_caps[static_cast<size_t>(q)] = hw::MemoryBytes(types[static_cast<size_t>(q)]);
   }
 
   // Per-stage cost of covering layers [j, i] (inclusive), including the
@@ -163,7 +167,7 @@ Partition Partitioner::SolveFixedOrder(const std::vector<int>& gpu_ids,
   const auto stage_fits = [&](int q, int j, int i) -> bool {
     const uint64_t need = StageMemoryBytes(*profile_, j, i, q, k, options.nm,
                                            options.mem_params);
-    return need <= hw::MemoryBytes(types[static_cast<size_t>(q)]);
+    return need <= mem_caps[static_cast<size_t>(q)];
   };
 
   // dp[q][i]: minimal bottleneck assigning the first i layers to the first q
@@ -232,8 +236,10 @@ Partition Partitioner::Solve(const std::vector<int>& gpu_ids,
     std::string signature;
     for (int id : ids) {
       const hw::Gpu& g = cluster_->gpu(id);
-      signature.push_back(hw::CodeOf(g.type));
-      signature.push_back(static_cast<char>('0' + g.node));
+      signature += std::to_string(static_cast<int>(g.type));
+      signature.push_back('@');
+      signature += std::to_string(g.node);
+      signature.push_back(';');
     }
     if (seen.insert(signature).second) {
       orders.push_back(ids);

@@ -30,6 +30,22 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
     std::string value;
     if (MatchFlag(arg, "threads", &value)) {
       args.threads = std::atoi(value.c_str());
+    } else if (MatchFlag(arg, "cache-file", &value)) {
+      if (value.empty()) {
+        std::fprintf(stderr, "error: --cache-file needs a path\n");
+        std::exit(2);
+      }
+      args.cache_path_ = value;
+      args.cache_ = std::make_unique<PartitionCache>();
+      std::string load_error;
+      if (args.cache_->Load(value, &load_error)) {
+        std::fprintf(stderr, "cache-file %s: loaded %lld entries\n", value.c_str(),
+                     static_cast<long long>(args.cache_->size()));
+      } else if (std::ifstream(value).good()) {
+        // A present-but-unusable file is rejected cleanly: warn and run cold
+        // (the save at exit rewrites it with fresh entries).
+        std::fprintf(stderr, "warning: ignoring cache file: %s\n", load_error.c_str());
+      }
     } else if (MatchFlag(arg, "json", &value)) {
       std::ostream* out = args.OpenOutput(value);
       args.sinks_.push_back(std::make_unique<JsonlSink>(*out));
@@ -61,10 +77,26 @@ std::ostream* BenchArgs::OpenOutput(const std::string& path) {
   return files_.back().get();
 }
 
+BenchArgs::~BenchArgs() {
+  if (cache_ == nullptr || cache_path_.empty()) {
+    return;
+  }
+  std::string save_error;
+  if (cache_->Save(cache_path_, &save_error)) {
+    std::fprintf(stderr, "cache-file %s: saved %lld entries (%lld hits, %lld misses this run)\n",
+                 cache_path_.c_str(), static_cast<long long>(cache_->size()),
+                 static_cast<long long>(cache_->hits()),
+                 static_cast<long long>(cache_->misses()));
+  } else {
+    std::fprintf(stderr, "warning: %s\n", save_error.c_str());
+  }
+}
+
 SweepOptions BenchArgs::sweep_options() {
   SweepOptions options;
   options.threads = threads;
   options.sink = sink();
+  options.cache = cache_.get();
   return options;
 }
 

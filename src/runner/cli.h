@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "runner/partition_cache.h"
 #include "runner/result_sink.h"
 #include "runner/sweep_runner.h"
 
@@ -14,15 +15,29 @@ namespace hetpipe::runner {
 //   --threads=N       sweep-runner worker threads (default: hardware)
 //   --json[=PATH]     emit JSON Lines rows (default: stdout)
 //   --csv[=PATH]      emit CSV rows (default: stdout)
+//   --cache-file=PATH disk-persistent partition cache: loaded before the
+//                     sweep (a missing file starts cold; a corrupted or
+//                     version-mismatched one is rejected with a warning) and
+//                     saved back on exit, so repeated figure runs skip the
+//                     GPU-order search entirely
 // Unknown arguments are left for the binary's own use (in order) in `rest`.
 class BenchArgs {
  public:
+  BenchArgs() = default;
   static BenchArgs Parse(int argc, char** argv);
+  // Saves the --cache-file cache back to disk (when the flag was given).
+  ~BenchArgs();
+
+  BenchArgs(BenchArgs&&) = default;
+  BenchArgs& operator=(BenchArgs&&) = default;
 
   // Sweep options wired to the parsed flags; sink() is null when no output
-  // flag was given. The returned pointers stay owned by this object.
+  // flag was given, cache is null without --cache-file. The returned pointers
+  // stay owned by this object.
   SweepOptions sweep_options();
   ResultSink* sink();
+  // The --cache-file cache (null when the flag is absent).
+  PartitionCache* cache() { return cache_.get(); }
 
   int threads = 0;
   std::vector<std::string> rest;
@@ -35,6 +50,8 @@ class BenchArgs {
   std::vector<std::unique_ptr<ResultSink>> sinks_;
   MultiSink multi_;
   bool has_sink_ = false;
+  std::string cache_path_;
+  std::unique_ptr<PartitionCache> cache_;
 };
 
 }  // namespace hetpipe::runner

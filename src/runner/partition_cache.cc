@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <fstream>
 
 namespace hetpipe::runner {
 namespace {
@@ -9,9 +10,10 @@ namespace {
 // FNV-1a, the usual choice for cheap structural fingerprints.
 class Fingerprint {
  public:
+  void MixByte(unsigned char b) { hash_ = (hash_ ^ b) * 0x100000001b3ULL; }
   void Mix(uint64_t v) {
     for (int i = 0; i < 8; ++i) {
-      hash_ = (hash_ ^ ((v >> (8 * i)) & 0xff)) * 0x100000001b3ULL;
+      MixByte(static_cast<unsigned char>((v >> (8 * i)) & 0xff));
     }
   }
   void Mix(double v) {
@@ -21,7 +23,7 @@ class Fingerprint {
   }
   void Mix(const std::string& s) {
     for (char c : s) {
-      hash_ = (hash_ ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+      MixByte(static_cast<unsigned char>(c));
     }
     Mix(static_cast<uint64_t>(s.size()));
   }
@@ -31,15 +33,45 @@ class Fingerprint {
   uint64_t hash_ = 0xcbf29ce484222325ULL;
 };
 
-// Everything the per-layer cost model feeds the partitioner: compute times
-// per GPU type, boundary transfer sizes, stash/param bytes (memory model).
-uint64_t ProfileFingerprint(const model::ModelProfile& profile) {
+// The distinct GPU classes present in `cluster`, ordered by name so the
+// result is independent of registration order (and thus of the process).
+std::vector<const hw::GpuSpec*> PresentSpecs(const hw::Cluster& cluster) {
+  std::vector<const hw::GpuSpec*> specs;
+  for (const hw::Gpu& gpu : cluster.gpus()) {
+    const hw::GpuSpec& spec = hw::SpecOf(gpu.type);
+    bool known = false;
+    for (const hw::GpuSpec* s : specs) {
+      known = known || s == &spec;
+    }
+    if (!known) {
+      specs.push_back(&spec);
+    }
+  }
+  std::sort(specs.begin(), specs.end(),
+            [](const hw::GpuSpec* a, const hw::GpuSpec* b) {
+              return std::strcmp(a->name, b->name) < 0;
+            });
+  return specs;
+}
+
+// Everything the per-layer cost model feeds the partitioner: compute times on
+// every GPU class present in the cluster, boundary transfer sizes, stash and
+// param bytes (memory model), and the class identities (name, declared
+// TFLOPS, memory capacity) those times and caps derive from. Value-based, so
+// two processes that build the same cluster spec agree on the fingerprint.
+uint64_t ProfileFingerprint(const model::ModelProfile& profile, const hw::Cluster& cluster) {
+  const std::vector<const hw::GpuSpec*> specs = PresentSpecs(cluster);
   Fingerprint fp;
   fp.Mix(profile.graph().name());
   fp.Mix(static_cast<uint64_t>(profile.batch_size()));
+  for (const hw::GpuSpec* spec : specs) {
+    fp.Mix(std::string(spec->name));
+    fp.Mix(spec->effective_tflops);
+    fp.Mix(spec->memory_gib);
+  }
   for (int layer = 0; layer < profile.num_layers(); ++layer) {
-    for (const hw::GpuSpec& spec : hw::AllGpuSpecs()) {
-      const model::LayerTime& t = profile.TimeOf(layer, spec.type);
+    for (const hw::GpuSpec* spec : specs) {
+      const model::LayerTime& t = profile.TimeOf(layer, spec->type);
       fp.Mix(t.fwd_s);
       fp.Mix(t.bwd_s);
     }
@@ -50,26 +82,28 @@ uint64_t ProfileFingerprint(const model::ModelProfile& profile) {
   return fp.value();
 }
 
-// The (type, node) sequence of the virtual worker. With the order search on,
-// Solve's answer depends only on the multiset, so the sequence is sorted and
-// any GPU-id set with the same shape maps to the same key; with the search
-// off the given order IS the stage order, so it must stay in the key.
+// The (class, node) sequence of the virtual worker, by class name so the
+// signature survives process boundaries. With the order search on, Solve's
+// answer depends only on the multiset, so the sequence is sorted and any
+// GPU-id set with the same shape maps to the same key; with the search off
+// the given order IS the stage order, so it must stay in the key.
 std::string VwSignature(const hw::Cluster& cluster, const std::vector<int>& gpu_ids,
                         bool order_invariant) {
-  std::vector<std::pair<char, int>> shape;
+  std::vector<std::pair<std::string, int>> shape;
   shape.reserve(gpu_ids.size());
   for (int id : gpu_ids) {
     const hw::Gpu& gpu = cluster.gpu(id);
-    shape.emplace_back(hw::CodeOf(gpu.type), gpu.node);
+    shape.emplace_back(hw::SpecOf(gpu.type).name, gpu.node);
   }
   if (order_invariant) {
     std::sort(shape.begin(), shape.end());
   }
   std::string signature;
-  for (const auto& [code, node] : shape) {
-    signature.push_back(code);
+  for (const auto& [name, node] : shape) {
+    signature += name;
+    signature.push_back('@');
     signature += std::to_string(node);
-    signature.push_back('.');
+    signature.push_back(';');
   }
   return signature;
 }
@@ -77,8 +111,15 @@ std::string VwSignature(const hw::Cluster& cluster, const std::vector<int>& gpu_
 std::string MakeKey(const partition::Partitioner& partitioner, const std::vector<int>& gpu_ids,
                     const partition::PartitionOptions& options) {
   Fingerprint fp;
-  fp.Mix(ProfileFingerprint(partitioner.profile()));
+  fp.Mix(ProfileFingerprint(partitioner.profile(), partitioner.cluster()));
   fp.Mix(partitioner.cluster().ToString());
+  // Two probes fully characterize each affine link model (latency/intercept
+  // at 0 bytes, slope at 1 MiB), so clusters differing in any link parameter
+  // never share a key.
+  fp.Mix(partitioner.cluster().pcie().TransferTime(0));
+  fp.Mix(partitioner.cluster().pcie().TransferTime(1ULL << 20));
+  fp.Mix(partitioner.cluster().infiniband().TransferTime(0));
+  fp.Mix(partitioner.cluster().infiniband().TransferTime(1ULL << 20));
   fp.Mix(options.mem_params.optimizer_multiplier);
   fp.Mix(options.mem_params.framework_overhead_bytes);
   fp.Mix(static_cast<uint64_t>(options.mem_params.stash_weights ? 1 : 0));
@@ -110,6 +151,155 @@ partition::Partition Remap(partition::Partition partition, const hw::Cluster& cl
   return partition;
 }
 
+// ---- Binary (de)serialization. Little-endian scalars, length-prefixed
+// ---- strings; GPU classes travel by name + numbers, never by handle.
+
+void PutU32(std::string& out, uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutU64(std::string& out, uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutI32(std::string& out, int32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutF64(std::string& out, double v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutStr(std::string& out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.append(s);
+}
+
+// Bounds-checked reader; every getter degrades to "not ok" on underflow.
+class Cursor {
+ public:
+  Cursor(const char* data, size_t size) : p_(data), left_(size) {}
+
+  bool ok() const { return ok_; }
+  size_t left() const { return left_; }
+
+  template <typename T>
+  T Get() {
+    T v{};
+    if (!Take(sizeof(T))) {
+      return v;
+    }
+    std::memcpy(&v, p_ - sizeof(T), sizeof(T));
+    return v;
+  }
+
+  std::string GetStr() {
+    const uint32_t n = Get<uint32_t>();
+    if (!Take(n)) {
+      return std::string();
+    }
+    return std::string(p_ - n, n);
+  }
+
+ private:
+  bool Take(size_t n) {
+    if (!ok_ || n > left_) {
+      ok_ = false;
+      return false;
+    }
+    p_ += n;
+    left_ -= n;
+    return true;
+  }
+
+  const char* p_;
+  size_t left_;
+  bool ok_ = true;
+};
+
+void SerializePartition(std::string& out, const partition::Partition& partition) {
+  out.push_back(partition.feasible ? 1 : 0);
+  PutF64(out, partition.bottleneck_time);
+  PutF64(out, partition.sum_time);
+  PutU32(out, static_cast<uint32_t>(partition.stages.size()));
+  for (const partition::StageAssignment& stage : partition.stages) {
+    const hw::GpuSpec& spec = hw::SpecOf(stage.gpu_type);
+    PutI32(out, stage.first_layer);
+    PutI32(out, stage.last_layer);
+    PutI32(out, stage.gpu_id);
+    PutI32(out, stage.node);
+    PutStr(out, spec.name);
+    PutF64(out, spec.effective_tflops);
+    PutF64(out, spec.memory_gib);
+    out.push_back(spec.code);
+    PutF64(out, stage.fwd_compute_s);
+    PutF64(out, stage.bwd_compute_s);
+    PutF64(out, stage.fwd_comm_in_s);
+    PutF64(out, stage.bwd_comm_in_s);
+    PutU64(out, stage.param_bytes);
+    PutU64(out, stage.memory_bytes);
+    PutU64(out, stage.memory_cap);
+  }
+}
+
+// Fails (returns false) on malformed bytes or a GPU class name that is not
+// currently registered with the recorded numbers. The latter cannot happen
+// for a true key hit — the key fingerprints every class of the cluster — so
+// a failure simply demotes the entry to a miss.
+bool DeserializePartition(const std::string& bytes, partition::Partition* out) {
+  Cursor cursor(bytes.data(), bytes.size());
+  partition::Partition partition;
+  partition.feasible = cursor.Get<char>() != 0;
+  partition.bottleneck_time = cursor.Get<double>();
+  partition.sum_time = cursor.Get<double>();
+  const uint32_t num_stages = cursor.Get<uint32_t>();
+  for (uint32_t q = 0; cursor.ok() && q < num_stages; ++q) {
+    partition::StageAssignment stage;
+    stage.first_layer = cursor.Get<int32_t>();
+    stage.last_layer = cursor.Get<int32_t>();
+    stage.gpu_id = cursor.Get<int32_t>();
+    stage.node = cursor.Get<int32_t>();
+    const std::string type_name = cursor.GetStr();
+    const double tflops = cursor.Get<double>();
+    const double memory_gib = cursor.Get<double>();
+    cursor.Get<char>();  // display code: informational only
+    stage.fwd_compute_s = cursor.Get<double>();
+    stage.bwd_compute_s = cursor.Get<double>();
+    stage.fwd_comm_in_s = cursor.Get<double>();
+    stage.bwd_comm_in_s = cursor.Get<double>();
+    stage.param_bytes = cursor.Get<uint64_t>();
+    stage.memory_bytes = cursor.Get<uint64_t>();
+    stage.memory_cap = cursor.Get<uint64_t>();
+    if (!cursor.ok()) {
+      return false;
+    }
+    const hw::GpuSpec* spec = hw::FindGpuTypeByName(type_name);
+    if (spec == nullptr || spec->effective_tflops != tflops ||
+        spec->memory_gib != memory_gib) {
+      return false;
+    }
+    stage.gpu_type = spec->type;
+    partition.stages.push_back(stage);
+  }
+  if (!cursor.ok() || cursor.left() != 0) {
+    return false;
+  }
+  *out = std::move(partition);
+  return true;
+}
+
+constexpr uint32_t kFileMagic = 0x31435048;  // "HPC1"
+
+uint64_t ChecksumBytes(const char* data, size_t size) {
+  Fingerprint fp;
+  for (size_t i = 0; i < size; ++i) {
+    fp.MixByte(static_cast<unsigned char>(data[i]));
+  }
+  return fp.value();
+}
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+}
+
 }  // namespace
 
 partition::Partition PartitionCache::Solve(const partition::Partitioner& partitioner,
@@ -122,6 +312,17 @@ partition::Partition PartitionCache::Solve(const partition::Partitioner& partiti
     if (it != entries_.end()) {
       ++hits_;
       return Remap(it->second, partitioner.cluster(), gpu_ids);
+    }
+    auto pending = pending_.find(key);
+    if (pending != pending_.end()) {
+      partition::Partition materialized;
+      const bool usable = DeserializePartition(pending->second, &materialized);
+      pending_.erase(pending);
+      if (usable) {
+        ++hits_;
+        entries_.emplace(key, materialized);
+        return Remap(std::move(materialized), partitioner.cluster(), gpu_ids);
+      }
     }
     ++misses_;
   }
@@ -143,6 +344,124 @@ int PartitionCache::FindMaxNm(const partition::Partitioner& partitioner,
       nm_cap, options);
 }
 
+bool PartitionCache::Save(const std::string& path, std::string* error) const {
+  std::string records;
+  uint64_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    count = entries_.size() + pending_.size();
+    for (const auto& [key, partition] : entries_) {
+      std::string blob;
+      PutStr(blob, key);
+      SerializePartition(blob, partition);
+      PutU32(records, static_cast<uint32_t>(blob.size()));
+      records += blob;
+    }
+    for (const auto& [key, bytes] : pending_) {
+      std::string blob;
+      PutStr(blob, key);
+      blob += bytes;
+      PutU32(records, static_cast<uint32_t>(blob.size()));
+      records += blob;
+    }
+  }
+
+  std::string file;
+  PutU32(file, kFileMagic);
+  PutU32(file, kFileVersion);
+  PutU64(file, count);
+  file += records;
+  PutU64(file, ChecksumBytes(records.data(), records.size()));
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    SetError(error, "cannot open " + path + " for writing");
+    return false;
+  }
+  out.write(file.data(), static_cast<std::streamsize>(file.size()));
+  out.flush();
+  if (!out.good()) {
+    SetError(error, "short write to " + path);
+    return false;
+  }
+  return true;
+}
+
+bool PartitionCache::Load(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    SetError(error, "cannot open " + path);
+    return false;
+  }
+  std::string file((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  Cursor header(file.data(), file.size());
+  const uint32_t magic = header.Get<uint32_t>();
+  const uint32_t version = header.Get<uint32_t>();
+  const uint64_t count = header.Get<uint64_t>();
+  if (!header.ok() || magic != kFileMagic) {
+    SetError(error, path + " is not a partition cache file");
+    return false;
+  }
+  if (version != kFileVersion) {
+    SetError(error, path + " has cache version " + std::to_string(version) + ", expected " +
+                        std::to_string(kFileVersion));
+    return false;
+  }
+  if (header.left() < sizeof(uint64_t)) {
+    SetError(error, path + " is truncated");
+    return false;
+  }
+
+  const size_t header_size = file.size() - header.left();
+  const size_t records_size = header.left() - sizeof(uint64_t);
+  const char* records = file.data() + header_size;
+  uint64_t stored_checksum = 0;
+  std::memcpy(&stored_checksum, records + records_size, sizeof(stored_checksum));
+  if (ChecksumBytes(records, records_size) != stored_checksum) {
+    SetError(error, path + " failed its checksum (corrupted)");
+    return false;
+  }
+
+  std::vector<std::pair<std::string, std::string>> loaded;
+  size_t offset = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (records_size - offset < sizeof(uint32_t)) {
+      SetError(error, path + " is truncated");
+      return false;
+    }
+    uint32_t blob_size = 0;
+    std::memcpy(&blob_size, records + offset, sizeof(blob_size));
+    offset += sizeof(blob_size);
+    if (blob_size > records_size - offset) {
+      SetError(error, path + " is truncated");
+      return false;
+    }
+    Cursor blob_cursor(records + offset, blob_size);
+    std::string key = blob_cursor.GetStr();
+    if (!blob_cursor.ok() || key.empty()) {
+      SetError(error, path + " contains a malformed entry");
+      return false;
+    }
+    const size_t key_bytes = blob_size - blob_cursor.left();
+    loaded.emplace_back(std::move(key),
+                        std::string(records + offset + key_bytes, blob_cursor.left()));
+    offset += blob_size;
+  }
+  if (offset != records_size) {
+    SetError(error, path + " has trailing bytes after its entries");
+    return false;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, bytes] : loaded) {
+    if (entries_.find(key) == entries_.end() && pending_.find(key) == pending_.end()) {
+      pending_.emplace(std::move(key), std::move(bytes));
+    }
+  }
+  return true;
+}
+
 int64_t PartitionCache::hits() const {
   std::lock_guard<std::mutex> lock(mu_);
   return hits_;
@@ -155,12 +474,13 @@ int64_t PartitionCache::misses() const {
 
 int64_t PartitionCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int64_t>(entries_.size());
+  return static_cast<int64_t>(entries_.size() + pending_.size());
 }
 
 void PartitionCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+  pending_.clear();
   hits_ = 0;
   misses_ = 0;
 }

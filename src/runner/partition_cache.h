@@ -14,10 +14,13 @@ namespace hetpipe::runner {
 // search dominates sweep cost, and sweeps revisit the same virtual-worker
 // shapes constantly (every ED virtual worker of a cluster, every wave of an
 // Nm sweep, every policy sharing a subset). Keyed by (model profile
-// fingerprint, cluster layout, VW GPU (type, node) multiset, Nm, order-search
-// flag, memory params) — everything Partitioner::Solve's result depends on.
+// fingerprint, cluster layout + link bandwidths, VW GPU (class, node)
+// multiset, Nm, order-search flag, memory params) — everything
+// Partitioner::Solve's result depends on. Keys are value-based (GPU class
+// names and numbers, never process-local handles), so they are stable across
+// processes and safe to persist.
 //
-// Because Solve's answer depends on the GPUs only through their (type, node)
+// Because Solve's answer depends on the GPUs only through their (class, node)
 // multiset, a hit for a *different* GPU-id set with the same signature is
 // remapped onto the requested ids, so e.g. the four ED virtual workers of the
 // paper cluster all share one solve.
@@ -25,8 +28,21 @@ namespace hetpipe::runner {
 // Thread-safe: concurrent sweep tasks share one instance. A hit returns a
 // Partition identical to what a cold Solve would return (tested), so caching
 // never changes results.
+//
+// Disk persistence: Save writes a versioned, checksummed binary snapshot and
+// Load merges one back (entries already in memory win), so repeated figure
+// runs skip the order search entirely (--cache-file in runner/cli.h). Loaded
+// entries stay in serialized form until their key is requested; a key can
+// only match after the experiment has built the same cluster, so every GPU
+// class a loaded entry mentions is resolvable by then. Load rejects
+// truncated, corrupted, or version-mismatched files, leaving the cache
+// unchanged.
 class PartitionCache {
  public:
+  // Bumped whenever the file layout or the key derivation changes; files of
+  // any other version are rejected on Load.
+  static constexpr uint32_t kFileVersion = 1;
+
   // Drop-in for Partitioner::Solve.
   partition::Partition Solve(const partition::Partitioner& partitioner,
                              const std::vector<int>& gpu_ids,
@@ -37,6 +53,16 @@ class PartitionCache {
   int FindMaxNm(const partition::Partitioner& partitioner, const std::vector<int>& gpu_ids,
                 int nm_cap, partition::PartitionOptions options);
 
+  // Writes every entry (materialized and still-serialized alike) to `path`.
+  // Returns false and fills `error` (when non-null) on I/O failure.
+  bool Save(const std::string& path, std::string* error = nullptr) const;
+
+  // Merges the entries of a Save'd file; keys already present are kept as-is.
+  // Returns false and fills `error` (when non-null) on an unreadable,
+  // truncated, corrupted, or version-mismatched file — the cache is unchanged
+  // in every failure case.
+  bool Load(const std::string& path, std::string* error = nullptr);
+
   int64_t hits() const;
   int64_t misses() const;
   int64_t size() const;
@@ -45,6 +71,8 @@ class PartitionCache {
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, partition::Partition> entries_;
+  // Entries merged from disk, still serialized; materialized on first hit.
+  std::unordered_map<std::string, std::string> pending_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
 };

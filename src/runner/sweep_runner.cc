@@ -6,8 +6,8 @@ ResultRow RowFor(const core::Experiment& experiment, const core::ExperimentResul
   ResultRow row;
   row.Set("name", result.name)
       .Set("kind", core::KindName(experiment.kind))
-      .Set("model", core::ModelName(experiment.model))
-      .Set("cluster", experiment.cluster_nodes)
+      .Set("model", experiment.ModelLabel())
+      .Set("cluster", experiment.ClusterLabel())
       .Set("feasible", result.feasible)
       .Set("throughput_img_s", result.throughput_img_s);
   if (!experiment.vw_codes.empty()) {

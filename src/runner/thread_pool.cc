@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <vector>
 
 namespace hetpipe::runner {
 namespace {
@@ -64,8 +65,20 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) 
     return;
   }
 
+  // Work-stealing chunking: the index space is split into one contiguous
+  // chunk per participant, each drained through its own atomic cursor; a
+  // participant that exhausts its home chunk steals indices from the other
+  // chunks' cursors. Generic-cluster sweeps mix heavyweight full-cluster
+  // experiments with near-instant infeasible probes, so fixed chunk ownership
+  // alone leaves workers idle while one chunk grinds — stealing keeps them
+  // busy, and since every index still runs exactly once into its own result
+  // slot, results remain input-ordered and identical to the serial loop.
+  struct Chunk {
+    alignas(64) std::atomic<int64_t> next{0};  // own cache line: stolen from
+    int64_t end = 0;
+  };
   struct SharedState {
-    std::atomic<int64_t> next{0};
+    std::vector<Chunk> chunks;
     std::atomic<int64_t> done{0};
     std::mutex mu;
     std::condition_variable cv;
@@ -74,24 +87,35 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) 
   };
   auto state = std::make_shared<SharedState>();
   state->n = n;
+  const int64_t num_chunks = std::min<int64_t>(num_threads_, n);
+  state->chunks = std::vector<Chunk>(static_cast<size_t>(num_chunks));
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    state->chunks[static_cast<size_t>(c)].next.store(n * c / num_chunks,
+                                                     std::memory_order_relaxed);
+    state->chunks[static_cast<size_t>(c)].end = n * (c + 1) / num_chunks;
+  }
 
-  const auto drain = [state, &fn] {
-    for (;;) {
-      const int64_t i = state->next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= state->n) {
-        return;
-      }
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(state->mu);
-        if (!state->error) {
-          state->error = std::current_exception();
+  const auto drain = [state, &fn](int64_t home) {
+    const int64_t num = static_cast<int64_t>(state->chunks.size());
+    for (int64_t offset = 0; offset < num; ++offset) {
+      Chunk& chunk = state->chunks[static_cast<size_t>((home + offset) % num)];
+      for (;;) {
+        const int64_t i = chunk.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= chunk.end) {
+          break;  // chunk exhausted: move on and steal from the next one
         }
-      }
-      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == state->n) {
-        std::lock_guard<std::mutex> lock(state->mu);
-        state->cv.notify_all();
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state->mu);
+          if (!state->error) {
+            state->error = std::current_exception();
+          }
+        }
+        if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == state->n) {
+          std::lock_guard<std::mutex> lock(state->mu);
+          state->cv.notify_all();
+        }
       }
     }
   };
@@ -101,12 +125,14 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) 
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (int64_t i = 0; i < helpers; ++i) {
-      queue_.emplace_back(drain);
+      // Helper i starts from chunk i + 1; the calling thread owns chunk 0.
+      const int64_t home = (i + 1) % num_chunks;
+      queue_.emplace_back([drain, home] { drain(home); });
     }
   }
   cv_.notify_all();
 
-  drain();  // the calling thread works too
+  drain(0);  // the calling thread works too
   {
     std::unique_lock<std::mutex> lock(state->mu);
     state->cv.wait(lock, [&] { return state->done.load(std::memory_order_acquire) == n; });

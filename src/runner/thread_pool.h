@@ -31,9 +31,14 @@ class ThreadPool {
   static bool InWorkerThread();
 
   // Runs fn(0), ..., fn(n - 1), distributing indices over the workers, and
-  // returns when all have finished. The calling thread participates. If any
-  // invocation throws, the first exception (in completion order) is rethrown
-  // after all indices finish or are abandoned.
+  // returns when all have finished. The calling thread participates. Indices
+  // are split into one contiguous chunk per participant and drained with
+  // work-stealing (a worker that finishes its chunk takes indices from the
+  // others), so skewed per-index costs cannot strand the tail on one thread;
+  // every index still runs exactly once, so any output indexed by i is
+  // identical to the serial loop's. If any invocation throws, the first
+  // exception (in completion order) is rethrown after all indices finish or
+  // are abandoned.
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
 
  private:

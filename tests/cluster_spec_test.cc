@@ -1,0 +1,315 @@
+// Tests for hw::ClusterSpec: the compact text parser and builder API, the
+// malformed-spec error cases, equivalence of the spec-built paper testbed
+// with hw::Cluster::PaperSubset, and generic (non-Table-1) clusters running
+// kFullCluster experiments end-to-end through the sweep runner.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "cluster/allocator.h"
+#include "core/experiment.h"
+#include "hw/cluster_spec.h"
+#include "model/resnet.h"
+#include "partition/partitioner.h"
+#include "runner/result_sink.h"
+#include "runner/sweep_runner.h"
+
+namespace hetpipe::hw {
+namespace {
+
+// One definition per class name within this binary: the registry treats a
+// name as an identity and rejects redefinitions with different numbers.
+constexpr const char* kMixedSpecText =
+    "name edge-mix\n"
+    "gpu BigCard tflops=8.5 mem=32 code=b   # strong, roomy\n"
+    "gpu TinyCard tflops=1.4 mem=11\n"
+    "node 2xBigCard\n"
+    "node 3xTinyCard\n"
+    "node 4xV\n"
+    "intra_gbps 12\n"
+    "inter_gbits 25\n";
+
+TEST(ClusterSpecTest, ParsesTextForm) {
+  const ClusterSpec spec = ClusterSpec::Parse(kMixedSpecText);
+  EXPECT_EQ(spec.name, "edge-mix");
+  ASSERT_EQ(spec.gpu_classes.size(), 2u);
+  EXPECT_EQ(spec.gpu_classes[0].name, "BigCard");
+  EXPECT_EQ(spec.gpu_classes[0].tflops, 8.5);
+  EXPECT_EQ(spec.gpu_classes[0].memory_gib, 32.0);
+  EXPECT_EQ(spec.gpu_classes[0].code, 'b');
+  EXPECT_EQ(spec.gpu_classes[1].code, '\0');
+  ASSERT_EQ(spec.nodes.size(), 3u);
+  EXPECT_EQ(spec.nodes[0].type, "BigCard");
+  EXPECT_EQ(spec.nodes[0].count, 2);
+  EXPECT_EQ(spec.nodes[2].type, "V");
+  EXPECT_EQ(spec.nodes[2].count, 4);
+  EXPECT_EQ(spec.intra_gbps, 12.0);
+  EXPECT_EQ(spec.inter_gbits, 25.0);
+}
+
+TEST(ClusterSpecTest, RoundTripsThroughToString) {
+  const ClusterSpec spec = ClusterSpec::Parse(kMixedSpecText);
+  const std::string canonical = spec.ToString();
+  EXPECT_TRUE(ClusterSpec::Parse(canonical) == spec) << canonical;
+  // Canonical form is one line (";"-separated) so experiments can carry it.
+  EXPECT_EQ(canonical.find('\n'), std::string::npos);
+}
+
+TEST(ClusterSpecTest, BuilderMatchesParser) {
+  ClusterSpec built;
+  built.Named("edge-mix")
+      .AddGpuClass("BigCard", 8.5, 32.0, 'b')
+      .AddGpuClass("TinyCard", 1.4, 11.0)
+      .AddNode("BigCard", 2)
+      .AddNode("TinyCard", 3)
+      .AddNode("V", 4)
+      .IntraGbps(12.0)
+      .InterGbits(25.0);
+  EXPECT_TRUE(built == ClusterSpec::Parse(kMixedSpecText));
+}
+
+TEST(ClusterSpecTest, RejectsMalformedSpecs) {
+  // Unknown GPU type.
+  EXPECT_THROW(ClusterSpec::Parse("node 4xNoSuchCard"), std::invalid_argument);
+  // Zero-GPU node.
+  EXPECT_THROW(ClusterSpec::Parse("node 0xV"), std::invalid_argument);
+  // Negative / non-positive bandwidths.
+  EXPECT_THROW(ClusterSpec::Parse("node 4xV; inter_gbits -3"), std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse("node 4xV; intra_gbps 0"), std::invalid_argument);
+  // Classes need positive numbers.
+  EXPECT_THROW(ClusterSpec::Parse("gpu X2 tflops=-1 mem=4; node 1xX2"),
+               std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse("gpu X3 tflops=2 mem=0; node 1xX3"),
+               std::invalid_argument);
+  // No nodes at all.
+  EXPECT_THROW(ClusterSpec::Parse("gpu X4 tflops=2 mem=4"), std::invalid_argument);
+  // Unknown statements and attributes.
+  EXPECT_THROW(ClusterSpec::Parse("frobnicate 12"), std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse("gpu X5 speed=3; node 1xX5"), std::invalid_argument);
+  // Duplicate class declaration.
+  EXPECT_THROW(ClusterSpec::Parse("gpu D tflops=1 mem=2; gpu D tflops=3 mem=4; node 1xD"),
+               std::invalid_argument);
+  // Malformed node argument.
+  EXPECT_THROW(ClusterSpec::Parse("node 4x"), std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse("node 99999999999999999999xV"), std::invalid_argument);
+  // Builder-set names and codes that would not survive the text round trip.
+  EXPECT_THROW(ClusterSpec().Named("my cluster").AddNode("V", 4).Validate(),
+               std::invalid_argument);
+  EXPECT_THROW(ClusterSpec().Named("a;b").AddNode("V", 4).Validate(), std::invalid_argument);
+  EXPECT_THROW(ClusterSpec().AddGpuClass("X9", 1.0, 1.0, ';').AddNode("X9", 2).Validate(),
+               std::invalid_argument);
+  EXPECT_THROW(ClusterSpec().AddGpuClass("X9", 1.0, 1.0, ' ').AddNode("X9", 2).Validate(),
+               std::invalid_argument);
+}
+
+TEST(ClusterSpecTest, ReRegisteringBuiltinClassesIsIdempotent) {
+  // Table 1 names contain spaces, but re-registering them with their own
+  // numbers must return the existing handle (the documented idempotent case).
+  EXPECT_EQ(RegisterGpuType("TITAN V", 6.60, 12.0), GpuType::kTitanV);
+  EXPECT_EQ(RegisterGpuType("Quadro P4000", 2.95, 8.0), GpuType::kQuadroP4000);
+  EXPECT_THROW(RegisterGpuType("TITAN V", 7.0, 12.0), std::invalid_argument);
+}
+
+TEST(ClusterSpecTest, ClassNamesShadowCodeStringsInPickGpus) {
+  // A registered class whose name spells known code letters ("VQ") must be
+  // selectable by name; the code-string interpretation yields to names.
+  const Cluster cluster =
+      ClusterSpec::Parse("gpu VQ tflops=3 mem=12; node 1xVQ; node 4xV; node 4xQ").Build();
+  const GpuSpec* vq = FindGpuTypeByName("VQ");
+  ASSERT_NE(vq, nullptr);
+  const std::vector<int> picked = core::PickGpus(cluster, "VQ");
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(cluster.gpu(picked[0]).type, vq->type);
+}
+
+TEST(ClusterSpecTest, UseClusterRejectsUnrepresentableHandBuiltClusters) {
+  // A hand-built general cluster without spec text cannot be carried as
+  // paper node codes (PaperSubset would rebuild 4 GPUs/node, default links).
+  const Cluster odd(
+      {NodeGpus{GpuType::kTitanV, 2}, NodeGpus{GpuType::kQuadroP4000, 8}},
+      PcieLink(8.0), InfinibandLink(10.0));
+  core::Experiment e;
+  EXPECT_THROW(e.UseCluster(odd), std::invalid_argument);
+  // Paper node shape with non-default links is just as unrepresentable.
+  const Cluster custom_links({NodeGpus{GpuType::kTitanV, 4}, NodeGpus{GpuType::kQuadroP4000, 4}},
+                             PcieLink(8.0), InfinibandLink(10.0));
+  EXPECT_THROW(e.UseCluster(custom_links), std::invalid_argument);
+  // Paper-shaped clusters still carry fine.
+  e.UseCluster(Cluster::PaperSubset("VQ"));
+  EXPECT_EQ(e.cluster_nodes, "VQ");
+}
+
+TEST(ClusterSpecTest, PaperTestbedEquivalentToPaperSubset) {
+  const Cluster direct = Cluster::Paper();
+  const Cluster from_spec = ClusterSpec::PaperTestbed().Build();
+
+  ASSERT_EQ(from_spec.num_nodes(), direct.num_nodes());
+  ASSERT_EQ(from_spec.num_gpus(), direct.num_gpus());
+  EXPECT_TRUE(from_spec.UniformGpusPerNode());
+  for (int id = 0; id < direct.num_gpus(); ++id) {
+    EXPECT_EQ(from_spec.gpu(id).type, direct.gpu(id).type);
+    EXPECT_EQ(from_spec.gpu(id).node, direct.gpu(id).node);
+  }
+  // Identical link models, hence identical transfer times.
+  const uint64_t bytes = 64ULL << 20;
+  EXPECT_EQ(from_spec.pcie().TransferTime(bytes), direct.pcie().TransferTime(bytes));
+  EXPECT_EQ(from_spec.infiniband().TransferTime(bytes), direct.infiniband().TransferTime(bytes));
+  // And identical layout key.
+  EXPECT_EQ(from_spec.ToString(), direct.ToString());
+
+  // The partitioner solves both clusters identically.
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  partition::PartitionOptions options;
+  options.nm = 2;
+  const std::vector<int> vw = {0, 4, 8, 12};
+  const partition::Partition a = partition::Partitioner(profile, direct).Solve(vw, options);
+  const partition::Partition b = partition::Partitioner(profile, from_spec).Solve(vw, options);
+  ASSERT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.bottleneck_time, b.bottleneck_time);
+  ASSERT_EQ(a.num_stages(), b.num_stages());
+  for (int q = 0; q < a.num_stages(); ++q) {
+    EXPECT_EQ(a.stages[static_cast<size_t>(q)].last_layer,
+              b.stages[static_cast<size_t>(q)].last_layer);
+    EXPECT_EQ(a.stages[static_cast<size_t>(q)].gpu_id, b.stages[static_cast<size_t>(q)].gpu_id);
+  }
+}
+
+TEST(ClusterSpecTest, BuildsHeterogeneousClusterWithRegisteredClasses) {
+  const Cluster cluster = ClusterSpec::Parse(kMixedSpecText).Build();
+  EXPECT_EQ(cluster.num_nodes(), 3);
+  EXPECT_EQ(cluster.num_gpus(), 2 + 3 + 4);
+  EXPECT_FALSE(cluster.UniformGpusPerNode());
+  EXPECT_EQ(cluster.gpus_per_node(), 4);
+  EXPECT_EQ(cluster.NodeGpuCount(0), 2);
+  EXPECT_EQ(cluster.NodeGpuCount(1), 3);
+  EXPECT_EQ(cluster.name(), "edge-mix");
+  EXPECT_FALSE(cluster.spec_text().empty());
+
+  const GpuSpec* big = FindGpuTypeByName("BigCard");
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(big->effective_tflops, 8.5);
+  EXPECT_EQ(MemoryBytes(big->type), 32ULL << 30);
+  EXPECT_EQ(cluster.NodeType(0), big->type);
+  // Registered classes rank by declared TFLOPS among the paper classes:
+  // BigCard (8.5) above V (6.6); TinyCard (1.4) below Q (2.95).
+  EXPECT_LT(cluster::ComputeRank(big->type), cluster::ComputeRank(GpuType::kTitanV));
+  const GpuSpec* tiny = FindGpuTypeByName("TinyCard");
+  ASSERT_NE(tiny, nullptr);
+  EXPECT_GT(cluster::ComputeRank(tiny->type), cluster::ComputeRank(GpuType::kQuadroP4000));
+  // Spec links: 12 GB/s PCIe class, 25 Gbit/s network.
+  EXPECT_LT(cluster.pcie().EffectiveBandwidth(), PcieLink().EffectiveBandwidth());
+  EXPECT_LT(cluster.infiniband().EffectiveBandwidth(), InfinibandLink().EffectiveBandwidth());
+
+  // Registration is idempotent: building the same spec again reuses handles.
+  const Cluster again = ClusterSpec::Parse(kMixedSpecText).Build();
+  EXPECT_EQ(again.NodeType(0), cluster.NodeType(0));
+  // ...but redefining a known name with different numbers is rejected.
+  EXPECT_THROW(ClusterSpec::Parse("gpu BigCard tflops=9 mem=32; node 1xBigCard").Build(),
+               std::invalid_argument);
+}
+
+TEST(ClusterSpecTest, PickGpusSelectorsOnGenericCluster) {
+  const Cluster cluster = ClusterSpec::Parse(kMixedSpecText).Build();
+  const std::vector<int> by_name = core::PickGpus(cluster, "BigCard*2,TinyCard");
+  ASSERT_EQ(by_name.size(), 3u);
+  EXPECT_EQ(cluster.gpu(by_name[0]).type, FindGpuTypeByName("BigCard")->type);
+  EXPECT_EQ(cluster.gpu(by_name[2]).type, FindGpuTypeByName("TinyCard")->type);
+
+  const std::vector<int> pinned = core::PickGpus(cluster, "V*2@2");
+  ASSERT_EQ(pinned.size(), 2u);
+  EXPECT_EQ(cluster.gpu(pinned[0]).node, 2);
+
+  // Code strings still work, on any cluster that has the classes.
+  EXPECT_EQ(core::PickGpus(cluster, "VV").size(), 2u);
+
+  EXPECT_THROW(core::PickGpus(cluster, "BigCard*3"), std::invalid_argument);
+  EXPECT_THROW(core::PickGpus(cluster, "NoSuchCard"), std::invalid_argument);
+  EXPECT_THROW(core::PickGpus(cluster, "TinyCard*2@0"), std::invalid_argument);
+  // Malformed numeric suffixes must fail loudly, not silently truncate.
+  EXPECT_THROW(core::PickGpus(cluster, "BigCard@0*2"), std::invalid_argument);
+  EXPECT_THROW(core::PickGpus(cluster, "BigCard*2junk"), std::invalid_argument);
+  EXPECT_THROW(core::PickGpus(cluster, "BigCard*"), std::invalid_argument);
+  EXPECT_THROW(core::PickGpus(cluster, "BigCard*99999999999999999999"),
+               std::invalid_argument);
+}
+
+// The ISSUE's acceptance scenario: a non-paper cluster spec runs kFullCluster
+// end-to-end through SweepRunner and emits valid JSON rows.
+TEST(ClusterSpecTest, GenericClusterRunsFullClusterExperimentEndToEnd) {
+  core::Experiment e;
+  e.kind = core::ExperimentKind::kFullCluster;
+  e.model = core::ModelKind::kResNet152;
+  e.cluster_spec = ClusterSpec::Parse(kMixedSpecText).ToString();
+  e.cluster_label = "edge-mix";
+  e.config.allocation = cluster::AllocationPolicy::kEqualDistribution;
+  e.config.placement = wsp::PlacementPolicy::kLocal;
+  e.config.sync = wsp::SyncPolicy::Wsp(0);
+  e.config.waves = 10;
+  e.config.warmup_waves = 2;
+
+  std::ostringstream out;
+  runner::JsonlSink sink(out);
+  runner::SweepOptions options;
+  options.threads = 2;
+  options.sink = &sink;
+  runner::SweepRunner sweep(options);
+  const auto results = sweep.Run({e});
+
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].feasible) << results[0].report.infeasible_reason;
+  EXPECT_GT(results[0].throughput_img_s, 0.0);
+  // ED on a 2/3/4-GPU cluster: 4 virtual workers, the smaller nodes thinning
+  // out of the later ones.
+  EXPECT_EQ(results[0].report.vws.size(), 4u);
+  const std::string row = out.str();
+  EXPECT_NE(row.find("\"cluster\":\"edge-mix\""), std::string::npos) << row;
+  EXPECT_NE(row.find("\"feasible\":true"), std::string::npos) << row;
+
+  // Determinism across thread counts holds for generic clusters too.
+  runner::SweepRunner serial(runner::SweepOptions{});
+  const auto serial_results = serial.Run({e});
+  ASSERT_EQ(serial_results.size(), 1u);
+  EXPECT_EQ(serial_results[0].throughput_img_s, results[0].throughput_img_s);
+}
+
+TEST(ClusterSpecTest, GenericGraphExperimentCarriesModelName) {
+  // A generic (no-ModelKind) graph must flow through the experiment pipeline
+  // and the result sink without ModelKindOf throwing.
+  std::vector<model::Layer> layers;
+  for (int i = 0; i < 12; ++i) {
+    model::Layer layer;
+    layer.name = "blk" + std::to_string(i);
+    layer.fwd_flops = 2.0e9;
+    layer.param_bytes = 4ULL << 20;
+    layer.out_bytes = 2ULL << 20;
+    layer.stash_bytes = 2ULL << 20;
+    layers.push_back(layer);
+  }
+  const model::ModelGraph graph("toynet12", model::ModelFamily::kGeneric, layers);
+  EXPECT_THROW(core::ModelKindOf(graph), std::invalid_argument);
+
+  core::Experiment e;
+  e.kind = core::ExperimentKind::kSingleVirtualWorker;
+  e.UseGraph(graph);
+  // Not "VQ": this binary registers a class named VQ, and names shadow code
+  // strings by design.
+  e.vw_codes = "VR";
+  e.config.nm = 2;
+  e.config.waves = 8;
+  e.config.warmup_waves = 2;
+  EXPECT_EQ(e.ModelLabel(), "toynet12");
+
+  runner::SweepRunner sweep(runner::SweepOptions{});
+  std::ostringstream out;
+  runner::JsonlSink sink(out);
+  const auto results = sweep.Run({e});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].feasible);
+  sink.Write(runner::RowFor(e, results[0]));
+  EXPECT_NE(out.str().find("\"model\":\"toynet12\""), std::string::npos) << out.str();
+}
+
+}  // namespace
+}  // namespace hetpipe::hw

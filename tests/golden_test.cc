@@ -1,0 +1,335 @@
+// Golden-file regression suite for the experiment pipeline: the Fig. 3 /
+// Fig. 4 and Table 4 experiment lists (plus a generic-cluster list) run
+// through SweepRunner and their JSON rows are compared against checked-in
+// goldens within tolerance, so refactors cannot silently drift the reproduced
+// numbers.
+//
+// Regenerating after an intentional change:
+//   UPDATE_GOLDEN=1 ./build/golden_test
+// rewrites tests/golden/*.jsonl in the source tree; review the diff before
+// committing it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "hw/cluster_spec.h"
+#include "runner/result_sink.h"
+#include "runner/sweep_runner.h"
+
+#ifndef HETPIPE_GOLDEN_DIR
+#error "golden_test needs HETPIPE_GOLDEN_DIR (set by CMakeLists.txt)"
+#endif
+
+namespace hetpipe {
+namespace {
+
+// Numeric drift tolerated before a golden mismatch is reported. The pipeline
+// is deterministic, so goldens normally match to the last printed digit; the
+// slack only absorbs FP differences across compilers and sanitizer builds.
+constexpr double kRelTol = 1e-6;
+constexpr double kAbsTol = 1e-9;
+
+bool UpdateGolden() { return std::getenv("UPDATE_GOLDEN") != nullptr; }
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(HETPIPE_GOLDEN_DIR) + "/" + name + ".jsonl";
+}
+
+// ---- A tiny parser for the flat JSON objects JsonlSink emits. ----
+
+struct Field {
+  std::string key;
+  std::string value;  // raw token: quoted string, number, or true/false
+};
+
+bool ParseRow(const std::string& line, std::vector<Field>* fields, std::string* error) {
+  fields->clear();
+  size_t i = 0;
+  const auto fail = [&](const std::string& what) {
+    *error = what + " at offset " + std::to_string(i) + " in: " + line;
+    return false;
+  };
+  if (line.empty() || line[i] != '{') {
+    return fail("expected '{'");
+  }
+  ++i;
+  const auto parse_string = [&](std::string* out) {
+    ++i;  // opening quote
+    out->clear();
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        out->push_back(line[i + 1]);
+        i += 2;
+      } else {
+        out->push_back(line[i]);
+        ++i;
+      }
+    }
+    if (i >= line.size()) {
+      return false;
+    }
+    ++i;  // closing quote
+    return true;
+  };
+  while (i < line.size() && line[i] != '}') {
+    Field field;
+    if (line[i] != '"') {
+      return fail("expected a key");
+    }
+    if (!parse_string(&field.key)) {
+      return fail("unterminated key");
+    }
+    if (i >= line.size() || line[i] != ':') {
+      return fail("expected ':'");
+    }
+    ++i;
+    if (i < line.size() && line[i] == '"') {
+      std::string value;
+      const size_t start = i;
+      if (!parse_string(&value)) {
+        return fail("unterminated string value");
+      }
+      field.value = line.substr(start, i - start);
+    } else {
+      const size_t start = i;
+      while (i < line.size() && line[i] != ',' && line[i] != '}') {
+        ++i;
+      }
+      field.value = line.substr(start, i - start);
+    }
+    fields->push_back(std::move(field));
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+    }
+  }
+  if (i >= line.size() || line[i] != '}') {
+    return fail("expected '}'");
+  }
+  return true;
+}
+
+bool BothNumeric(const std::string& a, const std::string& b, double* va, double* vb) {
+  char* end = nullptr;
+  *va = std::strtod(a.c_str(), &end);
+  if (end != a.c_str() + a.size() || a.empty()) {
+    return false;
+  }
+  *vb = std::strtod(b.c_str(), &end);
+  return end == b.c_str() + b.size() && !b.empty();
+}
+
+void ExpectRowsMatch(const std::string& suite, size_t row_index, const std::string& golden,
+                     const std::string& actual) {
+  std::vector<Field> want;
+  std::vector<Field> got;
+  std::string error;
+  ASSERT_TRUE(ParseRow(golden, &want, &error)) << suite << " golden: " << error;
+  ASSERT_TRUE(ParseRow(actual, &got, &error)) << suite << ": " << error;
+  ASSERT_EQ(want.size(), got.size()) << suite << " row " << row_index << "\n  golden: "
+                                     << golden << "\n  actual: " << actual;
+  for (size_t f = 0; f < want.size(); ++f) {
+    EXPECT_EQ(want[f].key, got[f].key) << suite << " row " << row_index;
+    double want_value = 0.0;
+    double got_value = 0.0;
+    if (BothNumeric(want[f].value, got[f].value, &want_value, &got_value)) {
+      const double diff = std::abs(want_value - got_value);
+      EXPECT_LE(diff, kAbsTol + kRelTol * std::abs(want_value))
+          << suite << " row " << row_index << " field " << want[f].key << ": golden "
+          << want[f].value << " vs actual " << got[f].value;
+    } else {
+      EXPECT_EQ(want[f].value, got[f].value)
+          << suite << " row " << row_index << " field " << want[f].key;
+    }
+  }
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) {
+      lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+std::string RunToJsonl(const std::vector<core::Experiment>& experiments, int threads) {
+  std::ostringstream out;
+  runner::JsonlSink sink(out);
+  runner::SweepOptions options;
+  options.threads = threads;
+  options.sink = &sink;
+  runner::SweepRunner sweep(options);
+  sweep.Run(experiments);
+  return out.str();
+}
+
+void CheckAgainstGolden(const std::string& suite,
+                        const std::vector<core::Experiment>& experiments) {
+  const std::string jsonl = RunToJsonl(experiments, /*threads=*/4);
+
+  // The acceptance invariant of the sweep subsystem: the 8-thread
+  // work-stealing sweep is element-wise identical to the serial one.
+  EXPECT_EQ(RunToJsonl(experiments, /*threads=*/1), jsonl)
+      << suite << ": serial and parallel sweeps diverged";
+  EXPECT_EQ(RunToJsonl(experiments, /*threads=*/8), jsonl)
+      << suite << ": 4- and 8-thread sweeps diverged";
+
+  const std::string path = GoldenPath(suite);
+  if (UpdateGolden()) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.is_open()) << "cannot write " << path;
+    out << jsonl;
+    std::printf("updated %s\n", path.c_str());
+    return;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << "missing golden " << path
+                            << " — run UPDATE_GOLDEN=1 ./golden_test to create it";
+  std::stringstream golden;
+  golden << in.rdbuf();
+
+  const std::vector<std::string> want = SplitLines(golden.str());
+  const std::vector<std::string> got = SplitLines(jsonl);
+  ASSERT_EQ(want.size(), got.size()) << suite << ": row count drifted";
+  for (size_t i = 0; i < want.size(); ++i) {
+    ExpectRowsMatch(suite, i, want[i], got[i]);
+  }
+}
+
+// ---- The pinned experiment lists. Everything is fixed (seeds, waves,
+// ---- jitter) so the rows are deterministic; goldens pin the numbers.
+
+std::vector<core::Experiment> Fig3Experiments() {
+  std::vector<core::Experiment> experiments;
+  for (const char* codes : {"VVVV", "GGGG", "VRGQ", "VVQQ"}) {
+    for (int nm = 1; nm <= 4; ++nm) {
+      core::Experiment e;
+      e.kind = core::ExperimentKind::kSingleVirtualWorker;
+      e.model = core::ModelKind::kResNet152;
+      e.vw_codes = codes;
+      e.config.nm = nm;
+      e.config.jitter_cv = 0.0;
+      e.config.waves = 20;
+      e.config.warmup_waves = 3;
+      experiments.push_back(std::move(e));
+    }
+  }
+  return experiments;
+}
+
+std::vector<core::Experiment> Fig4Experiments() {
+  std::vector<core::Experiment> experiments;
+  for (core::ModelKind model : {core::ModelKind::kResNet152, core::ModelKind::kVgg19}) {
+    {
+      core::Experiment e;
+      e.name = std::string(core::ModelName(model)) + " Horovod";
+      e.kind = core::ExperimentKind::kHorovod;
+      e.model = model;
+      experiments.push_back(std::move(e));
+    }
+    const struct {
+      const char* label;
+      cluster::AllocationPolicy allocation;
+      wsp::PlacementPolicy placement;
+    } kPolicies[] = {
+        {"NP", cluster::AllocationPolicy::kNodePartition, wsp::PlacementPolicy::kRoundRobin},
+        {"ED", cluster::AllocationPolicy::kEqualDistribution, wsp::PlacementPolicy::kRoundRobin},
+        {"ED-local", cluster::AllocationPolicy::kEqualDistribution, wsp::PlacementPolicy::kLocal},
+        {"HD", cluster::AllocationPolicy::kHybridDistribution, wsp::PlacementPolicy::kRoundRobin},
+    };
+    for (const auto& policy : kPolicies) {
+      core::Experiment e;
+      e.name = std::string(core::ModelName(model)) + " " + policy.label;
+      e.kind = core::ExperimentKind::kFullCluster;
+      e.model = model;
+      e.config.allocation = policy.allocation;
+      e.config.placement = policy.placement;
+      e.config.sync = wsp::SyncPolicy::Wsp(0);
+      e.config.jitter_cv = 0.05;
+      e.config.waves = 20;
+      experiments.push_back(std::move(e));
+    }
+  }
+  return experiments;
+}
+
+std::vector<core::Experiment> Table4Experiments() {
+  std::vector<core::Experiment> experiments;
+  for (const char* nodes : {"V", "VR", "VRQ", "VRQG"}) {
+    core::Experiment horovod;
+    horovod.name = std::string("Horovod ") + nodes;
+    horovod.kind = core::ExperimentKind::kHorovod;
+    horovod.model = core::ModelKind::kResNet152;
+    horovod.cluster_nodes = nodes;
+    experiments.push_back(std::move(horovod));
+
+    core::Experiment hetpipe;
+    hetpipe.name = std::string("HetPipe ") + nodes;
+    hetpipe.kind = core::ExperimentKind::kFullCluster;
+    hetpipe.model = core::ModelKind::kResNet152;
+    hetpipe.cluster_nodes = nodes;
+    hetpipe.config.allocation = std::string(nodes).size() == 1
+                                    ? cluster::AllocationPolicy::kNodePartition
+                                    : cluster::AllocationPolicy::kEqualDistribution;
+    hetpipe.config.placement = wsp::PlacementPolicy::kLocal;
+    hetpipe.config.sync = wsp::SyncPolicy::Wsp(0);
+    hetpipe.config.jitter_cv = 0.05;
+    hetpipe.config.waves = 20;
+    experiments.push_back(std::move(hetpipe));
+  }
+  return experiments;
+}
+
+std::vector<core::Experiment> GenericClusterExperiments() {
+  // A non-paper cluster (mixed non-Table-1 classes, uneven node sizes, slower
+  // links) pinned by golden so the ClusterSpec pipeline cannot drift either.
+  const std::string spec =
+      hw::ClusterSpec()
+          .Named("golden-mix")
+          .AddGpuClass("GoldBig", 8.5, 32.0, 'g')
+          .AddGpuClass("GoldSmall", 1.4, 11.0)
+          .AddNode("GoldBig", 2)
+          .AddNode("GoldSmall", 3)
+          .AddNode("V", 4)
+          .IntraGbps(12.0)
+          .InterGbits(25.0)
+          .ToString();
+  std::vector<core::Experiment> experiments;
+  for (core::ModelKind model : {core::ModelKind::kResNet152, core::ModelKind::kVgg19}) {
+    for (const int d : {0, 4}) {
+      core::Experiment e;
+      e.name = std::string(core::ModelName(model)) + " golden-mix D=" + std::to_string(d);
+      e.kind = core::ExperimentKind::kFullCluster;
+      e.model = model;
+      e.cluster_spec = spec;
+      e.cluster_label = "golden-mix";
+      e.config = core::EdLocalConfig(d, /*jitter_cv=*/0.1);
+      e.config.waves = 15;
+      experiments.push_back(std::move(e));
+    }
+  }
+  return experiments;
+}
+
+TEST(GoldenTest, Fig3SingleVirtualWorkerRows) { CheckAgainstGolden("fig3", Fig3Experiments()); }
+
+TEST(GoldenTest, Fig4PolicyRows) { CheckAgainstGolden("fig4", Fig4Experiments()); }
+
+TEST(GoldenTest, Table4ScalingRows) { CheckAgainstGolden("table4", Table4Experiments()); }
+
+TEST(GoldenTest, GenericClusterRows) {
+  CheckAgainstGolden("generic_cluster", GenericClusterExperiments());
+}
+
+}  // namespace
+}  // namespace hetpipe

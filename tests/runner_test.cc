@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -61,6 +64,39 @@ TEST(ThreadPoolTest, SingleThreadPoolWorks) {
   int64_t sum = 0;  // no atomics needed: everything runs on this thread
   pool.ParallelFor(100, [&](int64_t i) { sum += i; });
   EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPoolTest, WorkStealingKeepsSkewedResultsInputOrderedAndSerialIdentical) {
+  // Heavily skewed per-index costs: the first few indices dominate. The
+  // work-stealing chunking must still run every index exactly once and
+  // produce results element-wise identical to the serial loop.
+  constexpr int64_t kN = 96;
+  const auto task = [](int64_t i) {
+    // Index 0..7 are ~1000x the work of the rest.
+    const int64_t iterations = i < 8 ? 400000 : 400;
+    double acc = static_cast<double>(i);
+    for (int64_t t = 0; t < iterations; ++t) {
+      acc = acc * 1.0000001 + 0.5;
+    }
+    return acc;
+  };
+
+  std::vector<double> serial(kN);
+  for (int64_t i = 0; i < kN; ++i) {
+    serial[static_cast<size_t>(i)] = task(i);
+  }
+
+  ThreadPool pool(8);
+  std::vector<double> stolen(kN);
+  std::vector<std::atomic<int>> runs(kN);
+  pool.ParallelFor(kN, [&](int64_t i) {
+    runs[static_cast<size_t>(i)].fetch_add(1);
+    stolen[static_cast<size_t>(i)] = task(i);
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(runs[static_cast<size_t>(i)].load(), 1) << i;
+    EXPECT_EQ(stolen[static_cast<size_t>(i)], serial[static_cast<size_t>(i)]) << i;
+  }
 }
 
 // ---- PartitionCache ----
@@ -154,6 +190,27 @@ TEST(PartitionCacheTest, FixedOrderSolvesKeyOnTheOrder) {
   EXPECT_EQ(cache.hits(), 1);
 }
 
+TEST(PartitionCacheTest, DistinguishesLinkParametersBeyondBandwidth) {
+  // Latency / intercept shape TransferTime (and thus the optimal split) even
+  // at identical peak bandwidth, so they must be part of the cache key.
+  const std::vector<hw::NodeGpus> nodes = {{hw::GpuType::kTitanV, 4},
+                                           {hw::GpuType::kQuadroP4000, 4}};
+  const hw::Cluster fast_links(nodes, hw::PcieLink(), hw::InfinibandLink());
+  const hw::Cluster slow_links(
+      nodes, hw::PcieLink(hw::PcieLink::kDefaultPeakGBps, hw::PcieLink::kDefaultScaling, 5e-3),
+      hw::InfinibandLink(hw::InfinibandLink::kDefaultRawGbits,
+                         hw::InfinibandLink::kDefaultEfficiency, 20e-3));
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  PartitionCache cache;
+  partition::PartitionOptions options;
+  options.nm = 1;
+  cache.Solve(partition::Partitioner(profile, fast_links), {0, 1, 4, 5}, options);
+  cache.Solve(partition::Partitioner(profile, slow_links), {0, 1, 4, 5}, options);
+  EXPECT_EQ(cache.misses(), 2);
+  EXPECT_EQ(cache.hits(), 0);
+}
+
 TEST(PartitionCacheTest, DistinguishesNmAndMemParams) {
   const hw::Cluster cluster = hw::Cluster::Paper();
   const model::ModelGraph graph = model::BuildResNet152();
@@ -172,6 +229,160 @@ TEST(PartitionCacheTest, DistinguishesNmAndMemParams) {
   cache.Solve(partitioner, {0, 4, 8, 12}, c);
   EXPECT_EQ(cache.misses(), 3);
   EXPECT_EQ(cache.hits(), 0);
+}
+
+// ---- PartitionCache disk persistence ----
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(PartitionCacheFileTest, SaveLoadSolveRoundTripIsHitIdentical) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  const partition::Partitioner partitioner(profile, cluster);
+  const std::string path = testing::TempDir() + "hetpipe_pcache_roundtrip.bin";
+
+  PartitionCache warm;
+  partition::PartitionOptions options;
+  for (int nm : {1, 2, 3}) {
+    options.nm = nm;
+    warm.Solve(partitioner, {0, 4, 8, 12}, options);
+    warm.Solve(partitioner, {0, 1, 12, 13}, options);
+  }
+  ASSERT_EQ(warm.size(), 6);
+  std::string error;
+  ASSERT_TRUE(warm.Save(path, &error)) << error;
+
+  // A fresh process-equivalent: every Solve must be a hit and must return
+  // exactly what a cold solve returns.
+  PartitionCache loaded;
+  ASSERT_TRUE(loaded.Load(path, &error)) << error;
+  EXPECT_EQ(loaded.size(), 6);
+  for (int nm : {1, 2, 3}) {
+    options.nm = nm;
+    for (const std::vector<int>& vw :
+         {std::vector<int>{0, 4, 8, 12}, std::vector<int>{0, 1, 12, 13}}) {
+      const partition::Partition cold = partitioner.Solve(vw, options);
+      const partition::Partition hit = loaded.Solve(partitioner, vw, options);
+      ExpectSamePartition(cold, hit);
+    }
+  }
+  EXPECT_EQ(loaded.hits(), 6);
+  EXPECT_EQ(loaded.misses(), 0);
+
+  // Remapping onto different GPU ids of the same shape works from disk too.
+  options.nm = 2;
+  const partition::Partition remapped = loaded.Solve(partitioner, {1, 5, 9, 13}, options);
+  ExpectSamePartition(partitioner.Solve({1, 5, 9, 13}, options), remapped);
+  EXPECT_EQ(loaded.misses(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(PartitionCacheFileTest, RejectsTruncatedCorruptedAndMismatchedFiles) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  const partition::Partitioner partitioner(profile, cluster);
+  const std::string path = testing::TempDir() + "hetpipe_pcache_broken.bin";
+
+  PartitionCache warm;
+  partition::PartitionOptions options;
+  options.nm = 1;
+  warm.Solve(partitioner, {0, 4, 8, 12}, options);
+  ASSERT_TRUE(warm.Save(path));
+  const std::string good = ReadFileBytes(path);
+  ASSERT_GT(good.size(), 64u);
+
+  std::string error;
+  PartitionCache cache;
+
+  // Missing file.
+  EXPECT_FALSE(cache.Load(path + ".does-not-exist", &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+
+  // Truncated at several points, including mid-header and mid-records.
+  for (const size_t keep : {size_t{3}, size_t{10}, good.size() / 2, good.size() - 1}) {
+    WriteFileBytes(path, good.substr(0, keep));
+    EXPECT_FALSE(cache.Load(path, &error)) << "kept " << keep << " bytes";
+    EXPECT_EQ(cache.size(), 0) << "a rejected file must leave the cache unchanged";
+  }
+
+  // A flipped byte in the records region fails the checksum.
+  std::string corrupted = good;
+  corrupted[corrupted.size() / 2] = static_cast<char>(corrupted[corrupted.size() / 2] ^ 0x5a);
+  WriteFileBytes(path, corrupted);
+  EXPECT_FALSE(cache.Load(path, &error));
+  EXPECT_NE(error.find("corrupted"), std::string::npos) << error;
+
+  // Wrong magic.
+  std::string bad_magic = good;
+  bad_magic[0] = static_cast<char>(bad_magic[0] ^ 0xff);
+  WriteFileBytes(path, bad_magic);
+  EXPECT_FALSE(cache.Load(path, &error));
+  EXPECT_NE(error.find("not a partition cache"), std::string::npos) << error;
+
+  // Future version.
+  std::string bad_version = good;
+  bad_version[4] = static_cast<char>(bad_version[4] + 1);
+  WriteFileBytes(path, bad_version);
+  EXPECT_FALSE(cache.Load(path, &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+
+  // Trailing garbage after the entries is rejected too.
+  WriteFileBytes(path, good + "garbage");
+  EXPECT_FALSE(cache.Load(path, &error));
+
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_EQ(cache.hits(), 0);
+
+  // The pristine bytes still load after all that.
+  WriteFileBytes(path, good);
+  EXPECT_TRUE(cache.Load(path, &error)) << error;
+  EXPECT_EQ(cache.size(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(PartitionCacheFileTest, LoadMergesWithoutOverwritingExistingEntries) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildVgg19();
+  const model::ModelProfile profile(graph, 32);
+  const partition::Partitioner partitioner(profile, cluster);
+  const std::string path = testing::TempDir() + "hetpipe_pcache_merge.bin";
+
+  PartitionCache first;
+  partition::PartitionOptions options;
+  options.nm = 1;
+  first.Solve(partitioner, {0, 4, 8, 12}, options);
+  ASSERT_TRUE(first.Save(path));
+
+  PartitionCache second;
+  options.nm = 2;
+  second.Solve(partitioner, {0, 4, 8, 12}, options);
+  ASSERT_TRUE(second.Load(path));
+  EXPECT_EQ(second.size(), 2);  // nm=2 solved here + nm=1 from disk
+
+  // Saving the merged cache keeps both entries (materialized and pending).
+  ASSERT_TRUE(second.Save(path));
+  PartitionCache third;
+  ASSERT_TRUE(third.Load(path));
+  EXPECT_EQ(third.size(), 2);
+  options.nm = 1;
+  ExpectSamePartition(partitioner.Solve({0, 4, 8, 12}, options),
+                      third.Solve(partitioner, {0, 4, 8, 12}, options));
+  options.nm = 2;
+  ExpectSamePartition(partitioner.Solve({0, 4, 8, 12}, options),
+                      third.Solve(partitioner, {0, 4, 8, 12}, options));
+  EXPECT_EQ(third.hits(), 2);
+  EXPECT_EQ(third.misses(), 0);
+  std::remove(path.c_str());
 }
 
 // ---- Partitioner: pruning and parallel order search never change results ----
