@@ -1,11 +1,14 @@
 // Sweeps HetPipe over generic heterogeneous clusters — the scenario axes the
 // paper's fixed 4 x 4 testbed (Table 4) could not explore:
-//   scale:      growing node counts of mixed non-Table-1 GPU classes
+//   scale:      growing node prefixes of a mixed strong/whimpy cluster
+//               (Table 4-style Horovod-vs-HetPipe rows per prefix)
 //   straggler:  task-time jitter x clock-distance threshold D
 //   bandwidth:  inter-node link rate from 10 to 100 Gbit/s
+// All three grids come from the spec-driven runner::SpecSweep helpers; this
+// binary only picks the specs and prints the rows.
 //
 // Flags: --threads=N --json[=PATH] --csv[=PATH] --cache-file=PATH
-//        --spec-file=PATH   run the full-cluster scenario on your own
+//        --spec-file=PATH   run the straggler scenario on your own
 //                           hw::ClusterSpec text file instead of the built-in
 //                           scenarios (see README for the format)
 //
@@ -21,6 +24,7 @@
 #include "core/experiment.h"
 #include "hw/cluster_spec.h"
 #include "runner/cli.h"
+#include "runner/spec_sweep.h"
 
 namespace {
 
@@ -29,73 +33,39 @@ using namespace hetpipe;
 // Fictional but realistically-shaped GPU classes beyond Table 1: a strong
 // datacenter card and a whimpy inference card (sustained ResNet-class TFLOPS,
 // memory in GiB).
-constexpr const char* kClasses =
-    "gpu BigCard tflops=9.2 mem=40 code=a; gpu SmallCard tflops=2.6 mem=16 code=t";
-
-// The fixed mixed cluster of the straggler and bandwidth scenarios: 2 strong
-// GPUs, 4 whimpy ones, and one paper V-node.
-std::string MixedSpecText(double inter_gbits) {
-  std::ostringstream os;
-  os << "name mixed-3node; " << kClasses
-     << "; node 2xBigCard; node 4xSmallCard; node 4xV; inter_gbits " << inter_gbits;
-  return os.str();
+hw::ClusterSpec& DeclareClasses(hw::ClusterSpec& spec) {
+  spec.AddGpuClass("BigCard", 9.2, 40.0, 'a').AddGpuClass("SmallCard", 2.6, 16.0, 't');
+  return spec;
 }
 
-core::Experiment EdLocal(const std::string& name, core::ModelKind model,
-                         const std::string& spec_text, const std::string& label, int d,
-                         double jitter_cv) {
-  core::Experiment e;
-  e.name = name;
-  e.kind = core::ExperimentKind::kFullCluster;
-  e.model = model;
-  e.cluster_spec = spec_text;
-  e.cluster_label = label;
-  e.config = core::EdLocalConfig(d, jitter_cv);
-  e.config.waves = 30;
-  return e;
+// The fixed mixed cluster of the straggler and bandwidth scenarios: one node
+// mixing strong and whimpy cards (the mixed-class node the spec grammar now
+// supports), one whimpy node, and one paper V-node.
+hw::ClusterSpec MixedSpec() {
+  hw::ClusterSpec spec;
+  spec.Named("mixed-3node");
+  DeclareClasses(spec)
+      .AddMixedNode({{"BigCard", 2}, {"SmallCard", 2}})
+      .AddNode("SmallCard", 4)
+      .AddNode("V", 4)
+      .InterGbits(25.0);
+  return spec;
 }
 
-std::vector<core::Experiment> ScaleScenario() {
-  // Growing clusters that alternate strong and whimpy nodes: 1 node up to 6.
-  std::vector<core::Experiment> experiments;
-  for (core::ModelKind model : {core::ModelKind::kResNet152, core::ModelKind::kVgg19}) {
-    for (int nodes = 1; nodes <= 6; ++nodes) {
-      std::ostringstream spec;
-      spec << "name scale-" << nodes << "; " << kClasses;
-      for (int n = 0; n < nodes; ++n) {
-        spec << "; node " << (n % 2 == 0 ? "2xBigCard" : "4xSmallCard");
-      }
-      experiments.push_back(EdLocal(
-          "scale " + std::string(core::ModelName(model)) + " " + std::to_string(nodes) +
-              " nodes",
-          model, spec.str(), "scale-" + std::to_string(nodes), /*d=*/0, /*jitter_cv=*/0.05));
+// The scale scenario's 6-node cluster: alternating strong and whimpy nodes,
+// swept prefix by prefix (1 node, 2 nodes, ..., 6 nodes).
+hw::ClusterSpec ScaleSpec() {
+  hw::ClusterSpec spec;
+  spec.Named("scale");
+  DeclareClasses(spec);
+  for (int n = 0; n < 6; ++n) {
+    if (n % 2 == 0) {
+      spec.AddNode("BigCard", 2);
+    } else {
+      spec.AddNode("SmallCard", 4);
     }
   }
-  return experiments;
-}
-
-std::vector<core::Experiment> StragglerScenario() {
-  std::vector<core::Experiment> experiments;
-  for (const double jitter : {0.0, 0.1, 0.3}) {
-    for (const int d : {0, 4, 32}) {
-      std::ostringstream name;
-      name << "straggler jitter=" << jitter << " D=" << d;
-      experiments.push_back(EdLocal(name.str(), core::ModelKind::kResNet152,
-                                    MixedSpecText(25.0), "mixed-3node", d, jitter));
-    }
-  }
-  return experiments;
-}
-
-std::vector<core::Experiment> BandwidthScenario() {
-  std::vector<core::Experiment> experiments;
-  for (const double gbits : {10.0, 25.0, 56.0, 100.0}) {
-    std::ostringstream name;
-    name << "bandwidth " << gbits << " Gbit/s";
-    experiments.push_back(EdLocal(name.str(), core::ModelKind::kVgg19, MixedSpecText(gbits),
-                                  "mixed-3node", /*d=*/0, /*jitter_cv=*/0.05));
-  }
-  return experiments;
+  return spec;
 }
 
 void PrintRows(const std::vector<core::Experiment>& experiments,
@@ -103,12 +73,16 @@ void PrintRows(const std::vector<core::Experiment>& experiments,
   for (size_t i = 0; i < results.size(); ++i) {
     const core::ExperimentResult& r = results[i];
     if (!r.feasible) {
-      std::printf("  %-34s %12s\n", r.name.c_str(), "infeasible");
+      std::printf("  %-40s %12s\n", r.name.c_str(), "infeasible");
       continue;
     }
-    std::printf("  %-34s %8.1f img/s  Nm=%d  %zu VWs\n", r.name.c_str(), r.throughput_img_s,
+    if (experiments[i].kind == core::ExperimentKind::kHorovod) {
+      std::printf("  %-40s %8.1f img/s  %zu workers\n", r.name.c_str(), r.throughput_img_s,
+                  r.horovod.worker_gpus.size());
+      continue;
+    }
+    std::printf("  %-40s %8.1f img/s  Nm=%d  %zu VWs\n", r.name.c_str(), r.throughput_img_s,
                 r.report.nm, r.report.vws.size());
-    (void)experiments;
   }
 }
 
@@ -150,27 +124,51 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: %s: %s\n", spec_file.c_str(), bad_spec.what());
       return 2;
     }
+    // Anonymous spec files are labeled by their path so concatenated rows
+    // from several files stay distinguishable.
     const std::string label = spec.name.empty() ? spec_file : spec.name;
     std::printf("cluster sweep — user spec %s: %s\n", label.c_str(),
                 spec.Build().ToString().c_str());
     std::vector<core::Experiment> experiments;
     for (core::ModelKind model : {core::ModelKind::kResNet152, core::ModelKind::kVgg19}) {
-      for (const int d : {0, 4}) {
-        experiments.push_back(EdLocal(std::string(core::ModelName(model)) + " D=" +
-                                          std::to_string(d),
-                                      model, spec.ToString(), label, d, /*jitter_cv=*/0.1));
+      runner::SpecSweepOptions options;
+      options.model = model;
+      for (core::Experiment& e :
+           runner::StragglerSweep(spec, {0.1}, {0, 4}, options)) {
+        e.name = std::string(core::ModelName(model)) + " " + e.name;
+        e.cluster_label = label;
+        experiments.push_back(std::move(e));
       }
     }
     PrintRows(experiments, sweep.Run(experiments));
   } else {
     std::printf("cluster sweep — generic heterogeneous scenarios beyond Table 4\n");
+
+    std::vector<core::Experiment> scale;
+    for (core::ModelKind model : {core::ModelKind::kResNet152, core::ModelKind::kVgg19}) {
+      runner::SpecSweepOptions options;
+      options.model = model;
+      options.jitter_cv = 0.05;
+      for (core::Experiment& e : runner::ScalingSweep(ScaleSpec(), options)) {
+        scale.push_back(std::move(e));
+      }
+    }
+
+    runner::SpecSweepOptions resnet;
+    resnet.model = core::ModelKind::kResNet152;
+    runner::SpecSweepOptions vgg;
+    vgg.model = core::ModelKind::kVgg19;
+    vgg.jitter_cv = 0.05;
+
     const struct {
       const char* title;
       std::vector<core::Experiment> experiments;
     } scenarios[] = {
-        {"scale (alternating strong/whimpy nodes)", ScaleScenario()},
-        {"stragglers (jitter x D, mixed 3-node cluster)", StragglerScenario()},
-        {"inter-node bandwidth (mixed 3-node cluster)", BandwidthScenario()},
+        {"scale (alternating strong/whimpy node prefixes)", std::move(scale)},
+        {"stragglers (jitter x D, mixed 3-node cluster)",
+         runner::StragglerSweep(MixedSpec(), {0.0, 0.1, 0.3}, {0, 4, 32}, resnet)},
+        {"inter-node bandwidth (mixed 3-node cluster)",
+         runner::BandwidthSweep(MixedSpec(), {10.0, 25.0, 56.0, 100.0}, vgg)},
     };
     for (const auto& scenario : scenarios) {
       std::printf("\n%s:\n", scenario.title);

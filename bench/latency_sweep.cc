@@ -1,0 +1,92 @@
+// Link-latency sensitivity on a mixed-class-node cluster — the knobs the
+// paper's §7 communication model hard-codes (PCIe per-transfer setup cost,
+// Infiniband regression intercept) swept as spec-level parameters:
+//   latency grid:  inter-node intercept x intra-node latency (ED-local)
+//   fig3 grid:     single-VW Nm sweep per distinct ED shape of the cluster,
+//                  at the default and at a degraded inter-node intercept
+// Both grids come from the spec-driven runner::SpecSweep helpers.
+//
+// Flags: --threads=N --json[=PATH] --csv[=PATH] --cache-file=PATH
+//
+// Because the intercept/latency knobs are part of the partition-cache key,
+// a --cache-file warmed at one latency point is never wrongly reused at
+// another: repeated identical runs are all hits, changed knobs all misses.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "hw/cluster_spec.h"
+#include "runner/cli.h"
+#include "runner/spec_sweep.h"
+
+namespace {
+
+using namespace hetpipe;
+
+// A latency-sensitive shape: a node mixing strong and whimpy cards (cross-
+// class boundaries inside the node), a whimpy node, and a paper V-node.
+hw::ClusterSpec LatencyMixSpec() {
+  hw::ClusterSpec spec;
+  spec.Named("latency-mix");
+  spec.AddGpuClass("BigCard", 9.2, 40.0, 'a')
+      .AddGpuClass("SmallCard", 2.6, 16.0, 't')
+      .AddMixedNode({{"BigCard", 2}, {"SmallCard", 2}})
+      .AddNode("SmallCard", 4)
+      .AddNode("V", 4)
+      .InterGbits(25.0);
+  return spec;
+}
+
+void PrintRows(const std::vector<core::Experiment>& experiments,
+               const std::vector<core::ExperimentResult>& results) {
+  for (size_t i = 0; i < results.size(); ++i) {
+    const core::ExperimentResult& r = results[i];
+    if (!r.feasible) {
+      std::printf("  %-44s %12s\n", r.name.c_str(), "infeasible");
+    } else if (experiments[i].kind == core::ExperimentKind::kSingleVirtualWorker) {
+      std::printf("  %-44s %8.1f img/s\n", r.name.c_str(), r.throughput_img_s);
+    } else {
+      std::printf("  %-44s %8.1f img/s  Nm=%d\n", r.name.c_str(), r.throughput_img_s,
+                  r.report.nm);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runner::BenchArgs args = runner::BenchArgs::Parse(argc, argv);
+  for (const std::string& arg : args.rest) {
+    std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+    return 2;
+  }
+  runner::SweepRunner sweep(args.sweep_options());
+  const hw::ClusterSpec spec = LatencyMixSpec();
+  std::printf("latency sweep — %s: %s\n", spec.name.c_str(), spec.Build().ToString().c_str());
+
+  runner::SpecSweepOptions options;
+  options.model = core::ModelKind::kResNet152;
+  options.jitter_cv = 0.05;
+
+  std::printf("\nlink latency grid (inter intercept x intra latency, ED-local):\n");
+  const std::vector<core::Experiment> grid = runner::LatencySweep(
+      spec, {100e-6, 1e-3, 5e-3, 20e-3}, {10e-6, 1e-3}, options);
+  PrintRows(grid, sweep.Run(grid));
+
+  std::printf("\nfig3-style single-VW Nm sweep per distinct ED shape:\n");
+  std::vector<core::Experiment> fig3 = runner::SingleVwSweep(spec, /*nm_max=*/4, options);
+  {
+    hw::ClusterSpec slow = spec;
+    slow.Named("latency-mix-slow").InterInterceptS(5e-3);
+    for (core::Experiment& e : runner::SingleVwSweep(slow, /*nm_max=*/4, options)) {
+      fig3.push_back(std::move(e));
+    }
+  }
+  PrintRows(fig3, sweep.Run(fig3));
+
+  std::fprintf(stderr, "partition cache: %lld hits, %lld misses\n",
+               static_cast<long long>(sweep.cache().hits()),
+               static_cast<long long>(sweep.cache().misses()));
+  return 0;
+}

@@ -6,7 +6,13 @@
 //   warm      the same sweep again on the already-populated cache,
 // verifying element-wise identical results and reporting wall-clock speedup.
 //
-// Flags: --threads=N (default 8) --repeat=N (default 5) --json[=PATH] --csv[=PATH]
+// With --nested, runs the nested-sweep smoke instead: an outer
+// SweepRunner::Map whose tasks each construct an inner SweepRunner sharing
+// the outer pool and cache (SweepOptions::pool), verifying that nested
+// fan-out neither deadlocks nor changes a single row vs the serial run.
+//
+// Flags: --threads=N (default 8) --repeat=N (default 5) --nested
+//        --json[=PATH] --csv[=PATH]
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -64,16 +70,74 @@ double Seconds(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
 }
 
+// Nested-sweep smoke: split the experiment list into groups, run each group
+// in an inner SweepRunner constructed inside an outer SweepRunner::Map task,
+// with every inner runner sharing the outer pool and cache. The flattened
+// rows must be element-wise identical to a plain serial run.
+int RunNestedSmoke(int threads) {
+  const std::vector<core::Experiment> experiments = BuildSweep();
+
+  std::vector<core::ExperimentResult> serial;
+  serial.reserve(experiments.size());
+  for (const core::Experiment& e : experiments) {
+    serial.push_back(core::RunExperiment(e));
+  }
+
+  runner::SweepOptions outer_options;
+  outer_options.threads = threads;
+  runner::SweepRunner outer(outer_options);
+  constexpr int64_t kGroups = 7;
+  const auto nested = outer.Map<std::vector<core::ExperimentResult>>(
+      kGroups, [&](int64_t group) {
+        std::vector<core::Experiment> slice;
+        for (size_t i = static_cast<size_t>(group); i < experiments.size();
+             i += static_cast<size_t>(kGroups)) {
+          slice.push_back(experiments[i]);
+        }
+        runner::SweepOptions inner_options;
+        inner_options.pool = &outer.pool();  // shared: no second thread set
+        inner_options.cache = &outer.cache();
+        runner::SweepRunner inner(inner_options);
+        return inner.Run(slice);
+      });
+
+  std::vector<core::ExperimentResult> flattened(experiments.size());
+  for (int64_t group = 0; group < kGroups; ++group) {
+    const auto& slice = nested[static_cast<size_t>(group)];
+    for (size_t s = 0; s < slice.size(); ++s) {
+      flattened[static_cast<size_t>(group) + s * static_cast<size_t>(kGroups)] = slice[s];
+    }
+  }
+
+  const bool identical = SameResults(serial, flattened);
+  std::printf("nested sweeps (%d-thread shared pool, %lld inner runners) vs serial: %s\n",
+              threads, static_cast<long long>(kGroups),
+              identical ? "element-wise identical" : "DIVERGED — BUG");
+  return identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   runner::BenchArgs args = runner::BenchArgs::Parse(argc, argv);
   const int threads = args.threads > 0 ? args.threads : 8;
   int repeat = 5;
+  bool nested = false;
   for (const std::string& arg : args.rest) {
     if (arg.rfind("--repeat=", 0) == 0) {
-      repeat = std::max(1, std::atoi(arg.c_str() + 9));
+      int parsed = 0;
+      if (!runner::ParseIntFlag(arg.substr(9), &parsed)) {
+        std::fprintf(stderr, "error: --repeat needs an integer, got \"%s\"\n",
+                     arg.c_str() + 9);
+        return 2;
+      }
+      repeat = std::max(1, parsed);
+    } else if (arg == "--nested") {
+      nested = true;
     }
+  }
+  if (nested) {
+    return RunNestedSmoke(threads);
   }
   const std::vector<core::Experiment> experiments = BuildSweep();
   std::printf("sweep of %zu single-VW configurations (models x shapes x Nm x jitter),\n"

@@ -62,7 +62,9 @@ Allocation AllocateNp(const hw::Cluster& cluster) {
 Allocation AllocateEd(const hw::Cluster& cluster) {
   // One GPU of every node per virtual worker. On clusters with unequal node
   // sizes the number of VWs is the largest node's GPU count, and smaller
-  // nodes simply contribute to the first VWs only.
+  // nodes simply contribute to the first VWs only. Mixed-class nodes hand
+  // out their GPUs in declaration (GPU-id) order, so VW i receives the i-th
+  // declared GPU of every node — deterministic and spec-controlled.
   Allocation allocation;
   allocation.policy = AllocationPolicy::kEqualDistribution;
   allocation.vw_gpus.resize(static_cast<size_t>(cluster.gpus_per_node()));
@@ -76,9 +78,14 @@ Allocation AllocateEd(const hw::Cluster& cluster) {
 }
 
 Allocation AllocateHd(const hw::Cluster& cluster) {
+  bool homogeneous_nodes = true;
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    homogeneous_nodes = homogeneous_nodes && cluster.NodeHomogeneous(n);
+  }
   if (cluster.num_nodes() != 4 || cluster.gpus_per_node() != 4 ||
-      !cluster.UniformGpusPerNode()) {
-    throw std::invalid_argument("HD allocation requires a 4-node x 4-GPU cluster");
+      !cluster.UniformGpusPerNode() || !homogeneous_nodes) {
+    throw std::invalid_argument(
+        "HD allocation requires a 4-node x 4-GPU cluster of homogeneous nodes");
   }
   // Order nodes by compute power, then pair (strongest, weakest) and the two
   // middle nodes; each pair yields two virtual workers with 2 + 2 GPUs.

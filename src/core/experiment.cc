@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -19,20 +20,21 @@ namespace {
 
 // Strict non-negative integer parse: the whole token must be digits, so
 // malformed selector suffixes ("2junk", "0*2") fail loudly instead of
-// silently truncating at the first non-digit.
+// silently truncating at the first non-digit, and overflow reports a clear
+// error instead of escaping as a raw std::out_of_range.
 int ParseSelectorInt(const std::string& token, const std::string& what) {
-  if (token.empty() ||
-      !std::all_of(token.begin(), token.end(),
-                   [](char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; })) {
-    throw std::invalid_argument("selector: expected a number for " + what + ", got \"" +
-                                token + "\"");
-  }
-  try {
-    return std::stoi(token);
-  } catch (const std::out_of_range&) {
+  int value = 0;
+  const char* begin = token.c_str();
+  const auto [ptr, ec] = std::from_chars(begin, begin + token.size(), value);
+  if (ec == std::errc::result_out_of_range) {
     throw std::invalid_argument("selector: number out of range for " + what + ": \"" + token +
                                 "\"");
   }
+  if (ec != std::errc() || ptr != begin + token.size() || token.empty() || value < 0) {
+    throw std::invalid_argument("selector: expected a number for " + what + ", got \"" +
+                                token + "\"");
+  }
+  return value;
 }
 
 // Picks `count` unused GPUs of `type` (on `node` unless -1), in id order.
@@ -219,21 +221,24 @@ Experiment& Experiment::UseCluster(const hw::Cluster& cluster) {
     return *this;
   }
   // Without spec text the cluster can only be carried as paper node codes,
-  // which RunExperiment rebuilds via PaperSubset (4 GPUs per node, default
-  // links). Refuse anything that reduction would silently misrepresent —
-  // including non-default link models, which two transfer-time probes per
-  // link fully detect (the models are affine in the byte count).
+  // which RunExperiment rebuilds via PaperSubset (4 homogeneous GPUs per
+  // node, default links). Refuse anything that reduction would silently
+  // misrepresent — mixed-class nodes, and non-default link models, which two
+  // transfer-time probes per link fully detect (the models are affine in the
+  // byte count, so probes at two distinct non-zero sizes pin down both the
+  // latency/intercept and the slope; a 0-byte probe would miss latency
+  // because TransferTime(0) is 0 by definition).
   const hw::PcieLink default_pcie;
   const hw::InfinibandLink default_ib;
   const bool default_links =
-      cluster.pcie().TransferTime(0) == default_pcie.TransferTime(0) &&
+      cluster.pcie().TransferTime(1) == default_pcie.TransferTime(1) &&
       cluster.pcie().TransferTime(1ULL << 20) == default_pcie.TransferTime(1ULL << 20) &&
-      cluster.infiniband().TransferTime(0) == default_ib.TransferTime(0) &&
+      cluster.infiniband().TransferTime(1) == default_ib.TransferTime(1) &&
       cluster.infiniband().TransferTime(1ULL << 20) == default_ib.TransferTime(1ULL << 20);
   bool paper_nodes = true;
   for (int n = 0; n < cluster.num_nodes(); ++n) {
     paper_nodes = paper_nodes && static_cast<int>(cluster.NodeType(n)) < hw::kNumGpuTypes &&
-                  cluster.NodeGpuCount(n) == 4;
+                  cluster.NodeGpuCount(n) == 4 && cluster.NodeHomogeneous(n);
   }
   if (!paper_nodes || !default_links) {
     throw std::invalid_argument(

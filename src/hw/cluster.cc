@@ -16,6 +16,15 @@ std::vector<NodeGpus> UniformNodes(const std::vector<GpuType>& node_types, int g
   return nodes;
 }
 
+std::vector<std::vector<GpuType>> ExpandNodes(const std::vector<NodeGpus>& nodes) {
+  std::vector<std::vector<GpuType>> node_gpus;
+  node_gpus.reserve(nodes.size());
+  for (const NodeGpus& node : nodes) {
+    node_gpus.emplace_back(static_cast<size_t>(std::max(node.count, 0)), node.type);
+  }
+  return node_gpus;
+}
+
 }  // namespace
 
 Cluster::Cluster(const std::vector<GpuType>& node_types, int gpus_per_node)
@@ -23,22 +32,28 @@ Cluster::Cluster(const std::vector<GpuType>& node_types, int gpus_per_node)
 
 Cluster::Cluster(const std::vector<NodeGpus>& nodes, const PcieLink& pcie,
                  const InfinibandLink& infiniband, std::string name)
-    : num_nodes_(static_cast<int>(nodes.size())),
+    : Cluster(ExpandNodes(nodes), pcie, infiniband, std::move(name)) {}
+
+Cluster::Cluster(const std::vector<std::vector<GpuType>>& node_gpus, const PcieLink& pcie,
+                 const InfinibandLink& infiniband, std::string name)
+    : num_nodes_(static_cast<int>(node_gpus.size())),
       pcie_(pcie),
       infiniband_(infiniband),
       name_(std::move(name)) {
   int id = 0;
   for (int n = 0; n < num_nodes_; ++n) {
-    const NodeGpus& node = nodes[static_cast<size_t>(n)];
-    if (node.count <= 0) {
+    const std::vector<GpuType>& types = node_gpus[static_cast<size_t>(n)];
+    if (types.empty()) {
       throw std::invalid_argument("cluster node " + std::to_string(n) +
                                   " must hold at least one GPU");
     }
-    node_types_.push_back(node.type);
-    node_counts_.push_back(node.count);
-    gpus_per_node_ = std::max(gpus_per_node_, node.count);
-    for (int g = 0; g < node.count; ++g) {
-      gpus_.push_back(Gpu{id++, node.type, n});
+    node_types_.push_back(types.front());
+    node_homogeneous_.push_back(
+        std::all_of(types.begin(), types.end(), [&](GpuType t) { return t == types.front(); }));
+    node_counts_.push_back(static_cast<int>(types.size()));
+    gpus_per_node_ = std::max(gpus_per_node_, static_cast<int>(types.size()));
+    for (GpuType type : types) {
+      gpus_.push_back(Gpu{id++, type, n});
     }
   }
   for (int count : node_counts_) {
@@ -79,18 +94,16 @@ const LinkModel& Cluster::LinkToNode(int gpu_id, int node) const {
 std::string Cluster::ToString() const {
   std::ostringstream os;
   bool paper_classes = true;
-  for (GpuType type : node_types_) {
-    paper_classes = paper_classes && static_cast<int>(type) < kNumGpuTypes;
+  for (const Gpu& g : gpus_) {
+    paper_classes = paper_classes && static_cast<int>(g.type) < kNumGpuTypes;
   }
   if (uniform_ && paper_classes) {
     os << num_nodes_ << " nodes x " << gpus_per_node_ << " GPUs [";
-    for (int n = 0; n < num_nodes_; ++n) {
-      if (n > 0) {
+    for (const Gpu& g : gpus_) {
+      if (g.id > 0 && g.node != gpu(g.id - 1).node) {
         os << '|';
       }
-      for (int g = 0; g < node_counts_[static_cast<size_t>(n)]; ++g) {
-        os << CodeOf(node_types_[static_cast<size_t>(n)]);
-      }
+      os << CodeOf(g.type);
     }
     os << ']';
     return os.str();
@@ -100,8 +113,24 @@ std::string Cluster::ToString() const {
     if (n > 0) {
       os << '|';
     }
-    os << SpecOf(node_types_[static_cast<size_t>(n)]).name << " x"
-       << node_counts_[static_cast<size_t>(n)];
+    // Each node lists its class runs ("A100 x2 + T4 x2"), so two clusters
+    // differing only in a node's class mix never share a ToString.
+    const std::vector<int> ids = GpusOnNode(n);
+    size_t i = 0;
+    bool first_run = true;
+    while (i < ids.size()) {
+      const GpuType type = gpu(ids[i]).type;
+      size_t run = 0;
+      while (i + run < ids.size() && gpu(ids[i + run]).type == type) {
+        ++run;
+      }
+      if (!first_run) {
+        os << " + ";
+      }
+      first_run = false;
+      os << SpecOf(type).name << " x" << run;
+      i += run;
+    }
   }
   os << ']';
   return os.str();

@@ -16,26 +16,32 @@ struct Gpu {
   int node = -1;      // node the GPU lives in
 };
 
-// One node of a cluster: a homogeneous set of `count` GPUs of one class.
+// One homogeneous group of `count` GPUs of one class inside a node.
 struct NodeGpus {
   GpuType type = GpuType::kTitanV;
   int count = 0;
 };
 
-// A cluster of H nodes; each node holds a homogeneous set of GPUs, but nodes
-// may differ from one another in GPU class and count (Fig. 2 of the paper is
-// the uniform 4 x 4 special case). Built either from the paper testbed
-// helpers below or from a declarative hw::ClusterSpec, which may also supply
-// non-default intra-/inter-node link models.
+// A cluster of H nodes; a node may hold GPUs of several classes (mixed-class
+// nodes), and nodes may differ from one another in GPU classes and counts
+// (Fig. 2 of the paper is the uniform homogeneous 4 x 4 special case). Built
+// either from the paper testbed helpers below or from a declarative
+// hw::ClusterSpec, which may also supply non-default intra-/inter-node link
+// models.
 class Cluster {
  public:
   // Builds a cluster with one entry per node; entry i is the GPU type of node
   // i, replicated `gpus_per_node` times. Paper-default links.
   Cluster(const std::vector<GpuType>& node_types, int gpus_per_node);
 
-  // Fully general form: per-node GPU classes and counts plus explicit link
-  // models. `name` labels the cluster in reports ("" for anonymous).
+  // One homogeneous GPU group per node, plus explicit link models. `name`
+  // labels the cluster in reports ("" for anonymous).
   Cluster(const std::vector<NodeGpus>& nodes, const PcieLink& pcie,
+          const InfinibandLink& infiniband, std::string name = "");
+
+  // Fully general form: node i holds exactly node_gpus[i], in that order
+  // (classes may repeat and mix freely within a node).
+  Cluster(const std::vector<std::vector<GpuType>>& node_gpus, const PcieLink& pcie,
           const InfinibandLink& infiniband, std::string name = "");
 
   // The paper's testbed: 4 nodes x 4 GPUs = V-node, R-node, G-node, Q-node,
@@ -59,7 +65,13 @@ class Cluster {
   const Gpu& gpu(int id) const { return gpus_.at(static_cast<size_t>(id)); }
   const std::vector<Gpu>& gpus() const { return gpus_; }
   std::vector<int> GpusOnNode(int node) const;
+  // Class of the node's first GPU — the node's class on homogeneous nodes.
+  // Callers that care about mixed-class nodes must check NodeHomogeneous.
   GpuType NodeType(int node) const { return node_types_.at(static_cast<size_t>(node)); }
+  // True when every GPU of `node` is of one class.
+  bool NodeHomogeneous(int node) const {
+    return node_homogeneous_.at(static_cast<size_t>(node));
+  }
 
   bool SameNode(int gpu_a, int gpu_b) const { return gpu(gpu_a).node == gpu(gpu_b).node; }
 
@@ -79,13 +91,15 @@ class Cluster {
   void set_spec_text(std::string text) { spec_text_ = std::move(text); }
 
   // Human-readable summary: "4 nodes x 4 GPUs [VVVV|RRRR|GGGG|QQQQ]" for
-  // uniform paper-class clusters, "3 nodes [A100 x4|A100 x4|T4 x8]" in
-  // general. Stable across processes (class names, not handles), so the
-  // partition cache can key on it.
+  // uniform paper-class clusters, "3 nodes [A100 x4|A100 x2 + T4 x2|T4 x8]"
+  // in general (mixed-class nodes list each class run). Stable across
+  // processes (class names, not handles), so the partition cache can key on
+  // it — mixed-class compositions must therefore be spelled out faithfully.
   std::string ToString() const;
 
  private:
   std::vector<GpuType> node_types_;
+  std::vector<bool> node_homogeneous_;
   std::vector<int> node_counts_;
   int num_nodes_ = 0;
   int gpus_per_node_ = 0;

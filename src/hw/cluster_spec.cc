@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -29,6 +30,25 @@ double ParseDouble(const std::string& token, const std::string& context) {
   const auto [ptr, ec] = std::from_chars(begin, begin + token.size(), v);
   if (ec != std::errc() || ptr != begin + token.size()) {
     Fail("expected a number, got \"" + token + "\"", context);
+  }
+  return v;
+}
+
+// Strict positive-integer parse: the whole token must be digits and the value
+// must fit an int. Overflow and junk fail with a clear message instead of a
+// raw exception or silent truncation (std::stoi throws, std::atoi returns 0).
+int ParseCount(const std::string& token, const std::string& what, const std::string& context) {
+  int v = 0;
+  const char* begin = token.c_str();
+  const auto [ptr, ec] = std::from_chars(begin, begin + token.size(), v);
+  if (ec == std::errc::result_out_of_range) {
+    Fail(what + " out of range: \"" + token + "\"", context);
+  }
+  if (ec != std::errc() || ptr != begin + token.size() || token.empty()) {
+    Fail("expected a count for " + what + ", got \"" + token + "\"", context);
+  }
+  if (v <= 0) {
+    Fail(what + " must be positive, got \"" + token + "\"", context);
   }
   return v;
 }
@@ -80,20 +100,111 @@ GpuType ResolveType(const ClusterSpec& spec, const std::string& type) {
   Fail("unknown GPU type \"" + type + "\"", "");
 }
 
+// Parses the brace form "{<type>[*<count>],...}" of a mixed-class node.
+NodeDecl ParseMixedNode(const std::string& braced, const std::string& context) {
+  if (braced.size() < 2 || braced.front() != '{' || braced.back() != '}') {
+    Fail("expected node{<type>[*<count>],...}, got \"" + braced + "\"", context);
+  }
+  const std::string list = braced.substr(1, braced.size() - 2);
+  NodeDecl decl;
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t comma = std::min(list.find(',', start), list.size());
+    std::string term = list.substr(start, comma - start);
+    const bool last = comma >= list.size();
+    start = comma + 1;
+    if (term.empty()) {
+      if (last && !decl.groups.empty()) {
+        break;  // tolerate a trailing comma
+      }
+      Fail("empty group in node list", context);
+    }
+    NodeGroup group;
+    const size_t star = term.find('*');
+    if (star != std::string::npos) {
+      group.count = ParseCount(term.substr(star + 1), "GPU count", context);
+      term.resize(star);
+    }
+    if (term.empty()) {
+      Fail("missing GPU type before '*'", context);
+    }
+    group.type = std::move(term);
+    decl.groups.push_back(std::move(group));
+    if (last) {
+      break;
+    }
+  }
+  if (decl.groups.empty()) {
+    Fail("node needs at least one GPU group", context);
+  }
+  return decl;
+}
+
+// Parses the classic "<count>x<type>" / bare-type node argument.
+NodeDecl ParseHomogeneousNode(const std::string& arg, const std::string& context) {
+  size_t digits = 0;
+  while (digits < arg.size() && std::isdigit(static_cast<unsigned char>(arg[digits])) != 0) {
+    ++digits;
+  }
+  if (digits == 0) {
+    return NodeDecl(arg, 1);  // bare type name: one GPU
+  }
+  if (digits + 1 >= arg.size() || arg[digits] != 'x') {
+    Fail("expected <count>x<type>, got \"" + arg + "\"", context);
+  }
+  const int count = ParseCount(arg.substr(0, digits), "node count", context);
+  return NodeDecl(arg.substr(digits + 1), count);
+}
+
+// The scalar link-knob statements, shared by Parse and ToString. A knob is
+// emitted only when it differs from its default, so specs that never mention
+// one stay bit-identical across versions.
+struct LinkKnob {
+  const char* statement;
+  double ClusterSpec::*field;
+  double default_value;
+};
+
+constexpr LinkKnob kLinkKnobs[] = {
+    {"intra_gbps", &ClusterSpec::intra_gbps, PcieLink::kDefaultPeakGBps},
+    {"intra_scaling", &ClusterSpec::intra_scaling, PcieLink::kDefaultScaling},
+    {"intra_latency_s", &ClusterSpec::intra_latency_s, PcieLink::kDefaultLatency},
+    {"inter_gbits", &ClusterSpec::inter_gbits, InfinibandLink::kDefaultRawGbits},
+    {"inter_efficiency", &ClusterSpec::inter_efficiency, InfinibandLink::kDefaultEfficiency},
+    {"inter_intercept_s", &ClusterSpec::inter_intercept_s, InfinibandLink::kDefaultIntercept},
+};
+
 }  // namespace
+
+int NodeDecl::TotalCount() const {
+  int total = 0;
+  for (const NodeGroup& group : groups) {
+    total += group.count;
+  }
+  return total;
+}
 
 bool operator==(const GpuClassDecl& a, const GpuClassDecl& b) {
   return a.name == b.name && a.tflops == b.tflops && a.memory_gib == b.memory_gib &&
          a.code == b.code;
 }
 
-bool operator==(const NodeDecl& a, const NodeDecl& b) {
+bool operator==(const NodeGroup& a, const NodeGroup& b) {
   return a.type == b.type && a.count == b.count;
 }
 
+bool operator==(const NodeDecl& a, const NodeDecl& b) { return a.groups == b.groups; }
+
 bool operator==(const ClusterSpec& a, const ClusterSpec& b) {
-  return a.name == b.name && a.gpu_classes == b.gpu_classes && a.nodes == b.nodes &&
-         a.intra_gbps == b.intra_gbps && a.inter_gbits == b.inter_gbits;
+  if (a.name != b.name || a.gpu_classes != b.gpu_classes || a.nodes != b.nodes) {
+    return false;
+  }
+  for (const LinkKnob& knob : kLinkKnobs) {
+    if (a.*(knob.field) != b.*(knob.field)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 ClusterSpec& ClusterSpec::Named(std::string label) {
@@ -108,7 +219,12 @@ ClusterSpec& ClusterSpec::AddGpuClass(std::string class_name, double tflops, dou
 }
 
 ClusterSpec& ClusterSpec::AddNode(std::string type, int count) {
-  nodes.push_back(NodeDecl{std::move(type), count});
+  nodes.push_back(NodeDecl(std::move(type), count));
+  return *this;
+}
+
+ClusterSpec& ClusterSpec::AddMixedNode(std::vector<NodeGroup> groups) {
+  nodes.push_back(NodeDecl(std::move(groups)));
   return *this;
 }
 
@@ -117,8 +233,28 @@ ClusterSpec& ClusterSpec::IntraGbps(double gbps) {
   return *this;
 }
 
+ClusterSpec& ClusterSpec::IntraScaling(double scaling) {
+  intra_scaling = scaling;
+  return *this;
+}
+
+ClusterSpec& ClusterSpec::IntraLatencyS(double latency_s) {
+  intra_latency_s = latency_s;
+  return *this;
+}
+
 ClusterSpec& ClusterSpec::InterGbits(double gbits) {
   inter_gbits = gbits;
+  return *this;
+}
+
+ClusterSpec& ClusterSpec::InterEfficiency(double efficiency) {
+  inter_efficiency = efficiency;
+  return *this;
+}
+
+ClusterSpec& ClusterSpec::InterInterceptS(double intercept_s) {
+  inter_intercept_s = intercept_s;
   return *this;
 }
 
@@ -143,9 +279,16 @@ ClusterSpec ClusterSpec::Parse(const std::string& text) {
   }
 
   for (const std::string& raw : statements) {
-    const std::vector<std::string> tokens = Tokenize(raw);
+    std::vector<std::string> tokens = Tokenize(raw);
     if (tokens.empty()) {
       continue;
+    }
+    // "node{...}" binds the brace list to the verb without whitespace; split
+    // it so both spellings ("node{A*2,B}" and "node {A*2, B}") parse alike.
+    if (tokens[0].size() > 4 && tokens[0].rfind("node{", 0) == 0) {
+      const std::string braced = tokens[0].substr(4);
+      tokens[0] = "node";
+      tokens.insert(tokens.begin() + 1, braced);
     }
     const std::string& verb = tokens[0];
     if (verb == "name") {
@@ -180,42 +323,38 @@ ClusterSpec ClusterSpec::Parse(const std::string& text) {
       }
       spec.gpu_classes.push_back(std::move(decl));
     } else if (verb == "node") {
-      if (tokens.size() != 2) {
-        Fail("node takes exactly one <count>x<type> argument", raw);
+      if (tokens.size() < 2) {
+        Fail("node takes a <count>x<type> or {<type>[*<count>],...} argument", raw);
       }
-      NodeDecl decl;
-      const std::string& arg = tokens[1];
-      size_t digits = 0;
-      while (digits < arg.size() && std::isdigit(static_cast<unsigned char>(arg[digits])) != 0) {
-        ++digits;
-      }
-      if (digits == 0) {
-        decl.count = 1;  // bare type name: one GPU
-        decl.type = arg;
+      if (tokens[1].front() == '{') {
+        // A brace list may have been split over several whitespace-separated
+        // tokens ("{A*2, B}"); rejoin them before parsing.
+        std::string braced;
+        for (size_t t = 1; t < tokens.size(); ++t) {
+          braced += tokens[t];
+        }
+        spec.nodes.push_back(ParseMixedNode(braced, raw));
       } else {
-        if (digits + 1 >= arg.size() || arg[digits] != 'x') {
-          Fail("expected <count>x<type>, got \"" + arg + "\"", raw);
+        if (tokens.size() != 2) {
+          Fail("node takes exactly one <count>x<type> argument", raw);
         }
-        try {
-          decl.count = std::stoi(arg.substr(0, digits));
-        } catch (const std::out_of_range&) {
-          Fail("node count out of range in \"" + arg + "\"", raw);
-        }
-        decl.type = arg.substr(digits + 1);
+        spec.nodes.push_back(ParseHomogeneousNode(tokens[1], raw));
       }
-      spec.nodes.push_back(std::move(decl));
-    } else if (verb == "intra_gbps") {
-      if (tokens.size() != 2) {
-        Fail("intra_gbps takes exactly one number", raw);
-      }
-      spec.intra_gbps = ParseDouble(tokens[1], raw);
-    } else if (verb == "inter_gbits") {
-      if (tokens.size() != 2) {
-        Fail("inter_gbits takes exactly one number", raw);
-      }
-      spec.inter_gbits = ParseDouble(tokens[1], raw);
     } else {
-      Fail("unknown statement \"" + verb + "\"", raw);
+      bool known = false;
+      for (const LinkKnob& knob : kLinkKnobs) {
+        if (verb == knob.statement) {
+          if (tokens.size() != 2) {
+            Fail(std::string(knob.statement) + " takes exactly one number", raw);
+          }
+          spec.*(knob.field) = ParseDouble(tokens[1], raw);
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        Fail("unknown statement \"" + verb + "\"", raw);
+      }
     }
   }
   spec.Validate();
@@ -252,13 +391,26 @@ std::string ClusterSpec::ToString() const {
     }
   }
   for (const NodeDecl& node : nodes) {
-    statement() << "node " << node.count << 'x' << node.type;
+    if (node.mixed()) {
+      statement() << "node{";
+      for (size_t g = 0; g < node.groups.size(); ++g) {
+        if (g > 0) {
+          os << ',';
+        }
+        os << node.groups[g].type;
+        if (node.groups[g].count != 1) {
+          os << '*' << node.groups[g].count;
+        }
+      }
+      os << '}';
+    } else {
+      statement() << "node " << node.groups.front().count << 'x' << node.groups.front().type;
+    }
   }
-  if (intra_gbps != PcieLink::kDefaultPeakGBps) {
-    statement() << "intra_gbps " << FormatDouble(intra_gbps);
-  }
-  if (inter_gbits != InfinibandLink::kDefaultRawGbits) {
-    statement() << "inter_gbits " << FormatDouble(inter_gbits);
+  for (const LinkKnob& knob : kLinkKnobs) {
+    if (this->*(knob.field) != knob.default_value) {
+      statement() << knob.statement << ' ' << FormatDouble(this->*(knob.field));
+    }
   }
   return os.str();
 }
@@ -271,11 +423,14 @@ void ClusterSpec::Validate() const {
   }
   for (size_t i = 0; i < gpu_classes.size(); ++i) {
     const GpuClassDecl& decl = gpu_classes[i];
-    if (decl.tflops <= 0.0) {
-      Fail("GPU class " + decl.name + " needs tflops > 0", "");
+    // NaN passes a naive `<= 0` check and would silently poison every
+    // simulated number (and break the Parse(ToString()) round trip, since
+    // NaN != NaN), so the numbers must be finite too.
+    if (!std::isfinite(decl.tflops) || decl.tflops <= 0.0) {
+      Fail("GPU class " + decl.name + " needs finite tflops > 0", "");
     }
-    if (decl.memory_gib <= 0.0) {
-      Fail("GPU class " + decl.name + " needs mem > 0", "");
+    if (!std::isfinite(decl.memory_gib) || decl.memory_gib <= 0.0) {
+      Fail("GPU class " + decl.name + " needs finite mem > 0", "");
     }
     // The code is re-emitted as a "code=<c>" token, so like the name it must
     // survive the text round trip.
@@ -295,34 +450,70 @@ void ClusterSpec::Validate() const {
     Fail("at least one node is required", "");
   }
   for (const NodeDecl& node : nodes) {
-    if (node.count <= 0) {
-      Fail("node of type " + node.type + " must hold at least one GPU", "");
+    if (node.groups.empty()) {
+      Fail("a node needs at least one GPU group", "");
     }
-    bool declared = false;
-    for (const GpuClassDecl& decl : gpu_classes) {
-      declared = declared || decl.name == node.type;
+    for (const NodeGroup& group : node.groups) {
+      if (group.count <= 0) {
+        Fail("node group of type " + group.type + " must hold at least one GPU", "");
+      }
+      // Group types are re-emitted inside "node{...}" tokens, so they must
+      // survive the round trip unambiguously.
+      if (group.type.empty() ||
+          group.type.find_first_of(" \t\n;#{},*") != std::string::npos) {
+        Fail("GPU type \"" + group.type + "\" must not contain whitespace or ';#{},*'", "");
+      }
+      bool declared = false;
+      for (const GpuClassDecl& decl : gpu_classes) {
+        declared = declared || decl.name == group.type;
+      }
+      if (!declared && FindGpuTypeByName(group.type) == nullptr &&
+          !IsBuiltinCodeLetter(group.type)) {
+        Fail("unknown GPU type \"" + group.type + "\"", "");
+      }
     }
-    if (!declared && FindGpuTypeByName(node.type) == nullptr &&
-        !IsBuiltinCodeLetter(node.type)) {
-      Fail("unknown GPU type \"" + node.type + "\"", "");
+  }
+  // Like the class numbers, every link knob must be finite: NaN slips past
+  // one-sided comparisons and infinities turn into inf transfer times.
+  for (const LinkKnob& knob : kLinkKnobs) {
+    if (!std::isfinite(this->*(knob.field))) {
+      Fail(std::string(knob.statement) + " must be finite", "");
     }
   }
   if (intra_gbps <= 0.0) {
     Fail("intra_gbps must be positive", "");
   }
+  if (intra_scaling <= 0.0 || intra_scaling > 1.0) {
+    Fail("intra_scaling must be in (0, 1]", "");
+  }
+  if (intra_latency_s < 0.0) {
+    Fail("intra_latency_s must be non-negative", "");
+  }
   if (inter_gbits <= 0.0) {
     Fail("inter_gbits must be positive", "");
+  }
+  if (inter_efficiency <= 0.0 || inter_efficiency > 1.0) {
+    Fail("inter_efficiency must be in (0, 1]", "");
+  }
+  if (inter_intercept_s < 0.0) {
+    Fail("inter_intercept_s must be non-negative", "");
   }
 }
 
 Cluster ClusterSpec::Build() const {
   Validate();
-  std::vector<NodeGpus> node_gpus;
+  std::vector<std::vector<GpuType>> node_gpus;
   node_gpus.reserve(nodes.size());
   for (const NodeDecl& node : nodes) {
-    node_gpus.push_back(NodeGpus{ResolveType(*this, node.type), node.count});
+    std::vector<GpuType> types;
+    types.reserve(static_cast<size_t>(node.TotalCount()));
+    for (const NodeGroup& group : node.groups) {
+      const GpuType type = ResolveType(*this, group.type);
+      types.insert(types.end(), static_cast<size_t>(group.count), type);
+    }
+    node_gpus.push_back(std::move(types));
   }
-  Cluster cluster(node_gpus, PcieLink(intra_gbps), InfinibandLink(inter_gbits), name);
+  Cluster cluster(node_gpus, IntraLink(), InterLink(), name);
   cluster.set_spec_text(ToString());
   return cluster;
 }

@@ -20,18 +20,35 @@ struct GpuClassDecl {
   char code = '\0';         // optional display letter ('\0' auto-assigns)
 };
 
-// One node declaration: `count` GPUs of class `type` (a declared class name,
-// a built-in class name, or a single built-in code letter V/R/G/Q).
-struct NodeDecl {
+// One homogeneous run of a node declaration: `count` GPUs of class `type` (a
+// declared class name, a built-in class name, or a single built-in code
+// letter V/R/G/Q).
+struct NodeGroup {
   std::string type;
   int count = 1;
 };
 
+// One node declaration: an ordered list of class groups. Homogeneous nodes
+// have one group; mixed-class nodes ("node{V100*2,K80*2}") have several, and
+// the group order is the GPU-id order inside the node (which the ED allocator
+// and fixed-order partitions observe).
+struct NodeDecl {
+  std::vector<NodeGroup> groups;
+
+  NodeDecl() = default;
+  NodeDecl(std::string type, int count) : groups{{std::move(type), count}} {}
+  explicit NodeDecl(std::vector<NodeGroup> node_groups) : groups(std::move(node_groups)) {}
+
+  bool mixed() const { return groups.size() > 1; }
+  int TotalCount() const;
+};
+
 // Declarative description of an arbitrary heterogeneous cluster: GPU classes
-// with TFLOPS/memory, per-node GPU counts, and intra-/inter-node link
-// bandwidths. This is the "any cluster you can imagine" entry point the
-// experiment pipeline runs on — the paper's fixed 4 x 4 testbed is just
-// PaperTestbed().
+// with TFLOPS/memory, per-node GPU counts (mixed classes allowed within one
+// node), and intra-/inter-node link models including their latency/intercept
+// and scaling/efficiency knobs. This is the "any cluster you can imagine"
+// entry point the experiment pipeline runs on — the paper's fixed 4 x 4
+// testbed is just PaperTestbed().
 //
 // Compact text form: statements separated by newlines or ';', tokens by
 // whitespace, '#' comments to end of line.
@@ -39,29 +56,50 @@ struct NodeDecl {
 //   name edge-mix
 //   gpu A100 tflops=18 mem=40 code=a
 //   gpu T4  tflops=4.1 mem=16
-//   node 2xA100          # 2 GPUs of class A100
-//   node 4xT4
-//   node 4xV             # built-in paper classes by code letter
-//   intra_gbps 12        # intra-node link peak, GB/s  (default: PCIe 3.0 x16)
-//   inter_gbits 25       # inter-node link rate, Gbit/s (default: 56G IB FDR)
+//   node 2xA100             # 2 GPUs of class A100
+//   node{A100*2,T4*2}       # mixed-class node: 2 A100s then 2 T4s
+//   node 4xV                # built-in paper classes by code letter
+//   intra_gbps 12           # intra-node link peak, GB/s  (default: PCIe 3.0 x16)
+//   intra_scaling 0.5       # achievable fraction of that peak
+//   intra_latency_s 2e-05   # per-transfer setup cost, seconds
+//   inter_gbits 25          # inter-node link rate, Gbit/s (default: 56G IB FDR)
+//   inter_efficiency 0.2    # achieved fraction of the line rate (regression slope)
+//   inter_intercept_s 5e-04 # per-transfer regression intercept, seconds
 //
 // ToString() emits canonical single-line text ("; "-separated) that Parse()
 // round-trips, so a core::Experiment can carry a whole cluster as one string
-// field across threads and processes.
+// field across threads and processes. Link knobs are emitted only when they
+// differ from the defaults, so paper-testbed specs stay bit-identical.
 struct ClusterSpec {
   std::string name;
   std::vector<GpuClassDecl> gpu_classes;
   std::vector<NodeDecl> nodes;
   double intra_gbps = PcieLink::kDefaultPeakGBps;
+  double intra_scaling = PcieLink::kDefaultScaling;
+  double intra_latency_s = PcieLink::kDefaultLatency;
   double inter_gbits = InfinibandLink::kDefaultRawGbits;
+  double inter_efficiency = InfinibandLink::kDefaultEfficiency;
+  double inter_intercept_s = InfinibandLink::kDefaultIntercept;
 
   // Chainable builder API.
   ClusterSpec& Named(std::string label);
   ClusterSpec& AddGpuClass(std::string class_name, double tflops, double memory_gib,
                            char code = '\0');
   ClusterSpec& AddNode(std::string type, int count = 1);
+  // Mixed-class node: the groups' order is the GPU order inside the node.
+  ClusterSpec& AddMixedNode(std::vector<NodeGroup> groups);
   ClusterSpec& IntraGbps(double gbps);
+  ClusterSpec& IntraScaling(double scaling);
+  ClusterSpec& IntraLatencyS(double latency_s);
   ClusterSpec& InterGbits(double gbits);
+  ClusterSpec& InterEfficiency(double efficiency);
+  ClusterSpec& InterInterceptS(double intercept_s);
+
+  // The spec's link models (what Build() hands the cluster).
+  PcieLink IntraLink() const { return PcieLink(intra_gbps, intra_scaling, intra_latency_s); }
+  InfinibandLink InterLink() const {
+    return InfinibandLink(inter_gbits, inter_efficiency, inter_intercept_s);
+  }
 
   // Parses the text form; throws std::invalid_argument (with the offending
   // statement in the message) on malformed input. The result is validated.
@@ -74,9 +112,9 @@ struct ClusterSpec {
   // Canonical text form (see above); Parse(ToString()) == *this.
   std::string ToString() const;
 
-  // Throws std::invalid_argument on an unknown GPU type, a zero-GPU node, a
-  // non-positive bandwidth/TFLOPS/memory, duplicate class names, or an empty
-  // node list.
+  // Throws std::invalid_argument on an unknown GPU type, a zero-GPU node or
+  // node group, an out-of-range link knob, a non-positive TFLOPS/memory,
+  // duplicate class names, or an empty node list.
   void Validate() const;
 
   // Registers the declared GPU classes and materializes the cluster (with
@@ -86,6 +124,7 @@ struct ClusterSpec {
 };
 
 bool operator==(const GpuClassDecl& a, const GpuClassDecl& b);
+bool operator==(const NodeGroup& a, const NodeGroup& b);
 bool operator==(const NodeDecl& a, const NodeDecl& b);
 bool operator==(const ClusterSpec& a, const ClusterSpec& b);
 

@@ -29,6 +29,7 @@ class PcieLink final : public LinkModel {
 
   double TransferTime(uint64_t bytes) const override;
   double EffectiveBandwidth() const override { return effective_bps_; }
+  double latency_s() const { return latency_s_; }
 
   static constexpr double kDefaultPeakGBps = 15.75;  // PCIe 3.0 x16
   static constexpr double kDefaultScaling = 0.66;    // measured scale-down constant
@@ -55,6 +56,7 @@ class InfinibandLink final : public LinkModel {
 
   double TransferTime(uint64_t bytes) const override;
   double EffectiveBandwidth() const override { return effective_bps_; }
+  double intercept_s() const { return intercept_s_; }
 
   static constexpr double kDefaultRawGbits = 56.0;    // FDR Infiniband
   static constexpr double kDefaultEfficiency = 0.11;  // TF gRPC regression slope

@@ -1,5 +1,6 @@
 #include "runner/cli.h"
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -23,13 +24,24 @@ bool MatchFlag(const std::string& arg, const std::string& flag, std::string* val
 
 }  // namespace
 
+bool ParseIntFlag(const std::string& text, int* value) {
+  const char* begin = text.c_str();
+  const auto [ptr, ec] = std::from_chars(begin, begin + text.size(), *value);
+  return ec == std::errc() && ptr == begin + text.size() && !text.empty();
+}
+
 BenchArgs BenchArgs::Parse(int argc, char** argv) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string value;
     if (MatchFlag(arg, "threads", &value)) {
-      args.threads = std::atoi(value.c_str());
+      if (!ParseIntFlag(value, &args.threads)) {
+        // std::atoi would map "abc" to 0 (= hardware concurrency) silently;
+        // a bad thread count must be a loud usage error instead.
+        std::fprintf(stderr, "error: --threads needs an integer, got \"%s\"\n", value.c_str());
+        std::exit(2);
+      }
     } else if (MatchFlag(arg, "cache-file", &value)) {
       if (value.empty()) {
         std::fprintf(stderr, "error: --cache-file needs a path\n");
@@ -42,8 +54,11 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
         std::fprintf(stderr, "cache-file %s: loaded %lld entries\n", value.c_str(),
                      static_cast<long long>(args.cache_->size()));
       } else if (std::ifstream(value).good()) {
-        // A present-but-unusable file is rejected cleanly: warn and run cold
-        // (the save at exit rewrites it with fresh entries).
+        // A present-but-unusable file is rejected cleanly: warn and run cold.
+        // The destructor only rewrites it once the run has fresh entries —
+        // e.g. a version-mismatched file a newer binary can still read must
+        // not be clobbered by an empty cache.
+        args.cache_load_failed_ = true;
         std::fprintf(stderr, "warning: ignoring cache file: %s\n", load_error.c_str());
       }
     } else if (MatchFlag(arg, "json", &value)) {
@@ -79,6 +94,14 @@ std::ostream* BenchArgs::OpenOutput(const std::string& path) {
 
 BenchArgs::~BenchArgs() {
   if (cache_ == nullptr || cache_path_.empty()) {
+    return;
+  }
+  if (cache_load_failed_ && cache_->size() == 0) {
+    // The file on disk failed to load and this run produced nothing to
+    // replace it with; overwriting it would only destroy whatever it still
+    // holds (e.g. entries a differently-versioned binary can read).
+    std::fprintf(stderr, "warning: not overwriting unloadable cache file %s with an empty cache\n",
+                 cache_path_.c_str());
     return;
   }
   std::string save_error;

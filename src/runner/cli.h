@@ -11,6 +11,12 @@
 
 namespace hetpipe::runner {
 
+// Strict base-10 integer parse for flag values: the whole token must be an
+// (optionally negative) integer that fits an int. Returns false on an empty
+// token, junk ("abc", "3x"), or overflow — std::atoi would silently map all
+// of those to 0 or truncate.
+bool ParseIntFlag(const std::string& text, int* value);
+
 // The flags shared by every bench binary:
 //   --threads=N       sweep-runner worker threads (default: hardware)
 //   --json[=PATH]     emit JSON Lines rows (default: stdout)
@@ -19,7 +25,9 @@ namespace hetpipe::runner {
 //                     sweep (a missing file starts cold; a corrupted or
 //                     version-mismatched one is rejected with a warning) and
 //                     saved back on exit, so repeated figure runs skip the
-//                     GPU-order search entirely
+//                     GPU-order search entirely. A file that failed to load
+//                     is only rewritten once the run has new entries to
+//                     save — never clobbered with an empty cache.
 // Unknown arguments are left for the binary's own use (in order) in `rest`.
 class BenchArgs {
  public:
@@ -51,6 +59,7 @@ class BenchArgs {
   MultiSink multi_;
   bool has_sink_ = false;
   std::string cache_path_;
+  bool cache_load_failed_ = false;
   std::unique_ptr<PartitionCache> cache_;
 };
 

@@ -113,12 +113,16 @@ std::string MakeKey(const partition::Partitioner& partitioner, const std::vector
   Fingerprint fp;
   fp.Mix(ProfileFingerprint(partitioner.profile(), partitioner.cluster()));
   fp.Mix(partitioner.cluster().ToString());
-  // Two probes fully characterize each affine link model (latency/intercept
-  // at 0 bytes, slope at 1 MiB), so clusters differing in any link parameter
-  // never share a key.
-  fp.Mix(partitioner.cluster().pcie().TransferTime(0));
+  // Two probes at distinct non-zero sizes fully characterize each affine
+  // link model: t(1) = latency + 1/bw and t(1 MiB) = latency + 1 MiB/bw pin
+  // down both coefficients, so clusters differing in any link knob —
+  // bandwidth, scaling/efficiency, or latency/intercept — never share a key.
+  // (A 0-byte probe would be blind to latency: TransferTime(0) is 0 by
+  // definition, so latency-only and latency+bandwidth-aliased changes could
+  // collide.)
+  fp.Mix(partitioner.cluster().pcie().TransferTime(1));
   fp.Mix(partitioner.cluster().pcie().TransferTime(1ULL << 20));
-  fp.Mix(partitioner.cluster().infiniband().TransferTime(0));
+  fp.Mix(partitioner.cluster().infiniband().TransferTime(1));
   fp.Mix(partitioner.cluster().infiniband().TransferTime(1ULL << 20));
   fp.Mix(options.mem_params.optimizer_multiplier);
   fp.Mix(options.mem_params.framework_overhead_bytes);

@@ -14,8 +14,9 @@ namespace hetpipe::runner {
 // search dominates sweep cost, and sweeps revisit the same virtual-worker
 // shapes constantly (every ED virtual worker of a cluster, every wave of an
 // Nm sweep, every policy sharing a subset). Keyed by (model profile
-// fingerprint, cluster layout + link bandwidths, VW GPU (class, node)
-// multiset, Nm, order-search flag, memory params) — everything
+// fingerprint, cluster layout + link-model probes (bandwidth, scaling, and
+// latency/intercept knobs), VW GPU (class, node) multiset, Nm, order-search
+// flag, memory params) — everything
 // Partitioner::Solve's result depends on. Keys are value-based (GPU class
 // names and numbers, never process-local handles), so they are stable across
 // processes and safe to persist.
@@ -40,8 +41,10 @@ namespace hetpipe::runner {
 class PartitionCache {
  public:
   // Bumped whenever the file layout or the key derivation changes; files of
-  // any other version are rejected on Load.
-  static constexpr uint32_t kFileVersion = 1;
+  // any other version are rejected on Load. v2: link probes moved from
+  // (0 B, 1 MiB) to (1 B, 1 MiB) so spec-level latency/intercept knobs are
+  // always part of the key.
+  static constexpr uint32_t kFileVersion = 2;
 
   // Drop-in for Partitioner::Solve.
   partition::Partition Solve(const partition::Partitioner& partitioner,

@@ -1,0 +1,166 @@
+#include "runner/spec_sweep.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "cluster/allocator.h"
+
+namespace hetpipe::runner {
+namespace {
+
+// Short human label for a spec ("spec" when anonymous), used in row names.
+std::string SpecLabel(const hw::ClusterSpec& spec) {
+  return spec.name.empty() ? "spec" : spec.name;
+}
+
+// Compact decimal rendering for row names (ostream default formatting, so
+// 0.1 prints "0.1" and 5e-3 prints "0.005").
+std::string Num(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+core::Experiment SpecExperiment(const hw::ClusterSpec& spec, const std::string& name, int d,
+                                double jitter_cv, const SpecSweepOptions& options) {
+  core::Experiment e;
+  e.name = name;
+  e.kind = core::ExperimentKind::kFullCluster;
+  e.model = options.model;
+  e.cluster_spec = spec.ToString();
+  e.cluster_label = SpecLabel(spec);
+  e.config = core::EdLocalConfig(d, jitter_cv);
+  if (spec.nodes.size() == 1) {
+    // A single node forms one virtual worker (the paper's V4 case).
+    e.config.allocation = cluster::AllocationPolicy::kNodePartition;
+  }
+  e.config.waves = options.waves;
+  return e;
+}
+
+std::vector<core::Experiment> SingleVwSweep(const hw::ClusterSpec& spec, int nm_max,
+                                            const SpecSweepOptions& options) {
+  // The spec's ED virtual workers define the interesting single-VW shapes:
+  // one GPU of every node, with smaller nodes thinning out of later VWs.
+  // Each distinct (class, node) multiset becomes a PickGpus selector of
+  // sorted "Class@node" terms — value-based, so the experiment list is
+  // process-portable like everything else carried by spec text.
+  const hw::Cluster cluster = spec.Build();
+  const cluster::Allocation ed =
+      cluster::Allocate(cluster, cluster::AllocationPolicy::kEqualDistribution);
+
+  std::vector<std::string> selectors;
+  std::set<std::string> seen;
+  for (const std::vector<int>& vw : ed.vw_gpus) {
+    std::vector<std::pair<std::string, int>> shape;
+    shape.reserve(vw.size());
+    for (int id : vw) {
+      const hw::Gpu& gpu = cluster.gpu(id);
+      shape.emplace_back(hw::SpecOf(gpu.type).name, gpu.node);
+    }
+    std::sort(shape.begin(), shape.end());
+    std::string selector;
+    for (const auto& [class_name, node] : shape) {
+      if (!selector.empty()) {
+        selector.push_back(',');
+      }
+      selector += class_name + "@" + std::to_string(node);
+    }
+    if (!selector.empty() && seen.insert(selector).second) {
+      selectors.push_back(selector);
+    }
+  }
+
+  std::vector<core::Experiment> experiments;
+  for (const std::string& selector : selectors) {
+    for (int nm = 1; nm <= nm_max; ++nm) {
+      core::Experiment e;
+      e.kind = core::ExperimentKind::kSingleVirtualWorker;
+      e.model = options.model;
+      e.cluster_spec = spec.ToString();
+      e.cluster_label = SpecLabel(spec);
+      e.vw_codes = selector;
+      e.config.nm = nm;
+      e.config.waves = options.waves;
+      e.config.warmup_waves = options.warmup_waves;
+      e.config.jitter_cv = 0.0;  // Fig. 3 is a deterministic single-VW sweep
+      experiments.push_back(std::move(e));
+    }
+  }
+  return experiments;
+}
+
+std::vector<core::Experiment> ScalingSweep(const hw::ClusterSpec& spec,
+                                           const SpecSweepOptions& options) {
+  std::vector<core::Experiment> experiments;
+  for (size_t prefix = 1; prefix <= spec.nodes.size(); ++prefix) {
+    hw::ClusterSpec subset = spec;
+    subset.nodes.assign(spec.nodes.begin(), spec.nodes.begin() + static_cast<long>(prefix));
+    subset.name = SpecLabel(spec) + "-" + std::to_string(prefix) + "n";
+    const std::string label =
+        std::string(core::ModelName(options.model)) + " " + subset.name;
+
+    core::Experiment horovod;
+    horovod.name = label + " horovod";
+    horovod.kind = core::ExperimentKind::kHorovod;
+    horovod.model = options.model;
+    horovod.cluster_spec = subset.ToString();
+    horovod.cluster_label = subset.name;
+    experiments.push_back(std::move(horovod));
+
+    experiments.push_back(
+        SpecExperiment(subset, label + " hetpipe", options.d, options.jitter_cv, options));
+  }
+  return experiments;
+}
+
+std::vector<core::Experiment> StragglerSweep(const hw::ClusterSpec& spec,
+                                             const std::vector<double>& jitter_cvs,
+                                             const std::vector<int>& d_values,
+                                             const SpecSweepOptions& options) {
+  std::vector<core::Experiment> experiments;
+  for (const double jitter : jitter_cvs) {
+    for (const int d : d_values) {
+      experiments.push_back(SpecExperiment(
+          spec, "straggler jitter=" + Num(jitter) + " D=" + std::to_string(d), d, jitter,
+          options));
+    }
+  }
+  return experiments;
+}
+
+std::vector<core::Experiment> BandwidthSweep(const hw::ClusterSpec& spec,
+                                             const std::vector<double>& inter_gbits,
+                                             const SpecSweepOptions& options) {
+  std::vector<core::Experiment> experiments;
+  for (const double gbits : inter_gbits) {
+    hw::ClusterSpec tuned = spec;
+    tuned.InterGbits(gbits);
+    experiments.push_back(SpecExperiment(tuned, "bandwidth " + Num(gbits) + " Gbit/s",
+                                         options.d, options.jitter_cv, options));
+  }
+  return experiments;
+}
+
+std::vector<core::Experiment> LatencySweep(const hw::ClusterSpec& spec,
+                                           const std::vector<double>& inter_intercepts_s,
+                                           const std::vector<double>& intra_latencies_s,
+                                           const SpecSweepOptions& options) {
+  std::vector<core::Experiment> experiments;
+  for (const double intercept : inter_intercepts_s) {
+    for (const double latency : intra_latencies_s) {
+      hw::ClusterSpec tuned = spec;
+      tuned.InterInterceptS(intercept).IntraLatencyS(latency);
+      experiments.push_back(SpecExperiment(
+          tuned, "latency inter=" + Num(intercept) + "s intra=" + Num(latency) + "s",
+          options.d, options.jitter_cv, options));
+    }
+  }
+  return experiments;
+}
+
+}  // namespace hetpipe::runner

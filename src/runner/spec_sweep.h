@@ -1,0 +1,72 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "hw/cluster_spec.h"
+
+namespace hetpipe::runner {
+
+// Spec-driven scenario generators: given one hw::ClusterSpec, build the
+// paper-shaped experiment grids (Fig. 3 single-VW sweeps, Table 4-style
+// scaling, straggler / bandwidth / latency sensitivity) as core::Experiment
+// lists ready for SweepRunner. Every generator is deterministic — the same
+// spec and options always produce the same experiments in the same order —
+// and carries the cluster as canonical spec text, so the lists are safe to
+// fan out across threads and processes. This is how a bench (or a test)
+// explores any cluster you can imagine with a few lines instead of
+// hand-rolled experiment loops.
+
+// Shared knobs of the generators. `model` selects the workload;
+// `jitter_cv`/`d` seed the full-cluster WSP configs (individual generators
+// that sweep one of these take explicit grids instead).
+struct SpecSweepOptions {
+  core::ModelKind model = core::ModelKind::kResNet152;
+  double jitter_cv = 0.05;
+  int d = 0;       // WSP clock-distance threshold
+  int waves = 30;  // simulated waves per experiment
+  int warmup_waves = 3;
+};
+
+// One ED-local full-cluster experiment on `spec` — the building block every
+// full-cluster generator below uses (NP when the cluster has a single node,
+// matching the paper's V4 case).
+core::Experiment SpecExperiment(const hw::ClusterSpec& spec, const std::string& name, int d,
+                                double jitter_cv, const SpecSweepOptions& options);
+
+// Fig. 3-style: for every *distinct* ED virtual-worker shape of the spec's
+// cluster, one single-virtual-worker experiment per nm in [1, nm_max].
+// Shapes are (GPU class, node) multisets, so e.g. the four identical ED VWs
+// of the paper testbed contribute one shape. Deterministic (jitter 0), like
+// the paper's Fig. 3.
+std::vector<core::Experiment> SingleVwSweep(const hw::ClusterSpec& spec, int nm_max,
+                                            const SpecSweepOptions& options = {});
+
+// Table 4-style scaling: for each node-prefix of the spec (its first 1..N
+// nodes), a Horovod row and a HetPipe row, so the grid answers "what does
+// each added node buy" on arbitrary clusters the way Table 4 does on the
+// paper testbed.
+std::vector<core::Experiment> ScalingSweep(const hw::ClusterSpec& spec,
+                                           const SpecSweepOptions& options = {});
+
+// Straggler grid: the full spec under every (jitter_cv, D) combination.
+std::vector<core::Experiment> StragglerSweep(const hw::ClusterSpec& spec,
+                                             const std::vector<double>& jitter_cvs,
+                                             const std::vector<int>& d_values,
+                                             const SpecSweepOptions& options = {});
+
+// Bandwidth grid: the spec re-run at each inter-node link rate (Gbit/s).
+std::vector<core::Experiment> BandwidthSweep(const hw::ClusterSpec& spec,
+                                             const std::vector<double>& inter_gbits,
+                                             const SpecSweepOptions& options = {});
+
+// Latency grid: the spec re-run at each (inter-node intercept, intra-node
+// latency) pair, in seconds — the knobs the paper's §7 regression hard-coded
+// and a real deployment would re-measure.
+std::vector<core::Experiment> LatencySweep(const hw::ClusterSpec& spec,
+                                           const std::vector<double>& inter_intercepts_s,
+                                           const std::vector<double>& intra_latencies_s,
+                                           const SpecSweepOptions& options = {});
+
+}  // namespace hetpipe::runner

@@ -64,13 +64,18 @@ ResultRow RowFor(const core::Experiment& experiment, const core::ExperimentResul
   return row;
 }
 
-SweepRunner::SweepRunner(SweepOptions options)
-    : options_(options), pool_(options.threads) {
+SweepRunner::SweepRunner(SweepOptions options) : options_(options) {
   if (options_.cache != nullptr) {
     cache_ = options_.cache;
   } else {
     owned_cache_ = std::make_unique<PartitionCache>();
     cache_ = owned_cache_.get();
+  }
+  if (options_.pool != nullptr) {
+    pool_ = options_.pool;
+  } else {
+    owned_pool_ = std::make_unique<ThreadPool>(options_.threads);
+    pool_ = owned_pool_.get();
   }
 }
 
@@ -78,13 +83,13 @@ std::vector<core::ExperimentResult> SweepRunner::Run(
     const std::vector<core::Experiment>& experiments) {
   const int64_t n = static_cast<int64_t>(experiments.size());
   std::vector<core::ExperimentResult> results(experiments.size());
-  pool_.ParallelFor(n, [&](int64_t i) {
+  pool_->ParallelFor(n, [&](int64_t i) {
     core::Experiment experiment = experiments[static_cast<size_t>(i)];
     if (experiment.config.partition_cache == nullptr) {
       experiment.config.partition_cache = cache_;
     }
     if (experiment.config.pool == nullptr) {
-      experiment.config.pool = &pool_;
+      experiment.config.pool = pool_;
     }
     results[static_cast<size_t>(i)] = core::RunExperiment(experiment);
   });

@@ -13,12 +13,20 @@
 namespace hetpipe::runner {
 
 struct SweepOptions {
-  // Worker threads; <= 0 selects the hardware concurrency.
+  // Worker threads; <= 0 selects the hardware concurrency. Ignored when
+  // `pool` is set.
   int threads = 0;
   // Partition memo shared by every experiment of the sweep. When null the
   // runner owns one, so repeated virtual-worker shapes across the sweep
   // always coalesce; pass an external cache to share across sweeps too.
   PartitionCache* cache = nullptr;
+  // Worker pool shared by every runner it is handed to. When null the runner
+  // owns a pool of `threads`. Nested sweeps (a SweepRunner::Map task that
+  // itself constructs a SweepRunner) should share the outer runner's pool:
+  // ThreadPool::ParallelFor from inside a pool worker runs inline, so the
+  // nesting cannot deadlock or oversubscribe the machine with one thread set
+  // per inner runner — and results stay identical to the serial run.
+  ThreadPool* pool = nullptr;
   // Optional structured output; rows are written in experiment order after
   // the parallel phase, so sinks need no locking and output is reproducible.
   ResultSink* sink = nullptr;
@@ -43,23 +51,25 @@ class SweepRunner {
   std::vector<core::ExperimentResult> Run(const std::vector<core::Experiment>& experiments);
 
   // Generic deterministic fan-out for sweeps that are not core::Experiments
-  // (e.g. the real-SGD convergence studies): results[i] = fn(i).
+  // (e.g. the real-SGD convergence studies, or nested sweeps that construct
+  // an inner SweepRunner sharing this runner's pool): results[i] = fn(i).
   template <typename R>
   std::vector<R> Map(int64_t n, const std::function<R(int64_t)>& fn) {
     std::vector<R> results(static_cast<size_t>(n));
-    pool_.ParallelFor(n, [&](int64_t i) { results[static_cast<size_t>(i)] = fn(i); });
+    pool_->ParallelFor(n, [&](int64_t i) { results[static_cast<size_t>(i)] = fn(i); });
     return results;
   }
 
   PartitionCache& cache() { return *cache_; }
-  ThreadPool& pool() { return pool_; }
+  ThreadPool& pool() { return *pool_; }
   ResultSink* sink() { return options_.sink; }
 
  private:
   SweepOptions options_;
   std::unique_ptr<PartitionCache> owned_cache_;
   PartitionCache* cache_ = nullptr;
-  ThreadPool pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace hetpipe::runner

@@ -34,6 +34,15 @@ void Simulator::Dispatch(const SimTime deadline) {
     ++events_processed_;
     event.action();
   }
+  // The queue drained (or Stop() fired) before the deadline. For a finite
+  // deadline the simulated interval up to it has still elapsed, so advance
+  // the clock; otherwise back-to-back RunUntil calls would see time jump
+  // backwards relative to the previous call's deadline. Run() passes an
+  // infinite deadline and must leave now_ at the last event. A Stop() leaves
+  // the clock at the stopping event so the caller can resume from it.
+  if (!stopped_ && deadline < std::numeric_limits<SimTime>::infinity() && now_ < deadline) {
+    now_ = deadline;
+  }
 }
 
 }  // namespace hetpipe::sim

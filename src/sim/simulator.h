@@ -29,7 +29,9 @@ class Simulator {
   void Run();
 
   // Runs until simulated time exceeds `deadline` (events at exactly
-  // `deadline` still fire), the queue drains, or Stop() is called.
+  // `deadline` still fire), the queue drains, or Stop() is called. Unless
+  // stopped, now() is `deadline` afterwards — even when the queue drained
+  // early — so back-to-back RunUntil calls always observe a monotone clock.
   void RunUntil(SimTime deadline);
 
   // Requests that the currently running Run()/RunUntil() return once the

@@ -40,12 +40,19 @@ TEST(ClusterSpecTest, ParsesTextForm) {
   EXPECT_EQ(spec.gpu_classes[0].code, 'b');
   EXPECT_EQ(spec.gpu_classes[1].code, '\0');
   ASSERT_EQ(spec.nodes.size(), 3u);
-  EXPECT_EQ(spec.nodes[0].type, "BigCard");
-  EXPECT_EQ(spec.nodes[0].count, 2);
-  EXPECT_EQ(spec.nodes[2].type, "V");
-  EXPECT_EQ(spec.nodes[2].count, 4);
+  ASSERT_EQ(spec.nodes[0].groups.size(), 1u);
+  EXPECT_EQ(spec.nodes[0].groups[0].type, "BigCard");
+  EXPECT_EQ(spec.nodes[0].groups[0].count, 2);
+  EXPECT_FALSE(spec.nodes[0].mixed());
+  EXPECT_EQ(spec.nodes[2].groups[0].type, "V");
+  EXPECT_EQ(spec.nodes[2].groups[0].count, 4);
   EXPECT_EQ(spec.intra_gbps, 12.0);
   EXPECT_EQ(spec.inter_gbits, 25.0);
+  // Unmentioned link knobs stay at their defaults.
+  EXPECT_EQ(spec.intra_scaling, PcieLink::kDefaultScaling);
+  EXPECT_EQ(spec.intra_latency_s, PcieLink::kDefaultLatency);
+  EXPECT_EQ(spec.inter_efficiency, InfinibandLink::kDefaultEfficiency);
+  EXPECT_EQ(spec.inter_intercept_s, InfinibandLink::kDefaultIntercept);
 }
 
 TEST(ClusterSpecTest, RoundTripsThroughToString) {
@@ -93,6 +100,23 @@ TEST(ClusterSpecTest, RejectsMalformedSpecs) {
   // Malformed node argument.
   EXPECT_THROW(ClusterSpec::Parse("node 4x"), std::invalid_argument);
   EXPECT_THROW(ClusterSpec::Parse("node 99999999999999999999xV"), std::invalid_argument);
+  // Out-of-range link knobs.
+  EXPECT_THROW(ClusterSpec::Parse("node 4xV; intra_scaling 0"), std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse("node 4xV; intra_scaling 1.5"), std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse("node 4xV; intra_latency_s -1e-6"), std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse("node 4xV; inter_efficiency 0"), std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse("node 4xV; inter_intercept_s -0.001"),
+               std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse("node 4xV; inter_intercept_s junk"), std::invalid_argument);
+  // NaN would slip past one-sided range checks (and break the ToString round
+  // trip, NaN != NaN); infinities would poison every simulated number.
+  EXPECT_THROW(ClusterSpec::Parse("node 4xV; intra_scaling nan"), std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse("node 4xV; inter_intercept_s inf"), std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse("node 4xV; inter_gbits inf"), std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse("gpu N1 tflops=nan mem=4; node 1xN1"),
+               std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse("gpu N2 tflops=2 mem=inf; node 1xN2"),
+               std::invalid_argument);
   // Builder-set names and codes that would not survive the text round trip.
   EXPECT_THROW(ClusterSpec().Named("my cluster").AddNode("V", 4).Validate(),
                std::invalid_argument);
@@ -101,6 +125,152 @@ TEST(ClusterSpecTest, RejectsMalformedSpecs) {
                std::invalid_argument);
   EXPECT_THROW(ClusterSpec().AddGpuClass("X9", 1.0, 1.0, ' ').AddNode("X9", 2).Validate(),
                std::invalid_argument);
+}
+
+// One definition per class name (see kMixedSpecText): the mixed-node fixture
+// reuses the numbers of BigCard/TinyCard declared there.
+constexpr const char* kMixedNodeSpecText =
+    "name node-mix\n"
+    "gpu BigCard tflops=8.5 mem=32 code=b\n"
+    "gpu TinyCard tflops=1.4 mem=11\n"
+    "node{BigCard*2,TinyCard*2}   # mixed-class node: 2 big then 2 tiny\n"
+    "node 4xV\n"
+    "inter_gbits 25\n";
+
+TEST(ClusterSpecTest, ParsesMixedClassNodes) {
+  const ClusterSpec spec = ClusterSpec::Parse(kMixedNodeSpecText);
+  ASSERT_EQ(spec.nodes.size(), 2u);
+  EXPECT_TRUE(spec.nodes[0].mixed());
+  ASSERT_EQ(spec.nodes[0].groups.size(), 2u);
+  EXPECT_EQ(spec.nodes[0].groups[0].type, "BigCard");
+  EXPECT_EQ(spec.nodes[0].groups[0].count, 2);
+  EXPECT_EQ(spec.nodes[0].groups[1].type, "TinyCard");
+  EXPECT_EQ(spec.nodes[0].groups[1].count, 2);
+  EXPECT_EQ(spec.nodes[0].TotalCount(), 4);
+  EXPECT_FALSE(spec.nodes[1].mixed());
+
+  // The whitespace-tolerant spelling and implicit *1 counts parse too.
+  const ClusterSpec spaced = ClusterSpec::Parse(
+      "gpu BigCard tflops=8.5 mem=32 code=b; gpu TinyCard tflops=1.4 mem=11;"
+      "node { BigCard*2, TinyCard }");
+  ASSERT_EQ(spaced.nodes.size(), 1u);
+  ASSERT_EQ(spaced.nodes[0].groups.size(), 2u);
+  EXPECT_EQ(spaced.nodes[0].groups[1].type, "TinyCard");
+  EXPECT_EQ(spaced.nodes[0].groups[1].count, 1);
+}
+
+TEST(ClusterSpecTest, MixedNodeRoundTripsAndMatchesBuilder) {
+  const ClusterSpec spec = ClusterSpec::Parse(kMixedNodeSpecText);
+  const std::string canonical = spec.ToString();
+  EXPECT_NE(canonical.find("node{BigCard*2,TinyCard*2}"), std::string::npos) << canonical;
+  EXPECT_TRUE(ClusterSpec::Parse(canonical) == spec) << canonical;
+
+  ClusterSpec built;
+  built.Named("node-mix")
+      .AddGpuClass("BigCard", 8.5, 32.0, 'b')
+      .AddGpuClass("TinyCard", 1.4, 11.0)
+      .AddMixedNode({{"BigCard", 2}, {"TinyCard", 2}})
+      .AddNode("V", 4)
+      .InterGbits(25.0);
+  EXPECT_TRUE(built == spec);
+}
+
+TEST(ClusterSpecTest, RejectsMalformedMixedNodes) {
+  constexpr const char* kClasses = "gpu MBig tflops=8 mem=32; gpu MTiny tflops=1 mem=11; ";
+  // Empty list / empty group / missing type / bad counts.
+  EXPECT_THROW(ClusterSpec::Parse(std::string(kClasses) + "node{}"), std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse(std::string(kClasses) + "node{MBig,,MTiny}"),
+               std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse(std::string(kClasses) + "node{*2}"), std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse(std::string(kClasses) + "node{MBig*0}"),
+               std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse(std::string(kClasses) + "node{MBig*junk}"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ClusterSpec::Parse(std::string(kClasses) + "node{MBig*99999999999999999999}"),
+      std::invalid_argument);
+  // Unterminated brace and unknown member class.
+  EXPECT_THROW(ClusterSpec::Parse(std::string(kClasses) + "node{MBig*2"),
+               std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse(std::string(kClasses) + "node{NoSuchCard*2}"),
+               std::invalid_argument);
+}
+
+TEST(ClusterSpecTest, MixedClassNodeBuildsAndPartitionsPerClassMemory) {
+  const Cluster cluster = ClusterSpec::Parse(kMixedNodeSpecText).Build();
+  EXPECT_EQ(cluster.num_nodes(), 2);
+  EXPECT_EQ(cluster.num_gpus(), 8);
+  EXPECT_FALSE(cluster.NodeHomogeneous(0));
+  EXPECT_TRUE(cluster.NodeHomogeneous(1));
+  const GpuSpec* big = FindGpuTypeByName("BigCard");
+  const GpuSpec* tiny = FindGpuTypeByName("TinyCard");
+  ASSERT_NE(big, nullptr);
+  ASSERT_NE(tiny, nullptr);
+  // Declaration order is GPU-id order inside the node.
+  EXPECT_EQ(cluster.gpu(0).type, big->type);
+  EXPECT_EQ(cluster.gpu(1).type, big->type);
+  EXPECT_EQ(cluster.gpu(2).type, tiny->type);
+  EXPECT_EQ(cluster.gpu(3).type, tiny->type);
+  EXPECT_EQ(cluster.NodeType(0), big->type);  // first GPU's class
+  // The composition is spelled out (cache keys depend on it).
+  EXPECT_NE(cluster.ToString().find("BigCard x2 + TinyCard x2"), std::string::npos)
+      << cluster.ToString();
+
+  // A VW spanning the mixed node partitions with per-class memory caps.
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  const partition::Partitioner partitioner(profile, cluster);
+  partition::PartitionOptions options;
+  options.nm = 2;
+  const std::vector<int> vw = core::PickGpus(cluster, "BigCard*2@0,TinyCard*2@0");
+  ASSERT_EQ(vw.size(), 4u);
+  const partition::Partition partition = partitioner.Solve(vw, options);
+  ASSERT_TRUE(partition.feasible);
+  for (const partition::StageAssignment& stage : partition.stages) {
+    EXPECT_EQ(stage.node, 0);
+    EXPECT_EQ(stage.memory_cap, MemoryBytes(stage.gpu_type));
+    EXPECT_LE(stage.memory_bytes, stage.memory_cap);
+  }
+
+  // HD pairing is undefined across mixed-class nodes and must refuse them.
+  const Cluster hd_shaped =
+      ClusterSpec::Parse(
+          "gpu MBig tflops=8 mem=32; gpu MTiny tflops=1 mem=11;"
+          "node{MBig*2,MTiny*2}; node 4xV; node 4xR; node 4xQ")
+          .Build();
+  EXPECT_THROW(cluster::Allocate(hd_shaped, cluster::AllocationPolicy::kHybridDistribution),
+               std::invalid_argument);
+  // ED hands out mixed-node GPUs in declaration order.
+  const cluster::Allocation ed =
+      cluster::Allocate(cluster, cluster::AllocationPolicy::kEqualDistribution);
+  ASSERT_EQ(ed.vw_gpus.size(), 4u);
+  EXPECT_EQ(cluster.gpu(ed.vw_gpus[0][0]).type, big->type);
+  EXPECT_EQ(cluster.gpu(ed.vw_gpus[2][0]).type, tiny->type);
+}
+
+TEST(ClusterSpecTest, LinkKnobsRoundTripAndReachTheLinkModels) {
+  const ClusterSpec spec = ClusterSpec::Parse(
+      "node 4xV; node 4xQ;"
+      "intra_gbps 12; intra_scaling 0.5; intra_latency_s 2e-05;"
+      "inter_gbits 25; inter_efficiency 0.2; inter_intercept_s 0.0005");
+  EXPECT_EQ(spec.intra_scaling, 0.5);
+  EXPECT_EQ(spec.intra_latency_s, 2e-5);
+  EXPECT_EQ(spec.inter_efficiency, 0.2);
+  EXPECT_EQ(spec.inter_intercept_s, 5e-4);
+  EXPECT_TRUE(ClusterSpec::Parse(spec.ToString()) == spec) << spec.ToString();
+
+  const Cluster cluster = spec.Build();
+  EXPECT_EQ(cluster.pcie().latency_s(), 2e-5);
+  EXPECT_EQ(cluster.pcie().EffectiveBandwidth(), 12.0 * 1e9 * 0.5);
+  EXPECT_EQ(cluster.infiniband().intercept_s(), 5e-4);
+  EXPECT_EQ(cluster.infiniband().EffectiveBandwidth(), 25.0 / 8.0 * 1e9 * 0.2);
+  // TransferTime reflects the knobs: intercept + bytes / effective bw.
+  EXPECT_DOUBLE_EQ(cluster.infiniband().TransferTime(1ULL << 20),
+                   5e-4 + static_cast<double>(1ULL << 20) / (25.0 / 8.0 * 1e9 * 0.2));
+
+  // Defaulted knobs are not emitted, so paper-shaped specs stay identical.
+  EXPECT_EQ(ClusterSpec::PaperTestbed().ToString(),
+            "name paper-testbed; node 4xV; node 4xR; node 4xG; node 4xQ");
 }
 
 TEST(ClusterSpecTest, ReRegisteringBuiltinClassesIsIdempotent) {

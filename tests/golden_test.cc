@@ -321,6 +321,48 @@ std::vector<core::Experiment> GenericClusterExperiments() {
   return experiments;
 }
 
+std::vector<core::Experiment> MixedNodeClusterExperiments() {
+  // A cluster with a mixed-class node (golden-pinned so the new node grammar
+  // and the per-class memory path cannot drift), plus one latency-knob
+  // variant whose rows must differ via the knob alone.
+  hw::ClusterSpec spec;
+  spec.Named("golden-mixed-node")
+      .AddGpuClass("GoldBig", 8.5, 32.0, 'g')
+      .AddGpuClass("GoldSmall", 1.4, 11.0)
+      .AddMixedNode({{"GoldBig", 2}, {"GoldSmall", 2}})
+      .AddNode("GoldSmall", 4)
+      .AddNode("V", 4)
+      .InterGbits(25.0);
+  hw::ClusterSpec slow = spec;
+  slow.Named("golden-mixed-node-slow").InterInterceptS(5e-3);
+
+  std::vector<core::Experiment> experiments;
+  for (const hw::ClusterSpec& variant : {spec, slow}) {
+    core::Experiment e;
+    e.name = variant.name + " resnet152 D=0";
+    e.kind = core::ExperimentKind::kFullCluster;
+    e.model = core::ModelKind::kResNet152;
+    e.cluster_spec = variant.ToString();
+    e.cluster_label = variant.name;
+    e.config = core::EdLocalConfig(/*d=*/0, /*jitter_cv=*/0.1);
+    e.config.waves = 15;
+    experiments.push_back(std::move(e));
+
+    core::Experiment vw;
+    vw.name = variant.name + " single-vw mixed-node";
+    vw.kind = core::ExperimentKind::kSingleVirtualWorker;
+    vw.model = core::ModelKind::kResNet152;
+    vw.cluster_spec = variant.ToString();
+    vw.cluster_label = variant.name;
+    vw.vw_codes = "GoldBig*2@0,GoldSmall*2@0";  // the mixed node as one VW
+    vw.config.nm = 3;
+    vw.config.waves = 15;
+    vw.config.warmup_waves = 3;
+    experiments.push_back(std::move(vw));
+  }
+  return experiments;
+}
+
 TEST(GoldenTest, Fig3SingleVirtualWorkerRows) { CheckAgainstGolden("fig3", Fig3Experiments()); }
 
 TEST(GoldenTest, Fig4PolicyRows) { CheckAgainstGolden("fig4", Fig4Experiments()); }
@@ -329,6 +371,10 @@ TEST(GoldenTest, Table4ScalingRows) { CheckAgainstGolden("table4", Table4Experim
 
 TEST(GoldenTest, GenericClusterRows) {
   CheckAgainstGolden("generic_cluster", GenericClusterExperiments());
+}
+
+TEST(GoldenTest, MixedNodeClusterRows) {
+  CheckAgainstGolden("mixed_cluster", MixedNodeClusterExperiments());
 }
 
 }  // namespace

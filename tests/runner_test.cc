@@ -14,9 +14,11 @@
 
 #include "core/experiment.h"
 #include "hw/cluster.h"
+#include "hw/cluster_spec.h"
 #include "model/resnet.h"
 #include "model/vgg.h"
 #include "partition/partitioner.h"
+#include "runner/cli.h"
 #include "runner/partition_cache.h"
 #include "runner/result_sink.h"
 #include "runner/sweep_runner.h"
@@ -211,6 +213,32 @@ TEST(PartitionCacheTest, DistinguishesLinkParametersBeyondBandwidth) {
   EXPECT_EQ(cache.hits(), 0);
 }
 
+TEST(PartitionCacheTest, SpecLatencyKnobChangesTheKey) {
+  // The ISSUE's acceptance scenario: two specs identical except for a link
+  // latency/intercept knob must never share a cache entry — a warmed
+  // --cache-file from one latency point would otherwise serve stale
+  // partitions at another.
+  const char* kBase = "gpu LatCard tflops=8 mem=32; node 2xLatCard; node 2xLatCard";
+  const hw::Cluster fast = hw::ClusterSpec::Parse(kBase).Build();
+  const hw::Cluster slow_inter =
+      hw::ClusterSpec::Parse(std::string(kBase) + "; inter_intercept_s 0.005").Build();
+  const hw::Cluster slow_intra =
+      hw::ClusterSpec::Parse(std::string(kBase) + "; intra_latency_s 0.002").Build();
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  PartitionCache cache;
+  partition::PartitionOptions options;
+  options.nm = 1;
+  cache.Solve(partition::Partitioner(profile, fast), {0, 1, 2, 3}, options);
+  cache.Solve(partition::Partitioner(profile, slow_inter), {0, 1, 2, 3}, options);
+  cache.Solve(partition::Partitioner(profile, slow_intra), {0, 1, 2, 3}, options);
+  EXPECT_EQ(cache.misses(), 3);
+  EXPECT_EQ(cache.hits(), 0);
+  // Identical knobs still hit, of course.
+  cache.Solve(partition::Partitioner(profile, slow_inter), {0, 1, 2, 3}, options);
+  EXPECT_EQ(cache.hits(), 1);
+}
+
 TEST(PartitionCacheTest, DistinguishesNmAndMemParams) {
   const hw::Cluster cluster = hw::Cluster::Paper();
   const model::ModelGraph graph = model::BuildResNet152();
@@ -383,6 +411,66 @@ TEST(PartitionCacheFileTest, LoadMergesWithoutOverwritingExistingEntries) {
   EXPECT_EQ(third.hits(), 2);
   EXPECT_EQ(third.misses(), 0);
   std::remove(path.c_str());
+}
+
+// ---- BenchArgs: the --cache-file guard and strict flag parsing ----
+
+BenchArgs ParseArgs(std::vector<std::string> argv_strings) {
+  argv_strings.insert(argv_strings.begin(), "bench");
+  std::vector<char*> argv;
+  argv.reserve(argv_strings.size());
+  for (std::string& arg : argv_strings) {
+    argv.push_back(arg.data());
+  }
+  return BenchArgs::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchArgsTest, DoesNotClobberUnloadableCacheFileWithAnEmptyCache) {
+  const std::string path = testing::TempDir() + "hetpipe_cli_corrupt.cache";
+  const std::string garbage = "not a cache file at all";
+  WriteFileBytes(path, garbage);
+
+  {
+    // Load fails (present but unusable), no entries are added: the
+    // destructor must leave the file untouched instead of truncating it to
+    // an empty cache.
+    BenchArgs args = ParseArgs({"--cache-file=" + path});
+    ASSERT_NE(args.cache(), nullptr);
+    EXPECT_EQ(args.cache()->size(), 0);
+  }
+  EXPECT_EQ(ReadFileBytes(path), garbage);
+
+  {
+    // Once the run produced entries, saving over the unusable file is the
+    // right trade: fresh valuable state replaces bytes nothing can load.
+    BenchArgs args = ParseArgs({"--cache-file=" + path});
+    const hw::Cluster cluster = hw::Cluster::Paper();
+    const model::ModelGraph graph = model::BuildResNet152();
+    const model::ModelProfile profile(graph, 32);
+    const partition::Partitioner partitioner(profile, cluster);
+    partition::PartitionOptions options;
+    options.nm = 1;
+    args.cache()->Solve(partitioner, {0, 4, 8, 12}, options);
+  }
+  PartitionCache reloaded;
+  std::string error;
+  EXPECT_TRUE(reloaded.Load(path, &error)) << error;
+  EXPECT_EQ(reloaded.size(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(BenchArgsTest, ParseIntFlagIsStrict) {
+  int value = 0;
+  EXPECT_TRUE(ParseIntFlag("12", &value));
+  EXPECT_EQ(value, 12);
+  EXPECT_TRUE(ParseIntFlag("-3", &value));
+  EXPECT_EQ(value, -3);
+  // std::atoi would silently turn all of these into 0 or truncate "3x".
+  EXPECT_FALSE(ParseIntFlag("", &value));
+  EXPECT_FALSE(ParseIntFlag("abc", &value));
+  EXPECT_FALSE(ParseIntFlag("3x", &value));
+  EXPECT_FALSE(ParseIntFlag(" 4", &value));
+  EXPECT_FALSE(ParseIntFlag("99999999999999999999", &value));
 }
 
 // ---- Partitioner: pruning and parallel order search never change results ----
@@ -561,6 +649,49 @@ TEST(SweepRunnerTest, RunWritesRowsInExperimentOrder) {
     EXPECT_NE(line.find("\"name\":\"nm" + std::to_string(nm) + "\""), std::string::npos)
         << line;
   }
+}
+
+TEST(SweepRunnerTest, NestedSweepsOnASharedPoolMatchSerial) {
+  // Outer SweepRunner::Map tasks each construct an inner SweepRunner that
+  // shares the outer pool (SweepOptions::pool) and cache. The nested
+  // ParallelFor degrades to inline execution on the worker, so this neither
+  // deadlocks nor spins up one thread set per inner runner — and every row
+  // is identical to the plain serial run.
+  const std::vector<core::Experiment> experiments = BuildDeterminismSweep();
+  std::vector<core::ExperimentResult> direct;
+  direct.reserve(experiments.size());
+  for (const core::Experiment& e : experiments) {
+    direct.push_back(core::RunExperiment(e));
+  }
+
+  SweepOptions outer_options;
+  outer_options.threads = 8;
+  SweepRunner outer(outer_options);
+  constexpr int64_t kGroups = 5;
+  const auto nested = outer.Map<std::vector<core::ExperimentResult>>(
+      kGroups, [&](int64_t group) {
+        std::vector<core::Experiment> slice;
+        for (size_t i = static_cast<size_t>(group); i < experiments.size();
+             i += static_cast<size_t>(kGroups)) {
+          slice.push_back(experiments[i]);
+        }
+        SweepOptions inner_options;
+        inner_options.pool = &outer.pool();
+        inner_options.cache = &outer.cache();
+        SweepRunner inner(inner_options);
+        // The inner runner really shares the outer pool, not a new one.
+        EXPECT_EQ(&inner.pool(), &outer.pool());
+        return inner.Run(slice);
+      });
+
+  std::vector<core::ExperimentResult> flattened(experiments.size());
+  for (int64_t group = 0; group < kGroups; ++group) {
+    const auto& slice = nested[static_cast<size_t>(group)];
+    for (size_t s = 0; s < slice.size(); ++s) {
+      flattened[static_cast<size_t>(group) + s * static_cast<size_t>(kGroups)] = slice[s];
+    }
+  }
+  ExpectSameResults(direct, flattened);
 }
 
 TEST(SweepRunnerTest, MapIsDeterministicAndOrdered) {

@@ -91,6 +91,41 @@ TEST(SimulatorTest, EventAtExactDeadlineFires) {
   sim.Schedule(2.0, [&] { ++fired; });
   sim.RunUntil(2.0);
   EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenQueueDrainsEarly) {
+  // Regression: the queue draining before the deadline used to leave now()
+  // at the last event, so a later RunUntil with an earlier-than-last-deadline
+  // window observed a non-monotone clock and relative Schedule() calls were
+  // anchored at the stale time.
+  Simulator sim;
+  sim.Schedule(1.0, [] {});
+  sim.RunUntil(5.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);  // not 1.0: the interval to 5.0 elapsed
+
+  // Back-to-back windows see a monotone clock even with nothing queued.
+  sim.RunUntil(7.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 7.0);
+
+  // Relative scheduling after a drained window anchors at the deadline.
+  double fired_at = -1.0;
+  sim.Schedule(1.0, [&] { fired_at = sim.now(); });
+  sim.RunUntil(10.0);
+  EXPECT_DOUBLE_EQ(fired_at, 8.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+
+  // Run() (infinite deadline) still leaves the clock at the last event.
+  Simulator open_ended;
+  open_ended.Schedule(3.0, [] {});
+  open_ended.Run();
+  EXPECT_DOUBLE_EQ(open_ended.now(), 3.0);
+
+  // A Stop() inside the window leaves the clock at the stopping event.
+  Simulator stopped;
+  stopped.Schedule(1.0, [&] { stopped.Stop(); });
+  stopped.RunUntil(9.0);
+  EXPECT_DOUBLE_EQ(stopped.now(), 1.0);
 }
 
 TEST(SimulatorTest, StopHaltsDispatch) {
