@@ -40,17 +40,9 @@ hw::ClusterSpec& DeclareClasses(hw::ClusterSpec& spec) {
 
 // The fixed mixed cluster of the straggler and bandwidth scenarios: one node
 // mixing strong and whimpy cards (the mixed-class node the spec grammar now
-// supports), one whimpy node, and one paper V-node.
-hw::ClusterSpec MixedSpec() {
-  hw::ClusterSpec spec;
-  spec.Named("mixed-3node");
-  DeclareClasses(spec)
-      .AddMixedNode({{"BigCard", 2}, {"SmallCard", 2}})
-      .AddNode("SmallCard", 4)
-      .AddNode("V", 4)
-      .InterGbits(25.0);
-  return spec;
-}
+// supports), one whimpy node, and one paper V-node — the canonical
+// runner::MixedDemoSpec shared with latency_sweep and partitioner_speed.
+hw::ClusterSpec MixedSpec() { return runner::MixedDemoSpec("mixed-3node"); }
 
 // The scale scenario's 6-node cluster: alternating strong and whimpy nodes,
 // swept prefix by prefix (1 node, 2 nodes, ..., 6 nodes).

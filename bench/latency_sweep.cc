@@ -25,18 +25,10 @@ namespace {
 using namespace hetpipe;
 
 // A latency-sensitive shape: a node mixing strong and whimpy cards (cross-
-// class boundaries inside the node), a whimpy node, and a paper V-node.
-hw::ClusterSpec LatencyMixSpec() {
-  hw::ClusterSpec spec;
-  spec.Named("latency-mix");
-  spec.AddGpuClass("BigCard", 9.2, 40.0, 'a')
-      .AddGpuClass("SmallCard", 2.6, 16.0, 't')
-      .AddMixedNode({{"BigCard", 2}, {"SmallCard", 2}})
-      .AddNode("SmallCard", 4)
-      .AddNode("V", 4)
-      .InterGbits(25.0);
-  return spec;
-}
+// class boundaries inside the node), a whimpy node, and a paper V-node — the
+// canonical runner::MixedDemoSpec shared with cluster_sweep and
+// partitioner_speed.
+hw::ClusterSpec LatencyMixSpec() { return runner::MixedDemoSpec("latency-mix"); }
 
 void PrintRows(const std::vector<core::Experiment>& experiments,
                const std::vector<core::ExperimentResult>& results) {

@@ -1,0 +1,389 @@
+// Partitioner hot-path benchmark: times cold Partitioner::Solve against the
+// retained pre-optimization SolveReference (naive O(stage-length) cost sums,
+// vector-of-vector DP, factorial order scan with string dedup) across
+// models x clusters x virtual-worker shapes x Nm, verifying on every point
+// that the two return bit-identical partitions. Also pins the no-allocation
+// property of the thread-local DP scratch: repeated warm solves must not grow
+// a single buffer.
+//
+// The JSON rows (--json) are the repo's partitioner perf trajectory; commit a
+// run as BENCH_partitioner.json (see README "Partitioner performance").
+//
+// Flags: --threads=N (default 1: timing stability) --repeat=N (default 5)
+//        --json[=PATH] --csv[=PATH] --cache-file=PATH
+//        --expect=PATH        compare every point's solve result against a
+//                             checked-in expectations file; any divergence
+//                             (or a missing/extra point) fails the run. The
+//                             comparison covers results only, never timings,
+//                             so it is stable across machines and compilers.
+//        --write-expect=PATH  regenerate that file from this run
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.h"
+#include "hw/cluster.h"
+#include "hw/cluster_spec.h"
+#include "model/model_graph.h"
+#include "model/profiler.h"
+#include "model/resnet.h"
+#include "model/transformer.h"
+#include "model/vgg.h"
+#include "partition/partitioner.h"
+#include "runner/cli.h"
+#include "runner/spec_sweep.h"
+#include "runner/sweep_runner.h"
+
+namespace {
+
+using namespace hetpipe;
+using Clock = std::chrono::steady_clock;
+
+// The generic cluster of the grid: a mixed-class node, a whimpy node, and a
+// paper V node (the canonical runner::MixedDemoSpec, also the cluster_sweep
+// straggler cluster, which exercises registered GPU classes and multi-class
+// order enumeration).
+hw::Cluster MixedCluster() { return runner::MixedDemoSpec("mixed-3node").Build(); }
+
+struct GridPoint {
+  std::string model;
+  std::string cluster;
+  std::string vw;  // PickGpus selector
+  int nm = 1;
+};
+
+struct PointResult {
+  GridPoint point;
+  int layers = 0;
+  int k = 0;
+  bool feasible = false;
+  double bottleneck_ms = 0.0;
+  double ref_ms = 0.0;   // best-of-repeat cold SolveReference wall time
+  double fast_ms = 0.0;  // best-of-repeat cold Solve wall time
+  bool identical = false;
+  std::string signature;  // timing-free solve result, for --expect
+};
+
+// Bit-exact comparison: the optimization must change speed, never results.
+bool SamePartition(const partition::Partition& a, const partition::Partition& b) {
+  if (a.feasible != b.feasible || a.bottleneck_time != b.bottleneck_time ||
+      a.sum_time != b.sum_time || a.stages.size() != b.stages.size()) {
+    return false;
+  }
+  for (size_t q = 0; q < a.stages.size(); ++q) {
+    const partition::StageAssignment& x = a.stages[q];
+    const partition::StageAssignment& y = b.stages[q];
+    if (x.first_layer != y.first_layer || x.last_layer != y.last_layer ||
+        x.gpu_id != y.gpu_id || x.gpu_type != y.gpu_type || x.node != y.node ||
+        x.fwd_compute_s != y.fwd_compute_s || x.bwd_compute_s != y.bwd_compute_s ||
+        x.fwd_comm_in_s != y.fwd_comm_in_s || x.bwd_comm_in_s != y.bwd_comm_in_s ||
+        x.param_bytes != y.param_bytes || x.memory_bytes != y.memory_bytes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Timing-free description of a solve result, printed with full double
+// precision (%.17g round-trips), so an expectations file pins results across
+// machines without pinning wall clock.
+std::string Signature(const partition::Partition& p) {
+  char buf[96];
+  if (!p.feasible) {
+    return "infeasible";
+  }
+  std::string sig;
+  std::snprintf(buf, sizeof(buf), "b=%.17g s=%.17g", p.bottleneck_time, p.sum_time);
+  sig += buf;
+  for (const partition::StageAssignment& stage : p.stages) {
+    std::snprintf(buf, sizeof(buf), " %d:%d-%d@%c", stage.gpu_id, stage.first_layer,
+                  stage.last_layer, hw::CodeOf(stage.gpu_type));
+    sig += buf;
+  }
+  return sig;
+}
+
+double MsBetween(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+std::vector<GridPoint> BuildGrid() {
+  std::vector<GridPoint> grid;
+  const std::vector<std::pair<std::string, std::vector<std::string>>> cluster_vws = {
+      {"paper", {"VVVV", "RRRR", "GGGG", "QQQQ", "VRGQ", "VVQQ"}},
+      {"mixed-3node",
+       {"BigCard*2,SmallCard*2", "SmallCard*4", "BigCard*1,SmallCard*1,V*2"}},
+  };
+  for (const char* model : {"resnet152", "vgg19", "bert-large"}) {
+    for (const auto& [cluster, vws] : cluster_vws) {
+      for (const std::string& vw : vws) {
+        for (int nm : {1, 2, 4}) {
+          grid.push_back(GridPoint{model, cluster, vw, nm});
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+model::ModelGraph BuildModelByName(const std::string& name) {
+  if (name == "resnet152") {
+    return model::BuildResNet152();
+  }
+  if (name == "vgg19") {
+    return model::BuildVgg19();
+  }
+  return model::BuildBertLarge();
+}
+
+PointResult RunPoint(const GridPoint& point, const hw::Cluster& cluster,
+                     const model::ModelProfile& profile, int repeat) {
+  PointResult out;
+  out.point = point;
+  out.layers = profile.num_layers();
+
+  const std::vector<int> gpu_ids = core::PickGpus(cluster, point.vw);
+  out.k = static_cast<int>(gpu_ids.size());
+
+  const partition::Partitioner partitioner(profile, cluster);
+  partition::PartitionOptions options;
+  options.nm = point.nm;
+
+  // One untimed round first: warms the DP scratch and pins equivalence.
+  const partition::Partition reference = partitioner.SolveReference(gpu_ids, options);
+  const partition::Partition fast = partitioner.Solve(gpu_ids, options);
+  out.identical = SamePartition(reference, fast);
+  out.feasible = fast.feasible;
+  out.bottleneck_ms = fast.bottleneck_time * 1e3;
+  out.signature = Signature(fast);
+
+  // Best-of-N: robust against preemption spikes on busy machines (a single
+  // descheduling would otherwise dominate a mean at these microsecond
+  // scales).
+  for (int r = 0; r < repeat; ++r) {
+    const auto start = Clock::now();
+    (void)partitioner.SolveReference(gpu_ids, options);
+    const double ms = MsBetween(start, Clock::now());
+    out.ref_ms = r == 0 ? ms : std::min(out.ref_ms, ms);
+  }
+  for (int r = 0; r < repeat; ++r) {
+    const auto start = Clock::now();
+    (void)partitioner.Solve(gpu_ids, options);
+    const double ms = MsBetween(start, Clock::now());
+    out.fast_ms = r == 0 ? ms : std::min(out.fast_ms, ms);
+  }
+  return out;
+}
+
+std::string ExpectKey(const GridPoint& point) {
+  return point.model + "|" + point.cluster + "|" + point.vw + "|nm" +
+         std::to_string(point.nm);
+}
+
+int CompareExpectations(const std::vector<PointResult>& results, const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "error: cannot read expectations file %s\n", path.c_str());
+    return 1;
+  }
+  std::map<std::string, std::string> expected;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      std::fprintf(stderr, "error: malformed expectations line: %s\n", line.c_str());
+      return 1;
+    }
+    expected[line.substr(0, tab)] = line.substr(tab + 1);
+  }
+  int divergent = 0;
+  for (const PointResult& r : results) {
+    const std::string key = ExpectKey(r.point);
+    auto it = expected.find(key);
+    if (it == expected.end()) {
+      std::fprintf(stderr, "EXPECT MISSING  %s\n", key.c_str());
+      ++divergent;
+      continue;
+    }
+    if (it->second != r.signature) {
+      std::fprintf(stderr, "EXPECT DIVERGED %s\n  expected: %s\n  got:      %s\n",
+                   key.c_str(), it->second.c_str(), r.signature.c_str());
+      ++divergent;
+    }
+    expected.erase(it);
+  }
+  for (const auto& [key, sig] : expected) {
+    std::fprintf(stderr, "EXPECT EXTRA    %s (file has a point this grid no longer runs)\n",
+                 key.c_str());
+    ++divergent;
+  }
+  if (divergent > 0) {
+    std::fprintf(stderr, "%d expectation(s) diverged — solve results changed\n", divergent);
+    return 1;
+  }
+  std::printf("all %zu solve results match %s\n", results.size(), path.c_str());
+  return 0;
+}
+
+int WriteExpectations(const std::vector<PointResult>& results, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << "# partitioner_speed solve-result expectations: key \\t signature.\n"
+         "# Regenerate with: partitioner_speed --write-expect=<this file>\n";
+  for (const PointResult& r : results) {
+    out << ExpectKey(r.point) << '\t' << r.signature << '\n';
+  }
+  return out.good() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runner::BenchArgs args = runner::BenchArgs::Parse(argc, argv);
+  int repeat = 5;
+  std::string expect_path;
+  std::string write_expect_path;
+  for (const std::string& arg : args.rest) {
+    if (arg.rfind("--repeat=", 0) == 0) {
+      int parsed = 0;
+      if (!runner::ParseIntFlag(arg.substr(9), &parsed) || parsed < 1) {
+        std::fprintf(stderr, "error: --repeat needs a positive integer, got \"%s\"\n",
+                     arg.c_str() + 9);
+        return 2;
+      }
+      repeat = parsed;
+    } else if (arg.rfind("--expect=", 0) == 0) {
+      expect_path = arg.substr(9);
+    } else if (arg.rfind("--write-expect=", 0) == 0) {
+      write_expect_path = arg.substr(15);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  // Shared read-only inputs, built once: profiles are per (model, batch) and
+  // clusters per label. GPU classes the mixed spec declares register here.
+  const hw::Cluster paper = hw::Cluster::Paper();
+  const hw::Cluster mixed = MixedCluster();
+  const auto cluster_of = [&](const std::string& label) -> const hw::Cluster& {
+    return label == "paper" ? paper : mixed;
+  };
+  std::map<std::string, model::ModelGraph> graphs;
+  for (const char* name : {"resnet152", "vgg19", "bert-large"}) {
+    graphs.emplace(name, BuildModelByName(name));
+  }
+  std::map<std::string, model::ModelProfile> profiles;
+  for (const auto& [name, graph] : graphs) {
+    profiles.emplace(name, model::ModelProfile(graph, 32));
+  }
+
+  const std::vector<GridPoint> grid = BuildGrid();
+  std::printf("timing %zu grid points (cold Solve vs pre-optimization SolveReference,\n"
+              "best of %d repetitions each)\n\n",
+              grid.size(), repeat);
+
+  runner::SweepOptions sweep_options = args.sweep_options();
+  sweep_options.threads = args.threads > 0 ? args.threads : 1;
+  runner::SweepRunner sweep(sweep_options);
+  const std::vector<PointResult> results = sweep.Map<PointResult>(
+      static_cast<int64_t>(grid.size()), [&](int64_t i) {
+        const GridPoint& point = grid[static_cast<size_t>(i)];
+        return RunPoint(point, cluster_of(point.cluster), profiles.at(point.model), repeat);
+      });
+
+  bool all_identical = true;
+  double resnet_paper_speedup_min = 0.0;
+  double resnet_paper_speedup_geo = 1.0;
+  int resnet_paper_points = 0;
+  for (const PointResult& r : results) {
+    all_identical = all_identical && r.identical;
+    const double speedup = r.fast_ms > 0.0 ? r.ref_ms / r.fast_ms : 0.0;
+    std::printf("  %-10s %-12s %-28s nm=%d  %8.3f -> %7.3f ms  (%5.1fx)%s\n",
+                r.point.model.c_str(), r.point.cluster.c_str(), r.point.vw.c_str(),
+                r.point.nm, r.ref_ms, r.fast_ms, speedup,
+                r.identical ? "" : "  RESULTS DIVERGED — BUG");
+    if (r.point.model == "resnet152" && r.point.cluster == "paper" && r.k == 4) {
+      resnet_paper_speedup_min = resnet_paper_points == 0
+                                     ? speedup
+                                     : std::min(resnet_paper_speedup_min, speedup);
+      resnet_paper_speedup_geo *= speedup;
+      ++resnet_paper_points;
+    }
+    if (runner::ResultSink* sink = args.sink()) {
+      runner::ResultRow row;
+      row.Set("bench", "partitioner_speed")
+          .Set("model", r.point.model)
+          .Set("cluster", r.point.cluster)
+          .Set("vw", r.point.vw)
+          .Set("nm", r.point.nm)
+          .Set("layers", r.layers)
+          .Set("k", r.k)
+          .Set("feasible", r.feasible)
+          .Set("bottleneck_ms", r.bottleneck_ms)
+          .Set("ref_solve_ms", r.ref_ms)
+          .Set("fast_solve_ms", r.fast_ms)
+          .Set("speedup", speedup)
+          .Set("identical", r.identical);
+      sink->Write(row);
+    }
+  }
+
+  // Warm-solve allocation check: after the grid every shape has been seen, so
+  // further solves on this thread must not grow a single scratch buffer.
+  const std::vector<int> warm_ids = core::PickGpus(paper, "VRGQ");
+  const partition::Partitioner warm_partitioner(profiles.at("resnet152"), paper);
+  partition::PartitionOptions warm_options;
+  warm_options.nm = 2;
+  (void)warm_partitioner.Solve(warm_ids, warm_options);  // warm this thread's scratch
+  const int64_t grows_before = partition::DpScratchGrowCount();
+  for (int r = 0; r < 50; ++r) {
+    (void)warm_partitioner.Solve(warm_ids, warm_options);
+  }
+  const int64_t scratch_grows = partition::DpScratchGrowCount() - grows_before;
+
+  if (resnet_paper_points > 0) {
+    resnet_paper_speedup_geo =
+        std::pow(resnet_paper_speedup_geo, 1.0 / resnet_paper_points);
+  }
+  std::printf("\nresnet152 on the paper 4-GPU VWs: cold-solve speedup geomean %.1fx, min %.1fx "
+              "(%d points)\n",
+              resnet_paper_speedup_geo, resnet_paper_speedup_min, resnet_paper_points);
+  std::printf("scratch buffer grows during 50 repeated warm solves: %lld %s\n",
+              static_cast<long long>(scratch_grows),
+              scratch_grows == 0 ? "(no per-solve DP allocation)" : "— BUG");
+  std::printf("optimized vs reference results bit-identical on all points: %s\n",
+              all_identical ? "yes" : "NO — BUG");
+
+  if (runner::ResultSink* sink = args.sink()) {
+    runner::ResultRow summary;
+    summary.Set("bench", "partitioner_speed_summary")
+        .Set("resnet152_paper_speedup_geomean", resnet_paper_speedup_geo)
+        .Set("resnet152_paper_speedup_min", resnet_paper_speedup_min)
+        .Set("scratch_grows_warm", scratch_grows)
+        .Set("all_identical", all_identical);
+    sink->Write(summary);
+    sink->Flush();
+  }
+
+  int exit_code = (all_identical && scratch_grows == 0) ? 0 : 1;
+  if (!write_expect_path.empty()) {
+    exit_code = std::max(exit_code, WriteExpectations(results, write_expect_path));
+  }
+  if (!expect_path.empty()) {
+    exit_code = std::max(exit_code, CompareExpectations(results, expect_path));
+  }
+  return exit_code;
+}

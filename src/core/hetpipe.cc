@@ -59,6 +59,10 @@ HetPipeReport HetPipe::Run() const {
   HetPipeReport report;
   const cluster::Allocation alloc = cluster::Allocate(*cluster_, config_.allocation);
   const model::ModelProfile profile(*graph_, config_.batch_size);
+  // The partitioner's DP tables live in thread-local scratch reused across
+  // solves, so the Maxm probes, the Nm estimate loop, and the final solves
+  // below allocate no DP state per call — neither here nor on sweep-runner
+  // worker threads running many Experiments in sequence.
   const partition::Partitioner partitioner(profile, *cluster_);
 
   // A run revisits the same virtual-worker shapes many times (the Maxm probe,

@@ -1,6 +1,7 @@
 #include "model/profiler.h"
 
 #include <array>
+#include <cassert>
 
 namespace hetpipe::model {
 namespace {
@@ -44,11 +45,14 @@ double EffectiveTflops(ModelFamily family, hw::GpuType gpu) {
 
 ModelProfile::ModelProfile(const ModelGraph& graph, int batch_size)
     : graph_(&graph), batch_size_(batch_size), times_(static_cast<size_t>(hw::NumGpuTypes())) {
+  const size_t n = static_cast<size_t>(graph.num_layers());
+  fwd_cum_.resize(times_.size());
+  bwd_cum_.resize(times_.size());
   for (int t = 0; t < static_cast<int>(times_.size()); ++t) {
     const auto gpu = static_cast<hw::GpuType>(t);
     const double flops_per_s = EffectiveTflops(graph.family(), gpu) * 1e12;
     auto& per_layer = times_[static_cast<size_t>(t)];
-    per_layer.reserve(static_cast<size_t>(graph.num_layers()));
+    per_layer.reserve(n);
     for (const Layer& layer : graph.layers()) {
       const double fwd_flops = layer.fwd_flops * batch_size_;
       LayerTime lt;
@@ -58,14 +62,52 @@ ModelProfile::ModelProfile(const ModelGraph& graph, int batch_size)
       lt.bwd_s = 2.0 * fwd_flops / flops_per_s + kBwdLaunchOverheadS;
       per_layer.push_back(lt);
     }
+
+    // Cumulative stage-time tables: row `first` holds running sums over
+    // [first, last] for every last >= first, accumulated in the same
+    // left-to-right order as the naive loops so each entry is bit-identical
+    // to the loop result (see the header). Built eagerly for every
+    // registered class — a const ModelProfile is shared across sweep
+    // threads, so lazy fill would put synchronization on the DP hot path to
+    // save ~n^2 doubles (tens of KiB at block granularity) per unused class.
+    auto& fwd = fwd_cum_[static_cast<size_t>(t)];
+    auto& bwd = bwd_cum_[static_cast<size_t>(t)];
+    fwd.assign(n * n, 0.0);
+    bwd.assign(n * n, 0.0);
+    for (size_t first = 0; first < n; ++first) {
+      double fwd_acc = 0.0;
+      double bwd_acc = 0.0;
+      for (size_t last = first; last < n; ++last) {
+        fwd_acc += per_layer[last].fwd_s;
+        bwd_acc += per_layer[last].bwd_s;
+        fwd[first * n + last] = fwd_acc;
+        bwd[first * n + last] = bwd_acc;
+      }
+    }
   }
 }
 
-const LayerTime& ModelProfile::TimeOf(int layer, hw::GpuType gpu) const {
-  return times_.at(static_cast<size_t>(gpu)).at(static_cast<size_t>(layer));
+double ModelProfile::StageFwdTime(int first, int last, hw::GpuType gpu) const {
+  if (last < first) {
+    return 0.0;
+  }
+  assert(first >= 0 && last < graph_->num_layers());
+  return fwd_cum_.at(static_cast<size_t>(gpu))[CumIndex(first, last)];
 }
 
-double ModelProfile::StageFwdTime(int first, int last, hw::GpuType gpu) const {
+double ModelProfile::StageBwdTime(int first, int last, hw::GpuType gpu) const {
+  if (last < first) {
+    return 0.0;
+  }
+  assert(first >= 0 && last < graph_->num_layers());
+  return bwd_cum_.at(static_cast<size_t>(gpu))[CumIndex(first, last)];
+}
+
+double ModelProfile::StageTotalTime(int first, int last, hw::GpuType gpu) const {
+  return StageFwdTime(first, last, gpu) + StageBwdTime(first, last, gpu);
+}
+
+double ModelProfile::StageFwdTimeNaive(int first, int last, hw::GpuType gpu) const {
   double t = 0.0;
   for (int i = first; i <= last; ++i) {
     t += TimeOf(i, gpu).fwd_s;
@@ -73,7 +115,7 @@ double ModelProfile::StageFwdTime(int first, int last, hw::GpuType gpu) const {
   return t;
 }
 
-double ModelProfile::StageBwdTime(int first, int last, hw::GpuType gpu) const {
+double ModelProfile::StageBwdTimeNaive(int first, int last, hw::GpuType gpu) const {
   double t = 0.0;
   for (int i = first; i <= last; ++i) {
     t += TimeOf(i, gpu).bwd_s;
@@ -81,8 +123,8 @@ double ModelProfile::StageBwdTime(int first, int last, hw::GpuType gpu) const {
   return t;
 }
 
-double ModelProfile::StageTotalTime(int first, int last, hw::GpuType gpu) const {
-  return StageFwdTime(first, last, gpu) + StageBwdTime(first, last, gpu);
+double ModelProfile::StageTotalTimeNaive(int first, int last, hw::GpuType gpu) const {
+  return StageFwdTimeNaive(first, last, gpu) + StageBwdTimeNaive(first, last, gpu);
 }
 
 double ModelProfile::FullModelTime(hw::GpuType gpu) const {

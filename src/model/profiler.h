@@ -36,14 +36,40 @@ class ModelProfile {
   int batch_size() const { return batch_size_; }
   int num_layers() const { return graph_->num_layers(); }
 
-  // Per-minibatch time of one layer on `gpu`.
-  const LayerTime& TimeOf(int layer, hw::GpuType gpu) const;
+  // Per-minibatch time of one layer on `gpu`. Throws std::out_of_range for
+  // GPU classes registered after construction; the layer index is only
+  // bounds-checked in debug builds (release paths index directly).
+  const LayerTime& TimeOf(int layer, hw::GpuType gpu) const {
+    return times_.at(static_cast<size_t>(gpu))[static_cast<size_t>(layer)];
+  }
 
   // Per-minibatch forward / backward / total compute time of layers
-  // [first, last] on `gpu`.
+  // [first, last] on `gpu`. O(1): served from cumulative-sum tables anchored
+  // at every start layer, precomputed at construction. Each table row is
+  // accumulated left-to-right exactly like the naive loop, so the returned
+  // double is bit-identical to what the loop computes — a plain
+  // prefix-difference would drift in the last ulp (floating-point addition is
+  // not associative) and could flip near-tie decisions in the partitioner DP.
   double StageFwdTime(int first, int last, hw::GpuType gpu) const;
   double StageBwdTime(int first, int last, hw::GpuType gpu) const;
   double StageTotalTime(int first, int last, hw::GpuType gpu) const;
+
+  // The original O(last - first) summation loops, retained as the oracle for
+  // the cumulative-table equivalence tests (results are bit-identical).
+  double StageFwdTimeNaive(int first, int last, hw::GpuType gpu) const;
+  double StageBwdTimeNaive(int first, int last, hw::GpuType gpu) const;
+  double StageTotalTimeNaive(int first, int last, hw::GpuType gpu) const;
+
+  // Raw cumulative tables (num_layers()^2 entries, entry first * num_layers()
+  // + last = Stage{Fwd,Bwd}Time(first, last, gpu)) for the partitioner's DP
+  // inner loop, which cannot afford a bounds-checked call per state. Throws
+  // std::out_of_range for classes registered after construction.
+  const double* FwdCum(hw::GpuType gpu) const {
+    return fwd_cum_.at(static_cast<size_t>(gpu)).data();
+  }
+  const double* BwdCum(hw::GpuType gpu) const {
+    return bwd_cum_.at(static_cast<size_t>(gpu)).data();
+  }
 
   // Whole-model per-minibatch compute (fwd+bwd) on `gpu`.
   double FullModelTime(hw::GpuType gpu) const;
@@ -53,11 +79,23 @@ class ModelProfile {
   uint64_t BoundaryTransferBytes(int layer) const;
 
  private:
+  // Row-major index of the per-type cumulative tables: entry (first, last).
+  size_t CumIndex(int first, int last) const {
+    return static_cast<size_t>(first) * static_cast<size_t>(graph_->num_layers()) +
+           static_cast<size_t>(last);
+  }
+
   const ModelGraph* graph_;
   int batch_size_;
   // times_[gpu_type][layer], covering every GPU class known at construction
   // (TimeOf throws for classes registered later).
   std::vector<std::vector<LayerTime>> times_;
+  // fwd_cum_[gpu_type][first * n + last] = sum of fwd_s over layers
+  // [first, last], accumulated left-to-right (likewise bwd_cum_). n^2 doubles
+  // per type — layer chains are block-granular (tens of entries), so the
+  // tables are a few tens of KiB and are built once per profile.
+  std::vector<std::vector<double>> fwd_cum_;
+  std::vector<std::vector<double>> bwd_cum_;
 };
 
 }  // namespace hetpipe::model

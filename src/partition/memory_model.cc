@@ -13,19 +13,10 @@ uint64_t StageMemoryBytes(const model::ModelProfile& profile, int first, int las
                           int stage_index, int num_stages, int nm,
                           const StageMemoryParams& params) {
   const model::ModelGraph& graph = profile.graph();
-  const uint64_t param_bytes = graph.ParamBytesInRange(first, last);
-  const uint64_t stash_per_image = graph.StashBytesInRange(first, last);
-  const int in_flight = InFlightAtStage(stage_index, num_stages, nm);
-
-  uint64_t total = static_cast<uint64_t>(
-      static_cast<double>(param_bytes) * params.optimizer_multiplier);
-  if (params.stash_weights) {
-    total += param_bytes * static_cast<uint64_t>(in_flight);
-  }
-  total += stash_per_image * static_cast<uint64_t>(profile.batch_size()) *
-           static_cast<uint64_t>(in_flight);
-  total += params.framework_overhead_bytes;
-  return total;
+  return StageMemoryBytesFromSums(
+      graph.ParamBytesInRange(first, last), graph.StashBytesInRange(first, last),
+      static_cast<uint64_t>(profile.batch_size()),
+      static_cast<uint64_t>(InFlightAtStage(stage_index, num_stages, nm)), params);
 }
 
 uint64_t SingleWorkerMemoryBytes(const model::ModelProfile& profile,

@@ -27,6 +27,26 @@ struct StageMemoryParams {
   uint64_t framework_overhead_bytes = 500ULL << 20;
 };
 
+// The stage memory formula on already-summed inputs: optimizer state over the
+// stage's parameters, one stashed weight copy per in-flight minibatch, the
+// stashed activations of every in-flight minibatch, and framework overhead.
+// This is THE one copy of the arithmetic — StageMemoryBytes sums the ranges
+// and calls it, and the partitioner's DP inner loop calls it directly on
+// prefix-sum differences with the in-flight count hoisted, so the two can
+// never drift apart.
+inline uint64_t StageMemoryBytesFromSums(uint64_t param_bytes, uint64_t stash_per_image,
+                                         uint64_t batch_size, uint64_t in_flight,
+                                         const StageMemoryParams& params) {
+  uint64_t total = static_cast<uint64_t>(
+      static_cast<double>(param_bytes) * params.optimizer_multiplier);
+  if (params.stash_weights) {
+    total += param_bytes * in_flight;
+  }
+  total += stash_per_image * batch_size * in_flight;
+  total += params.framework_overhead_bytes;
+  return total;
+}
+
 // Bytes of GPU memory needed to run layers [first, last] as stage
 // `stage_index` of `num_stages` with `nm` concurrent minibatches.
 uint64_t StageMemoryBytes(const model::ModelProfile& profile, int first, int last,

@@ -1,10 +1,11 @@
 #include "partition/partitioner.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <mutex>
 #include <set>
-#include <sstream>
+#include <utility>
 
 #include "runner/thread_pool.h"
 
@@ -25,21 +26,129 @@ bool Improves(const Partition& candidate, const Partition& best) {
           candidate.sum_time < best.sum_time);
 }
 
+// Flat scratch buffers for SolveFixedOrder, one set per thread (the GPU-order
+// search runs SolveFixedOrder concurrently on pool workers). Buffers only
+// ever grow, so after the first solve of the largest (k, n) shape a thread
+// sees, repeated solves allocate nothing.
+struct DpScratch {
+  std::vector<double> dp;          // (k+1) x (n+1), row-major
+  std::vector<int> choice;         // (k+1) x (n+1), row-major
+  std::vector<double> xfer;        // (k-1) x (n-1): boundary transfer seconds
+  std::vector<hw::GpuType> types;  // k
+  std::vector<uint64_t> mem_caps;  // k
+  std::vector<int> lasts;          // k
+  int64_t grows = 0;
+
+  template <typename T>
+  T* Ensure(std::vector<T>& v, size_t need) {
+    if (v.size() < need) {
+      if (v.capacity() < need) {
+        ++grows;
+      }
+      v.resize(need);
+    }
+    return v.data();
+  }
+};
+
+DpScratch& LocalScratch() {
+  static thread_local DpScratch scratch;
+  return scratch;
+}
+
+// Appends the distinct (type, node) orderings of `ids` (sorted ascending) to
+// `orders`, each realized by its minimal GPU-id representative (every class's
+// ids appear in ascending order), in lexicographic order of those
+// representatives. That is exactly the sequence the old factorial
+// next_permutation + string-signature dedup scan produced — the first
+// permutation reaching a signature is its minimal representative, and first
+// occurrences appear in representative order — so downstream "first wins"
+// tie-breaks are unchanged. Cost is O(#distinct-orders * k^2) instead of
+// O(k! * k): with repeated GPU classes (homogeneous and mixed-node VWs, the
+// common case) the distinct count is the multinomial, not the factorial.
+struct ClassGroup {
+  hw::GpuType type;
+  int node;
+  std::vector<int> ids;  // ascending
+  size_t used = 0;
+};
+
+void EmitClassOrders(std::vector<ClassGroup>& groups, std::vector<int>& current, size_t k,
+                     std::vector<std::vector<int>>& orders) {
+  if (current.size() == k) {
+    orders.push_back(current);
+    return;
+  }
+  // Candidates: the next unused id of each class, tried in ascending id
+  // order, which yields representatives lexicographically.
+  std::vector<std::pair<int, size_t>> candidates;
+  candidates.reserve(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (groups[g].used < groups[g].ids.size()) {
+      candidates.emplace_back(groups[g].ids[groups[g].used], g);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  for (const auto& [id, g] : candidates) {
+    ++groups[g].used;
+    current.push_back(id);
+    EmitClassOrders(groups, current, k, orders);
+    current.pop_back();
+    --groups[g].used;
+  }
+}
+
+std::vector<std::vector<int>> DistinctClassOrders(const hw::Cluster& cluster,
+                                                  std::vector<int> ids) {
+  std::sort(ids.begin(), ids.end());
+  std::vector<ClassGroup> groups;
+  for (int id : ids) {
+    const hw::Gpu& gpu = cluster.gpu(id);
+    ClassGroup* group = nullptr;
+    for (ClassGroup& existing : groups) {
+      if (existing.type == gpu.type && existing.node == gpu.node) {
+        group = &existing;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.push_back(ClassGroup{gpu.type, gpu.node, {}, 0});
+      group = &groups.back();
+    }
+    group->ids.push_back(id);
+  }
+  std::vector<std::vector<int>> orders;
+  std::vector<int> current;
+  current.reserve(ids.size());
+  EmitClassOrders(groups, current, ids.size(), orders);
+  return orders;
+}
+
 }  // namespace
 
+int64_t DpScratchGrowCount() { return LocalScratch().grows; }
+
 std::string Partition::ToString(const model::ModelProfile& profile) const {
-  std::ostringstream os;
   if (!feasible) {
-    os << "infeasible";
-    return os.str();
+    return "infeasible";
   }
-  os << "bottleneck " << bottleneck_time * 1e3 << " ms:";
+  std::string out;
+  out.reserve(24 + stages.size() * 64);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "bottleneck %g ms:", bottleneck_time * 1e3);
+  out += buf;
   for (const StageAssignment& s : stages) {
-    os << " [" << profile.graph().layer(s.first_layer).name << ".."
-       << profile.graph().layer(s.last_layer).name << " on " << hw::CodeOf(s.gpu_type)
-       << " " << s.TotalTime() * 1e3 << "ms " << (s.memory_bytes >> 20) << "MiB]";
+    out += " [";
+    out += profile.graph().layer(s.first_layer).name;
+    out += "..";
+    out += profile.graph().layer(s.last_layer).name;
+    out += " on ";
+    out += hw::CodeOf(s.gpu_type);
+    std::snprintf(buf, sizeof(buf), " %gms %lluMiB]", s.TotalTime() * 1e3,
+                  static_cast<unsigned long long>(s.memory_bytes >> 20));
+    out += buf;
   }
-  return os.str();
+  return out;
 }
 
 Partitioner::Partitioner(const model::ModelProfile& profile, const hw::Cluster& cluster)
@@ -138,60 +247,98 @@ Partition Partitioner::SolveFixedOrder(const std::vector<int>& gpu_ids,
     return result;
   }
 
-  std::vector<hw::GpuType> types(static_cast<size_t>(k));
-  std::vector<uint64_t> mem_caps(static_cast<size_t>(k));
+  DpScratch& scratch = LocalScratch();
+  hw::GpuType* types = scratch.Ensure(scratch.types, static_cast<size_t>(k));
+  uint64_t* mem_caps = scratch.Ensure(scratch.mem_caps, static_cast<size_t>(k));
   for (int q = 0; q < k; ++q) {
-    types[static_cast<size_t>(q)] = cluster_->gpu(gpu_ids[static_cast<size_t>(q)]).type;
+    types[q] = cluster_->gpu(gpu_ids[static_cast<size_t>(q)]).type;
     // Resolved once per order: SpecOf takes the registry lock for classes
-    // beyond Table 1, which the O(n^2 k) DP loop must not.
-    mem_caps[static_cast<size_t>(q)] = hw::MemoryBytes(types[static_cast<size_t>(q)]);
+    // beyond Table 1, which the O(k n^2) DP loop must not.
+    mem_caps[q] = hw::MemoryBytes(types[q]);
   }
 
-  // Per-stage cost of covering layers [j, i] (inclusive), including the
-  // communication to receive forward activations and backward gradients.
-  const auto stage_cost = [&](int q, int j, int i) -> double {
-    double cost = profile_->StageTotalTime(j, i, types[static_cast<size_t>(q)]);
-    if (q > 0) {
-      const auto& link =
-          cluster_->LinkBetween(gpu_ids[static_cast<size_t>(q) - 1], gpu_ids[static_cast<size_t>(q)]);
-      cost += link.TransferTime(profile_->BoundaryTransferBytes(j - 1));
+  // Transfer seconds across each stage boundary (q -> q+1) for every layer
+  // boundary b (the activation after layer b): hoists the two LinkBetween
+  // lookups and the virtual TransferTime call out of the DP inner loop into
+  // one O(k n) pass per order.
+  const int nb = n - 1;
+  double* xfer = scratch.Ensure(
+      scratch.xfer, static_cast<size_t>(std::max(0, k - 1)) * static_cast<size_t>(nb));
+  for (int q = 0; q + 1 < k; ++q) {
+    const hw::LinkModel& link = cluster_->LinkBetween(gpu_ids[static_cast<size_t>(q)],
+                                                      gpu_ids[static_cast<size_t>(q) + 1]);
+    double* row = xfer + static_cast<size_t>(q) * static_cast<size_t>(nb);
+    for (int b = 0; b < nb; ++b) {
+      row[b] = link.TransferTime(profile_->BoundaryTransferBytes(b));
     }
-    if (q < k - 1) {
-      const auto& link =
-          cluster_->LinkBetween(gpu_ids[static_cast<size_t>(q)], gpu_ids[static_cast<size_t>(q) + 1]);
-      cost += link.TransferTime(profile_->BoundaryTransferBytes(i));
-    }
-    return cost;
-  };
-
-  const auto stage_fits = [&](int q, int j, int i) -> bool {
-    const uint64_t need = StageMemoryBytes(*profile_, j, i, q, k, options.nm,
-                                           options.mem_params);
-    return need <= mem_caps[static_cast<size_t>(q)];
-  };
+  }
 
   // dp[q][i]: minimal bottleneck assigning the first i layers to the first q
   // stages (all non-empty). choice[q][i]: split point achieving it. States
   // whose bottleneck strictly exceeds `prune_above` stay at infinity — any
-  // completion would be strictly worse than the incumbent.
-  std::vector<std::vector<double>> dp(static_cast<size_t>(k) + 1,
-                                      std::vector<double>(static_cast<size_t>(n) + 1, kInf));
-  std::vector<std::vector<int>> choice(static_cast<size_t>(k) + 1,
-                                       std::vector<int>(static_cast<size_t>(n) + 1, -1));
-  dp[0][0] = 0.0;
+  // completion would be strictly worse than the incumbent. Flat row-major
+  // scratch reused across solves; everything the inner loop touches is a raw
+  // array and every arithmetic operation happens in the same order as the
+  // reference implementation, so costs, memory sums, and therefore every DP
+  // decision are bit-identical to it.
+  const uint64_t* param_prefix = profile_->graph().ParamPrefix();
+  const uint64_t* stash_prefix = profile_->graph().StashPrefix();
+  const StageMemoryParams& mem = options.mem_params;
+  const uint64_t batch = static_cast<uint64_t>(profile_->batch_size());
+
+  const size_t stride = static_cast<size_t>(n) + 1;
+  const size_t cells = static_cast<size_t>(k + 1) * stride;
+  double* dp = scratch.Ensure(scratch.dp, cells);
+  int* choice = scratch.Ensure(scratch.choice, cells);
+  std::fill(dp, dp + cells, kInf);
+  std::fill(choice, choice + cells, -1);
+  dp[0] = 0.0;
   for (int q = 1; q <= k; ++q) {
+    const int sq = q - 1;  // stage index of the stage this DP row places
+    // Stage [j, i-1] on stage sq costs fwd_cum[j][i-1] + bwd_cum[j][i-1]
+    // plus the boundary transfers hoisted into xfer above, and needs
+    // StageMemoryBytesFromSums(...) bytes evaluated on prefix-sum
+    // differences with the per-stage in-flight count hoisted out of the
+    // loops (identical operations, identical bits).
+    const double* fwd_cum = profile_->FwdCum(types[sq]);
+    const double* bwd_cum = profile_->BwdCum(types[sq]);
+    const double* prev_xfer =
+        sq > 0 ? xfer + static_cast<size_t>(sq - 1) * static_cast<size_t>(nb) : nullptr;
+    const double* next_xfer =
+        sq < k - 1 ? xfer + static_cast<size_t>(sq) * static_cast<size_t>(nb) : nullptr;
+    const uint64_t in_flight =
+        static_cast<uint64_t>(InFlightAtStage(sq, k, options.nm));
+    const uint64_t cap = mem_caps[sq];
+    const double* prev = dp + static_cast<size_t>(q - 1) * stride;
+    double* cur = dp + static_cast<size_t>(q) * stride;
+    int* cur_choice = choice + static_cast<size_t>(q) * stride;
     for (int i = q; i <= n - (k - q); ++i) {
+      const size_t last = static_cast<size_t>(i - 1);
+      const double* cum_row_end = fwd_cum + last;   // + j * n indexes (j, i-1)
+      const double* bwd_row_end = bwd_cum + last;
+      const double bwd_comm = next_xfer != nullptr ? next_xfer[last] : 0.0;
       double best = kInf;
       int best_j = -1;
       for (int j = q - 1; j < i; ++j) {
-        if (dp[static_cast<size_t>(q) - 1][static_cast<size_t>(j)] == kInf) {
+        const double prior = prev[j];
+        if (prior == kInf) {
           continue;
         }
-        if (!stage_fits(q - 1, j, i - 1)) {
+        const uint64_t need = StageMemoryBytesFromSums(
+            param_prefix[i] - param_prefix[j],  // layers [j, i-1]
+            stash_prefix[i] - stash_prefix[j], batch, in_flight, mem);
+        if (need > cap) {
           continue;
         }
-        const double cand = std::max(dp[static_cast<size_t>(q) - 1][static_cast<size_t>(j)],
-                                     stage_cost(q - 1, j, i - 1));
+        const size_t jn = static_cast<size_t>(j) * static_cast<size_t>(n);
+        double cost = cum_row_end[jn] + bwd_row_end[jn];
+        if (prev_xfer != nullptr) {
+          cost += prev_xfer[j - 1];
+        }
+        if (next_xfer != nullptr) {
+          cost += bwd_comm;
+        }
+        const double cand = std::max(prior, cost);
         if (cand > prune_above) {
           continue;
         }
@@ -200,23 +347,24 @@ Partition Partitioner::SolveFixedOrder(const std::vector<int>& gpu_ids,
           best_j = j;
         }
       }
-      dp[static_cast<size_t>(q)][static_cast<size_t>(i)] = best;
-      choice[static_cast<size_t>(q)][static_cast<size_t>(i)] = best_j;
+      cur[i] = best;
+      cur_choice[i] = best_j;
     }
   }
 
-  if (dp[static_cast<size_t>(k)][static_cast<size_t>(n)] == kInf) {
+  if (dp[static_cast<size_t>(k) * stride + static_cast<size_t>(n)] == kInf) {
     return result;
   }
 
   // Reconstruct stage boundaries and rebuild the stages from them.
-  std::vector<int> lasts(static_cast<size_t>(k));
+  int* lasts = scratch.Ensure(scratch.lasts, static_cast<size_t>(k));
   int i = n;
   for (int q = k; q >= 1; --q) {
-    lasts[static_cast<size_t>(q) - 1] = i - 1;
-    i = choice[static_cast<size_t>(q)][static_cast<size_t>(i)];
+    lasts[q - 1] = i - 1;
+    i = choice[static_cast<size_t>(q) * stride + static_cast<size_t>(i)];
   }
-  return BuildFixedPartition(*profile_, *cluster_, gpu_ids, lasts, options.nm,
+  return BuildFixedPartition(*profile_, *cluster_, gpu_ids,
+                             std::vector<int>(lasts, lasts + k), options.nm,
                              options.mem_params);
 }
 
@@ -227,24 +375,8 @@ Partition Partitioner::Solve(const std::vector<int>& gpu_ids,
   }
 
   // Enumerate distinct (type, node) orderings of the VW's GPUs; identical
-  // signatures produce identical solutions.
-  std::vector<int> ids = gpu_ids;
-  std::sort(ids.begin(), ids.end());
-  std::set<std::string> seen;
-  std::vector<std::vector<int>> orders;
-  do {
-    std::string signature;
-    for (int id : ids) {
-      const hw::Gpu& g = cluster_->gpu(id);
-      signature += std::to_string(static_cast<int>(g.type));
-      signature.push_back('@');
-      signature += std::to_string(g.node);
-      signature.push_back(';');
-    }
-    if (seen.insert(signature).second) {
-      orders.push_back(ids);
-    }
-  } while (std::next_permutation(ids.begin(), ids.end()));
+  // class sequences produce identical solutions, so each is solved once.
+  const std::vector<std::vector<int>> orders = DistinctClassOrders(*cluster_, gpu_ids);
 
   // Solve every order, sharing the incumbent bottleneck as a branch-and-bound
   // cut. The incumbent is only ever an upper bound on the optimum, so any
@@ -286,15 +418,160 @@ Partition Partitioner::Solve(const std::vector<int>& gpu_ids,
   return best;
 }
 
-int FindMaxNmWith(const std::function<Partition(const PartitionOptions&)>& solve, int nm_cap,
-                  PartitionOptions options) {
-  for (int nm = nm_cap; nm >= 1; --nm) {
-    options.nm = nm;
-    if (solve(options).feasible) {
-      return nm;
+Partition Partitioner::SolveFixedOrderReference(const std::vector<int>& gpu_ids,
+                                                const PartitionOptions& options,
+                                                double prune_above) const {
+  const int n = profile_->num_layers();
+  const int k = static_cast<int>(gpu_ids.size());
+  Partition result;
+  if (k == 0 || n < k) {
+    return result;
+  }
+
+  std::vector<hw::GpuType> types(static_cast<size_t>(k));
+  std::vector<uint64_t> mem_caps(static_cast<size_t>(k));
+  for (int q = 0; q < k; ++q) {
+    types[static_cast<size_t>(q)] = cluster_->gpu(gpu_ids[static_cast<size_t>(q)]).type;
+    mem_caps[static_cast<size_t>(q)] = hw::MemoryBytes(types[static_cast<size_t>(q)]);
+  }
+
+  const auto stage_cost = [&](int q, int j, int i) -> double {
+    double cost = profile_->StageTotalTimeNaive(j, i, types[static_cast<size_t>(q)]);
+    if (q > 0) {
+      const auto& link = cluster_->LinkBetween(gpu_ids[static_cast<size_t>(q) - 1],
+                                               gpu_ids[static_cast<size_t>(q)]);
+      cost += link.TransferTime(profile_->BoundaryTransferBytes(j - 1));
+    }
+    if (q < k - 1) {
+      const auto& link = cluster_->LinkBetween(gpu_ids[static_cast<size_t>(q)],
+                                               gpu_ids[static_cast<size_t>(q) + 1]);
+      cost += link.TransferTime(profile_->BoundaryTransferBytes(i));
+    }
+    return cost;
+  };
+
+  const auto stage_fits = [&](int q, int j, int i) -> bool {
+    // The pre-optimization cost: O(stage-length) range sums per DP state.
+    const model::ModelGraph& graph = profile_->graph();
+    const uint64_t need = StageMemoryBytesFromSums(
+        graph.ParamBytesInRangeNaive(j, i), graph.StashBytesInRangeNaive(j, i),
+        static_cast<uint64_t>(profile_->batch_size()),
+        static_cast<uint64_t>(InFlightAtStage(q, k, options.nm)), options.mem_params);
+    return need <= mem_caps[static_cast<size_t>(q)];
+  };
+
+  std::vector<std::vector<double>> dp(static_cast<size_t>(k) + 1,
+                                      std::vector<double>(static_cast<size_t>(n) + 1, kInf));
+  std::vector<std::vector<int>> choice(static_cast<size_t>(k) + 1,
+                                       std::vector<int>(static_cast<size_t>(n) + 1, -1));
+  dp[0][0] = 0.0;
+  for (int q = 1; q <= k; ++q) {
+    for (int i = q; i <= n - (k - q); ++i) {
+      double best = kInf;
+      int best_j = -1;
+      for (int j = q - 1; j < i; ++j) {
+        if (dp[static_cast<size_t>(q) - 1][static_cast<size_t>(j)] == kInf) {
+          continue;
+        }
+        if (!stage_fits(q - 1, j, i - 1)) {
+          continue;
+        }
+        const double cand = std::max(dp[static_cast<size_t>(q) - 1][static_cast<size_t>(j)],
+                                     stage_cost(q - 1, j, i - 1));
+        if (cand > prune_above) {
+          continue;
+        }
+        if (cand < best) {
+          best = cand;
+          best_j = j;
+        }
+      }
+      dp[static_cast<size_t>(q)][static_cast<size_t>(i)] = best;
+      choice[static_cast<size_t>(q)][static_cast<size_t>(i)] = best_j;
     }
   }
-  return 0;
+
+  if (dp[static_cast<size_t>(k)][static_cast<size_t>(n)] == kInf) {
+    return result;
+  }
+
+  std::vector<int> lasts(static_cast<size_t>(k));
+  int i = n;
+  for (int q = k; q >= 1; --q) {
+    lasts[static_cast<size_t>(q) - 1] = i - 1;
+    i = choice[static_cast<size_t>(q)][static_cast<size_t>(i)];
+  }
+  return BuildFixedPartition(*profile_, *cluster_, gpu_ids, lasts, options.nm,
+                             options.mem_params);
+}
+
+Partition Partitioner::SolveReference(const std::vector<int>& gpu_ids,
+                                      const PartitionOptions& options) const {
+  if (!options.search_gpu_orders || gpu_ids.size() <= 1) {
+    return SolveFixedOrderReference(gpu_ids, options, kInf);
+  }
+
+  // The pre-optimization order enumeration: scan all k! id permutations,
+  // dedup by a per-candidate (type, node) string signature.
+  std::vector<int> ids = gpu_ids;
+  std::sort(ids.begin(), ids.end());
+  std::set<std::string> seen;
+  std::vector<std::vector<int>> orders;
+  do {
+    std::string signature;
+    for (int id : ids) {
+      const hw::Gpu& g = cluster_->gpu(id);
+      signature += std::to_string(static_cast<int>(g.type));
+      signature.push_back('@');
+      signature += std::to_string(g.node);
+      signature.push_back(';');
+    }
+    if (seen.insert(signature).second) {
+      orders.push_back(ids);
+    }
+  } while (std::next_permutation(ids.begin(), ids.end()));
+
+  std::vector<Partition> candidates(orders.size());
+  double incumbent = kInf;
+  for (size_t index = 0; index < orders.size(); ++index) {
+    const double bound = options.prune ? incumbent : kInf;
+    Partition candidate = SolveFixedOrderReference(orders[index], options, bound);
+    if (candidate.feasible) {
+      incumbent = std::min(incumbent, candidate.bottleneck_time);
+    }
+    candidates[index] = std::move(candidate);
+  }
+
+  Partition best;
+  for (const Partition& candidate : candidates) {
+    if (Improves(candidate, best)) {
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+int FindMaxNmWith(const std::function<Partition(const PartitionOptions&)>& solve, int nm_cap,
+                  PartitionOptions options) {
+  // Feasibility is monotone non-increasing in nm: every stage's memory demand
+  // grows with nm (InFlightAtStage is non-decreasing in nm), so a partition
+  // feasible at nm is feasible at every smaller nm. Binary search the largest
+  // feasible value — O(log nm_cap) solves instead of a nm_cap -> 1 scan, with
+  // the identical answer.
+  int lo = 1;
+  int hi = nm_cap;
+  int best = 0;
+  while (lo <= hi) {
+    const int mid = lo + (hi - lo) / 2;
+    options.nm = mid;
+    if (solve(options).feasible) {
+      best = mid;
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return best;
 }
 
 int Partitioner::FindMaxNm(const std::vector<int>& gpu_ids, int nm_cap,

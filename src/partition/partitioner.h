@@ -76,12 +76,28 @@ struct PartitionOptions {
 // this with CPLEX; this implementation solves the identical objective exactly
 // by dynamic programming over (layer, stage) plus a branch-and-bound search
 // over GPU orders.
+//
+// The hot path is O(k n^2) with O(1) inner-loop work: stage times and stage
+// memory come from the profile/graph cumulative tables, per-boundary transfer
+// times are precomputed once per GPU order, and the DP runs on flat
+// thread-local scratch reused across solves (no per-solve allocation after
+// warmup). The GPU-order search enumerates the distinct (type, node) multiset
+// permutations directly — no factorial next_permutation scan, no string
+// signatures — in exactly the order the old dedup scan produced them, so
+// results (including exact ties) are bit-identical to SolveReference.
 class Partitioner {
  public:
   Partitioner(const model::ModelProfile& profile, const hw::Cluster& cluster);
 
   // Solves for the virtual worker owning `gpu_ids` (k = gpu_ids.size()).
   Partition Solve(const std::vector<int>& gpu_ids, const PartitionOptions& options) const;
+
+  // The pre-optimization implementation (naive O(stage-length) cost sums,
+  // vector-of-vector DP, factorial order scan with string-signature dedup),
+  // retained as the equivalence oracle for tests and the speed baseline for
+  // bench/partitioner_speed. Returns a bit-identical Partition to Solve.
+  Partition SolveReference(const std::vector<int>& gpu_ids,
+                           const PartitionOptions& options) const;
 
   // Largest nm in [1, nm_cap] for which a feasible partition exists
   // (Maxm of §4); returns 0 if even nm=1 is infeasible.
@@ -98,10 +114,19 @@ class Partitioner {
   // solution better than the incumbent".
   Partition SolveFixedOrder(const std::vector<int>& gpu_ids, const PartitionOptions& options,
                             double prune_above) const;
+  // The original SolveFixedOrder, kept verbatim for SolveReference.
+  Partition SolveFixedOrderReference(const std::vector<int>& gpu_ids,
+                                     const PartitionOptions& options, double prune_above) const;
 
   const model::ModelProfile* profile_;
   const hw::Cluster* cluster_;
 };
+
+// Number of times the calling thread's reusable partitioner scratch had to
+// grow a buffer. After one solve of the largest (k, n) a thread will see, the
+// count stays flat across further solves — the no-allocation property
+// bench/partitioner_speed and the tests pin.
+int64_t DpScratchGrowCount();
 
 // Builds the partition with prescribed stage boundaries: stage q covers
 // layers (stage_lasts[q-1], stage_lasts[q]] on gpu_ids[q]. No optimization;
@@ -115,7 +140,10 @@ Partition BuildFixedPartition(const model::ModelProfile& profile, const hw::Clus
 
 // The Maxm probe of §4 shared by Partitioner::FindMaxNm and the partition
 // cache: largest nm in [1, nm_cap] for which `solve` (called with `options`
-// at that nm) is feasible; 0 if even nm=1 is not.
+// at that nm) is feasible; 0 if even nm=1 is not. Feasibility is monotone
+// non-increasing in nm (stage memory grows with nm through InFlightAtStage),
+// so this binary-searches the boundary in O(log nm_cap) solves instead of
+// scanning nm_cap -> 1; the returned nm is identical to the linear scan's.
 int FindMaxNmWith(const std::function<Partition(const PartitionOptions&)>& solve, int nm_cap,
                   PartitionOptions options);
 

@@ -25,6 +25,18 @@ std::string Num(double v) {
 
 }  // namespace
 
+hw::ClusterSpec MixedDemoSpec(const std::string& name) {
+  hw::ClusterSpec spec;
+  spec.Named(name);
+  spec.AddGpuClass("BigCard", 9.2, 40.0, 'a')
+      .AddGpuClass("SmallCard", 2.6, 16.0, 't')
+      .AddMixedNode({{"BigCard", 2}, {"SmallCard", 2}})
+      .AddNode("SmallCard", 4)
+      .AddNode("V", 4)
+      .InterGbits(25.0);
+  return spec;
+}
+
 core::Experiment SpecExperiment(const hw::ClusterSpec& spec, const std::string& name, int d,
                                 double jitter_cv, const SpecSweepOptions& options) {
   core::Experiment e;

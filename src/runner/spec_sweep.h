@@ -29,6 +29,15 @@ struct SpecSweepOptions {
   int warmup_waves = 3;
 };
 
+// The demo cluster shared by the cluster_sweep, latency_sweep, and
+// partitioner_speed benches (named per bench, same topology): one node
+// mixing a strong datacenter card with a whimpy inference card, one whimpy
+// node, one paper V node, 25 Gbit/s inter-node. Declares the "BigCard" /
+// "SmallCard" GPU classes — one canonical copy, so the benches (and the
+// partitioner_speed expectations file) can never drift onto different
+// clusters.
+hw::ClusterSpec MixedDemoSpec(const std::string& name);
+
 // One ED-local full-cluster experiment on `spec` — the building block every
 // full-cluster generator below uses (NP when the cluster has a single node,
 // matching the paper's V4 case).

@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+
 #include "hw/cluster.h"
+#include "hw/cluster_spec.h"
 #include "model/profiler.h"
 #include "model/resnet.h"
+#include "model/transformer.h"
 #include "model/vgg.h"
 #include "partition/memory_model.h"
 #include "partition/partitioner.h"
@@ -241,6 +246,244 @@ TEST_F(PartitionerTest, InfeasibleWhenTooManyStages) {
   // 16 < num_layers, so instead test empty gpu list.
   const Partition partition = partitioner.Solve({}, options);
   EXPECT_FALSE(partition.feasible);
+}
+
+// ---- Prefix-sum / cumulative-table equivalence (the tentpole invariant:
+// ---- the O(1) queries are bit-identical to the retained naive loops). ----
+
+model::ModelGraph RandomGraph(std::mt19937& rng) {
+  std::uniform_int_distribution<int> num_layers(1, 40);
+  std::uniform_int_distribution<int> shape(1, 64);
+  std::vector<model::Layer> layers;
+  const int n = num_layers(rng);
+  for (int i = 0; i < n; ++i) {
+    model::Layer layer;
+    layer.name = "l" + std::to_string(i);
+    // Irregular magnitudes: catastrophic-cancellation bait for a
+    // prefix-difference implementation, which must still match the loops.
+    layer.fwd_flops = static_cast<double>(shape(rng)) * shape(rng) * shape(rng) * 1e4;
+    layer.param_bytes = static_cast<uint64_t>(shape(rng)) * shape(rng) * 4096;
+    layer.out_bytes = static_cast<uint64_t>(shape(rng)) * 2048;
+    layer.stash_bytes = layer.out_bytes + static_cast<uint64_t>(shape(rng)) * 1024;
+    layers.push_back(std::move(layer));
+  }
+  return model::ModelGraph("random", model::ModelFamily::kGeneric, std::move(layers));
+}
+
+TEST(PrefixEquivalenceTest, RandomGraphsMatchNaiveLoopsExactly) {
+  std::mt19937 rng(20260729);
+  for (int round = 0; round < 25; ++round) {
+    const model::ModelGraph graph = RandomGraph(rng);
+    const ModelProfile profile(graph, 1 + round % 64);
+    const int n = graph.num_layers();
+    for (int first = 0; first < n; ++first) {
+      for (int last = first; last < n; ++last) {
+        EXPECT_EQ(graph.ParamBytesInRange(first, last),
+                  graph.ParamBytesInRangeNaive(first, last));
+        EXPECT_EQ(graph.StashBytesInRange(first, last),
+                  graph.StashBytesInRangeNaive(first, last));
+        for (int t = 0; t < hw::kNumGpuTypes; ++t) {
+          const auto gpu = static_cast<GpuType>(t);
+          // EXPECT_EQ on doubles is exact equality: bit-identical, not close.
+          EXPECT_EQ(profile.StageFwdTime(first, last, gpu),
+                    profile.StageFwdTimeNaive(first, last, gpu));
+          EXPECT_EQ(profile.StageBwdTime(first, last, gpu),
+                    profile.StageBwdTimeNaive(first, last, gpu));
+          EXPECT_EQ(profile.StageTotalTime(first, last, gpu),
+                    profile.StageTotalTimeNaive(first, last, gpu));
+        }
+      }
+    }
+  }
+}
+
+TEST(PrefixEquivalenceTest, PaperModelsMatchNaiveLoopsExactly) {
+  for (const model::ModelGraph& graph :
+       {model::BuildResNet152(), model::BuildVgg19(), model::BuildBertLarge()}) {
+    const ModelProfile profile(graph, 32);
+    const int n = graph.num_layers();
+    for (int first = 0; first < n; first += 3) {
+      for (int last = first; last < n; last += 2) {
+        EXPECT_EQ(profile.StageTotalTime(first, last, GpuType::kTitanV),
+                  profile.StageTotalTimeNaive(first, last, GpuType::kTitanV));
+        EXPECT_EQ(graph.ParamBytesInRange(first, last),
+                  graph.ParamBytesInRangeNaive(first, last));
+      }
+    }
+  }
+}
+
+TEST(PrefixEquivalenceTest, EmptyRangeIsZero) {
+  const auto graph = BuildVgg19();
+  const ModelProfile profile(graph, 32);
+  EXPECT_EQ(profile.StageFwdTime(5, 4, GpuType::kTitanV), 0.0);
+  EXPECT_EQ(graph.ParamBytesInRange(5, 4), 0u);
+}
+
+// ---- Solve vs the retained pre-optimization SolveReference: the flat DP,
+// ---- hoisted transfers, and direct multiset order enumeration must return
+// ---- bit-identical partitions, including on mixed-node clusters and on
+// ---- nodes whose classes interleave in GPU-id order. ----
+
+void ExpectSamePartition(const Partition& a, const Partition& b) {
+  ASSERT_EQ(a.feasible, b.feasible);
+  if (!a.feasible) {
+    return;
+  }
+  EXPECT_EQ(a.bottleneck_time, b.bottleneck_time);  // exact, not approximate
+  EXPECT_EQ(a.sum_time, b.sum_time);
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  for (size_t q = 0; q < a.stages.size(); ++q) {
+    EXPECT_EQ(a.stages[q].first_layer, b.stages[q].first_layer);
+    EXPECT_EQ(a.stages[q].last_layer, b.stages[q].last_layer);
+    EXPECT_EQ(a.stages[q].gpu_id, b.stages[q].gpu_id);
+    EXPECT_EQ(a.stages[q].gpu_type, b.stages[q].gpu_type);
+    EXPECT_EQ(a.stages[q].node, b.stages[q].node);
+    EXPECT_EQ(a.stages[q].fwd_compute_s, b.stages[q].fwd_compute_s);
+    EXPECT_EQ(a.stages[q].bwd_compute_s, b.stages[q].bwd_compute_s);
+    EXPECT_EQ(a.stages[q].fwd_comm_in_s, b.stages[q].fwd_comm_in_s);
+    EXPECT_EQ(a.stages[q].bwd_comm_in_s, b.stages[q].bwd_comm_in_s);
+    EXPECT_EQ(a.stages[q].param_bytes, b.stages[q].param_bytes);
+    EXPECT_EQ(a.stages[q].memory_bytes, b.stages[q].memory_bytes);
+    EXPECT_EQ(a.stages[q].memory_cap, b.stages[q].memory_cap);
+  }
+}
+
+TEST_F(PartitionerTest, SolveMatchesReferenceOnPaperShapes) {
+  const auto graph = BuildResNet152();
+  const ModelProfile profile(graph, 32);
+  const Partitioner partitioner(profile, cluster_);
+  for (const std::vector<int>& gpus :
+       {std::vector<int>{0, 1, 2, 3}, std::vector<int>{0, 4, 8, 12},
+        std::vector<int>{0, 1, 12, 13}, std::vector<int>{8, 9, 10, 11},
+        std::vector<int>{4}, std::vector<int>{0, 4}}) {
+    for (int nm : {1, 2, 4}) {
+      PartitionOptions options;
+      options.nm = nm;
+      ExpectSamePartition(partitioner.Solve(gpus, options),
+                          partitioner.SolveReference(gpus, options));
+      options.prune = false;
+      ExpectSamePartition(partitioner.Solve(gpus, options),
+                          partitioner.SolveReference(gpus, options));
+      options.search_gpu_orders = false;
+      ExpectSamePartition(partitioner.Solve(gpus, options),
+                          partitioner.SolveReference(gpus, options));
+    }
+  }
+}
+
+TEST(PartitionerMixedTest, SolveMatchesReferenceOnMixedNodeSpec) {
+  hw::ClusterSpec spec;
+  spec.Named("mixed-test");
+  spec.AddGpuClass("BigCard", 9.2, 40.0, 'a').AddGpuClass("SmallCard", 2.6, 16.0, 't');
+  spec.AddMixedNode({{"BigCard", 2}, {"SmallCard", 2}}).AddNode("SmallCard", 4).AddNode("V", 4);
+  const Cluster cluster = spec.Build();
+  const auto graph = BuildResNet152();
+  const ModelProfile profile(graph, 32);
+  const Partitioner partitioner(profile, cluster);
+  for (const std::vector<int>& gpus :
+       {std::vector<int>{0, 1, 2, 3}, std::vector<int>{0, 2, 4, 8},
+        std::vector<int>{1, 3, 5, 9}, std::vector<int>{0, 1, 4, 5, 8, 9}}) {
+    for (int nm : {1, 3}) {
+      PartitionOptions options;
+      options.nm = nm;
+      ExpectSamePartition(partitioner.Solve(gpus, options),
+                          partitioner.SolveReference(gpus, options));
+    }
+  }
+}
+
+TEST(PartitionerMixedTest, SolveMatchesReferenceWhenClassesInterleaveInIdOrder) {
+  // A node laid out V, Q, V, Q: each (type, node) class's GPU ids are
+  // non-contiguous, the layout that breaks naive "classes are id-ranges"
+  // enumeration shortcuts. The direct multiset enumeration must still visit
+  // the same distinct orders in the same sequence as the reference scan.
+  const std::vector<std::vector<hw::GpuType>> node_gpus = {
+      {GpuType::kTitanV, GpuType::kQuadroP4000, GpuType::kTitanV, GpuType::kQuadroP4000},
+      {GpuType::kTitanRtx, GpuType::kRtx2060, GpuType::kTitanRtx, GpuType::kRtx2060},
+  };
+  const Cluster cluster(node_gpus, hw::PcieLink(), hw::InfinibandLink(), "interleaved");
+  const auto graph = BuildVgg19();
+  const ModelProfile profile(graph, 32);
+  const Partitioner partitioner(profile, cluster);
+  std::mt19937 rng(7);
+  std::vector<int> all_ids = {0, 1, 2, 3, 4, 5, 6, 7};
+  for (int round = 0; round < 12; ++round) {
+    std::shuffle(all_ids.begin(), all_ids.end(), rng);
+    const int k = 2 + round % 4;
+    const std::vector<int> gpus(all_ids.begin(), all_ids.begin() + k);
+    PartitionOptions options;
+    options.nm = 1 + round % 3;
+    ExpectSamePartition(partitioner.Solve(gpus, options),
+                        partitioner.SolveReference(gpus, options));
+  }
+}
+
+// ---- FindMaxNm: the binary search must agree with the pre-optimization
+// ---- downward linear scan everywhere (feasibility is monotone in nm). ----
+
+TEST_F(PartitionerTest, FindMaxNmMatchesLinearScan) {
+  for (int batch : {32, 64}) {
+    const auto graph = BuildResNet152();
+    const ModelProfile profile(graph, batch);
+    const Partitioner partitioner(profile, cluster_);
+    for (const std::vector<int>& gpus :
+         {std::vector<int>{0, 1, 2, 3}, std::vector<int>{4, 5, 6, 7},
+          std::vector<int>{8, 9, 10, 11}, std::vector<int>{12, 13, 14, 15},
+          std::vector<int>{0, 4, 8, 12}}) {
+      for (int nm_cap : {1, 4, 7, 12}) {
+        // The linear scan FindMaxNmWith replaced: nm_cap down to 1, first
+        // feasible wins.
+        int linear = 0;
+        PartitionOptions options;
+        for (int nm = nm_cap; nm >= 1; --nm) {
+          options.nm = nm;
+          if (partitioner.Solve(gpus, options).feasible) {
+            linear = nm;
+            break;
+          }
+        }
+        EXPECT_EQ(partitioner.FindMaxNm(gpus, nm_cap), linear)
+            << "batch " << batch << " cap " << nm_cap;
+      }
+    }
+  }
+}
+
+TEST(FindMaxNmWithTest, BinarySearchProbesMonotoneFeasibility) {
+  // Synthetic monotone feasibility with every threshold in [0, cap]: the
+  // binary search must land exactly on the threshold, including the
+  // all-infeasible (0) and all-feasible (cap) edges.
+  constexpr int kCap = 23;
+  for (int threshold = 0; threshold <= kCap; ++threshold) {
+    const auto solve = [threshold](const PartitionOptions& options) {
+      Partition p;
+      p.feasible = options.nm <= threshold;
+      return p;
+    };
+    EXPECT_EQ(FindMaxNmWith(solve, kCap, PartitionOptions{}), threshold);
+  }
+  EXPECT_EQ(FindMaxNmWith([](const PartitionOptions&) { return Partition{}; }, 0,
+                          PartitionOptions{}),
+            0);
+}
+
+// ---- The thread-local DP scratch must stop allocating once warm. ----
+
+TEST_F(PartitionerTest, RepeatedSolvesDoNotGrowScratch) {
+  const auto graph = BuildResNet152();
+  const ModelProfile profile(graph, 32);
+  const Partitioner partitioner(profile, cluster_);
+  PartitionOptions options;
+  options.nm = 2;
+  const std::vector<int> gpus = {0, 4, 8, 12};
+  (void)partitioner.Solve(gpus, options);  // warm this thread's scratch
+  const int64_t before = DpScratchGrowCount();
+  for (int r = 0; r < 20; ++r) {
+    (void)partitioner.Solve(gpus, options);
+    (void)partitioner.Solve({0, 1, 2, 3}, options);  // smaller shape: also no growth
+  }
+  EXPECT_EQ(DpScratchGrowCount(), before);
 }
 
 }  // namespace
