@@ -1,0 +1,100 @@
+// Rack-topology sensitivity on a mixed-class cluster — the fabric structure
+// the paper's single inter-node link cannot express, swept as spec-level
+// rack groups and per-node-pair overrides:
+//   rack grid:      consecutive racks of 1 and 2 nodes x cross-rack Gbit/s
+//   degraded pairs: the node0<->node2 link alone dropped to a few Gbit/s
+// Both grids come from runner::TopologySweep; a partition-only row reports
+// the rack-aware traffic split (dp::ActivationTrafficByTier).
+//
+// Flags: --threads=N --json[=PATH] --csv[=PATH] --cache-file=PATH
+//
+// Every node pair's resolved link is part of the partition-cache key (cache
+// file v3), so a --cache-file warmed on one topology is never wrongly reused
+// on another: repeated identical runs are all hits, changed racks/overrides
+// all misses.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "dp/placement.h"
+#include "hw/cluster_spec.h"
+#include "runner/cli.h"
+#include "runner/spec_sweep.h"
+
+namespace {
+
+using namespace hetpipe;
+
+void PrintRows(const std::vector<core::Experiment>& experiments,
+               const std::vector<core::ExperimentResult>& results) {
+  for (size_t i = 0; i < results.size(); ++i) {
+    const core::ExperimentResult& r = results[i];
+    if (!r.feasible) {
+      std::printf("  %-44s %12s\n", r.name.c_str(), "infeasible");
+    } else {
+      std::printf("  %-44s %8.1f img/s  Nm=%d\n", r.name.c_str(), r.throughput_img_s,
+                  r.report.nm);
+    }
+  }
+  (void)experiments;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runner::BenchArgs args = runner::BenchArgs::Parse(argc, argv);
+  for (const std::string& arg : args.rest) {
+    std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+    return 2;
+  }
+  runner::SweepRunner sweep(args.sweep_options());
+  const hw::ClusterSpec spec = runner::MixedDemoSpec("topology-mix");
+  std::printf("topology sweep — %s: %s\n", spec.name.c_str(), spec.Build().ToString().c_str());
+
+  runner::SpecSweepOptions options;
+  options.model = core::ModelKind::kResNet152;
+  options.jitter_cv = 0.05;
+
+  std::printf("\nrack grid (rack size x cross-rack Gbit/s) + degraded-pair scenarios:\n");
+  const std::vector<core::Experiment> grid = runner::TopologySweep(
+      spec, /*rack_sizes=*/{1, 2}, /*cross_rack_gbits=*/{25.0, 10.0, 2.0},
+      /*degraded_pair_gbits=*/{10.0, 2.0}, options);
+  PrintRows(grid, sweep.Run(grid));
+
+  // The §8.3-style traffic accounting, rack-aware: one cross-node VW on the
+  // racked spec, its activation traffic split by link tier.
+  std::printf("\nactivation traffic by link tier (VW spanning all three nodes):\n");
+  hw::ClusterSpec racked = spec;
+  racked.Named("topology-mix-r2")
+      .AddRack("r0", {0, 1})
+      .AddRack("r1", {2})
+      .CrossRackGbits(2.0);
+  core::Experiment traffic_experiment;
+  traffic_experiment.name = "traffic split BigCard@0,SmallCard@1,V*2@2";
+  traffic_experiment.kind = core::ExperimentKind::kPartitionOnly;
+  traffic_experiment.model = core::ModelKind::kResNet152;
+  traffic_experiment.cluster_spec = racked.ToString();
+  traffic_experiment.cluster_label = racked.name;
+  traffic_experiment.vw_codes = "BigCard@0,SmallCard@1,V*2@2";
+  traffic_experiment.config.nm = 2;
+  traffic_experiment.simulate = false;
+  const auto traffic_results = sweep.Run({traffic_experiment});
+  {
+    const hw::Cluster cluster = racked.Build();
+    const model::ModelGraph graph = core::BuildModel(traffic_experiment.model);
+    const model::ModelProfile profile(graph, traffic_experiment.config.batch_size);
+    const dp::ActivationTraffic traffic =
+        dp::ActivationTrafficByTier(traffic_results[0].partition, profile, cluster);
+    const double mb = 1.0 / (1 << 20);
+    std::printf("  intra-node %.0f MB, same-rack %.0f MB, cross-rack %.0f MB per minibatch\n",
+                static_cast<double>(traffic.intra_node_bytes) * mb,
+                static_cast<double>(traffic.same_rack_bytes) * mb,
+                static_cast<double>(traffic.cross_rack_bytes) * mb);
+  }
+
+  std::fprintf(stderr, "partition cache: %lld hits, %lld misses\n",
+               static_cast<long long>(sweep.cache().hits()),
+               static_cast<long long>(sweep.cache().misses()));
+  return 0;
+}

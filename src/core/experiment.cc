@@ -240,7 +240,11 @@ Experiment& Experiment::UseCluster(const hw::Cluster& cluster) {
     paper_nodes = paper_nodes && static_cast<int>(cluster.NodeType(n)) < hw::kNumGpuTypes &&
                   cluster.NodeGpuCount(n) == 4 && cluster.NodeHomogeneous(n);
   }
-  if (!paper_nodes || !default_links) {
+  // A rack topology or per-pair override cannot be expressed as node codes
+  // either; PaperSubset always rebuilds a uniform, rack-free fabric. Racks
+  // matter even with uniform links: the traffic accounting reads them.
+  if (!paper_nodes || !default_links || !cluster.UniformFabric() ||
+      cluster.NodeRack(0) >= 0) {
     throw std::invalid_argument(
         "UseCluster: non-paper clusters must be built from a hw::ClusterSpec "
         "(spec_text is empty, so this cluster cannot be rebuilt faithfully)");

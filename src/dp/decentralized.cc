@@ -50,8 +50,13 @@ DecentralizedResult SimulateAdPsgd(const hw::Cluster& cluster,
     }
     const double p_local = n > 1.0 ? same_node / (n - 1.0) : 0.0;
     // Exchange both directions: 2x params over the chosen link.
-    const double comm = p_local * cluster.pcie().TransferTime(2 * params) +
-                        (1.0 - p_local) * cluster.infiniband().TransferTime(2 * params);
+    // Cross-node gossip peers are drawn from every other node, so the
+    // exchange is bounded by the worker's slowest resolved inter link (==
+    // the shared inter link on uniform fabrics).
+    const double comm =
+        p_local * cluster.pcie().TransferTime(2 * params) +
+        (1.0 - p_local) *
+            cluster.WorstInterTransferTimeFrom(cluster.gpu(id).node, 2 * params);
     const double exposed = comm * (1.0 - options.comm_overlap);
     const double compute = profile.FullModelTime(cluster.gpu(id).type);
     sum_rate += profile.batch_size() / (compute + exposed);

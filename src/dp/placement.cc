@@ -25,6 +25,25 @@ uint64_t ActivationCrossNodeBytes(const partition::Partition& partition,
   return total;
 }
 
+ActivationTraffic ActivationTrafficByTier(const partition::Partition& partition,
+                                          const model::ModelProfile& profile,
+                                          const hw::Cluster& cluster) {
+  ActivationTraffic traffic;
+  for (size_t q = 1; q < partition.stages.size(); ++q) {
+    const auto& prev = partition.stages[q - 1];
+    const auto& cur = partition.stages[q];
+    const uint64_t bytes = 2 * profile.BoundaryTransferBytes(prev.last_layer);
+    if (prev.node == cur.node) {
+      traffic.intra_node_bytes += bytes;
+    } else if (cluster.SameRack(prev.node, cur.node)) {
+      traffic.same_rack_bytes += bytes;
+    } else {
+      traffic.cross_rack_bytes += bytes;
+    }
+  }
+  return traffic;
+}
+
 uint64_t PsCrossNodeBytesPerMinibatch(const partition::Partition& partition, int num_nodes,
                                       bool local_placement, int nm) {
   if (local_placement || num_nodes <= 1) {

@@ -22,6 +22,20 @@ uint64_t HorovodCrossNodeBytes(uint64_t param_bytes, int num_workers);
 uint64_t ActivationCrossNodeBytes(const partition::Partition& partition,
                                   const model::ModelProfile& profile);
 
+// The same activation + gradient traffic split by link tier, for rack-aware
+// accounting: intra-node (PCIe-class), cross-node within one rack, and
+// cross-rack. On a cluster without rack structure every cross-node byte
+// counts as same-rack, so same_rack_bytes + cross_rack_bytes ==
+// ActivationCrossNodeBytes always.
+struct ActivationTraffic {
+  uint64_t intra_node_bytes = 0;
+  uint64_t same_rack_bytes = 0;   // cross-node, same rack
+  uint64_t cross_rack_bytes = 0;  // cross-node, different racks
+};
+ActivationTraffic ActivationTrafficByTier(const partition::Partition& partition,
+                                          const model::ModelProfile& profile,
+                                          const hw::Cluster& cluster);
+
 // Inter-node parameter-synchronization bytes per *minibatch* for a virtual
 // worker under PS placement: round-robin placement pushes+pulls the remote
 // fraction of every stage's parameters once per wave (amortized over Nm

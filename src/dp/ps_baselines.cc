@@ -59,8 +59,12 @@ PsDpResult SimulatePsDataParallel(const hw::Cluster& cluster,
     const uint64_t local = 2 * params / static_cast<uint64_t>(num_nodes);
     const uint64_t remote = 2 * params - local;
     const int sharing = workers_per_node[cluster.gpu(id).node];
-    const double comm = cluster.pcie().TransferTime(local) +
-                        cluster.infiniband().TransferTime(remote) * sharing;
+    // The remote shards live on every other node, so the worker's NIC share
+    // is bounded by its node's slowest resolved inter link (== the shared
+    // inter link on uniform fabrics).
+    const double comm =
+        cluster.pcie().TransferTime(local) +
+        cluster.WorstInterTransferTimeFrom(cluster.gpu(id).node, remote) * sharing;
     result.comm_s = std::max(result.comm_s, comm);
     sum_rate_asp += profile.batch_size() / (compute + comm);
     worst_iteration = std::max(worst_iteration, compute + comm);

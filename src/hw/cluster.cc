@@ -77,18 +77,59 @@ std::vector<int> Cluster::GpusOnNode(int node) const {
   return ids;
 }
 
-const LinkModel& Cluster::LinkBetween(int gpu_a, int gpu_b) const {
-  if (SameNode(gpu_a, gpu_b)) {
+void Cluster::SetLinkTopology(std::vector<int> rack_of_node,
+                              std::vector<InfinibandLink> pair_links,
+                              std::vector<int> pair_link_index) {
+  const size_t nodes = static_cast<size_t>(num_nodes_);
+  if (!rack_of_node.empty() && rack_of_node.size() != nodes) {
+    throw std::invalid_argument("link topology: rack_of_node must name every node");
+  }
+  if (!pair_link_index.empty() && pair_link_index.size() != nodes * nodes) {
+    throw std::invalid_argument("link topology: pair_link_index must cover every node pair");
+  }
+  for (int index : pair_link_index) {
+    if (index < -1 || index >= static_cast<int>(pair_links.size())) {
+      throw std::invalid_argument("link topology: pair link index out of range");
+    }
+  }
+  rack_of_node_ = std::move(rack_of_node);
+  pair_links_ = std::move(pair_links);
+  pair_link_index_ = std::move(pair_link_index);
+}
+
+const LinkModel& Cluster::LinkBetweenNodes(int node_a, int node_b) const {
+  if (node_a == node_b) {
     return pcie_;
   }
-  return infiniband_;
+  if (pair_link_index_.empty()) {
+    return infiniband_;
+  }
+  const int index = pair_link_index_.at(static_cast<size_t>(node_a) *
+                                            static_cast<size_t>(num_nodes_) +
+                                        static_cast<size_t>(node_b));
+  return index < 0 ? static_cast<const LinkModel&>(infiniband_)
+                   : pair_links_[static_cast<size_t>(index)];
+}
+
+double Cluster::WorstInterTransferTimeFrom(int node, uint64_t bytes) const {
+  if (pair_link_index_.empty() || num_nodes_ < 2) {
+    return infiniband_.TransferTime(bytes);
+  }
+  double worst_s = 0.0;
+  for (int peer = 0; peer < num_nodes_; ++peer) {
+    if (peer != node) {
+      worst_s = std::max(worst_s, LinkBetweenNodes(node, peer).TransferTime(bytes));
+    }
+  }
+  return worst_s;
+}
+
+const LinkModel& Cluster::LinkBetween(int gpu_a, int gpu_b) const {
+  return LinkBetweenNodes(gpu(gpu_a).node, gpu(gpu_b).node);
 }
 
 const LinkModel& Cluster::LinkToNode(int gpu_id, int node) const {
-  if (gpu(gpu_id).node == node) {
-    return pcie_;
-  }
-  return infiniband_;
+  return LinkBetweenNodes(gpu(gpu_id).node, node);
 }
 
 std::string Cluster::ToString() const {

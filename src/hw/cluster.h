@@ -75,10 +75,43 @@ class Cluster {
 
   bool SameNode(int gpu_a, int gpu_b) const { return gpu(gpu_a).node == gpu(gpu_b).node; }
 
-  // Link used between two GPUs: PCIe-class within a node, network across.
+  // Rack of `node` (0-based), or -1 when the cluster has no rack structure.
+  int NodeRack(int node) const {
+    return rack_of_node_.empty() ? -1 : rack_of_node_.at(static_cast<size_t>(node));
+  }
+  // True when both nodes sit in one rack — also when there is no rack
+  // structure at all (one implicit rack).
+  bool SameRack(int node_a, int node_b) const {
+    return rack_of_node_.empty() || NodeRack(node_a) == NodeRack(node_b);
+  }
+  // True when every inter-node pair uses the one shared inter link (no rack
+  // degradation and no per-pair overrides); such clusters behave exactly as
+  // before topology support existed.
+  bool UniformFabric() const { return pair_link_index_.empty(); }
+
+  // Rack membership and per-node-pair inter links, set by ClusterSpec::Build
+  // (a cluster without them is a uniform fabric). `rack_of_node` is empty or
+  // one rack id per node; `pair_link_index` is empty or num_nodes^2 entries
+  // (row-major, symmetric) indexing `pair_links`, -1 selecting the shared
+  // inter link.
+  void SetLinkTopology(std::vector<int> rack_of_node, std::vector<InfinibandLink> pair_links,
+                       std::vector<int> pair_link_index);
+
+  // Link used between two GPUs: PCIe-class within a node, the pair's
+  // network link across nodes.
   const LinkModel& LinkBetween(int gpu_a, int gpu_b) const;
   // Link between a GPU and a (parameter-server) process on node `node`.
   const LinkModel& LinkToNode(int gpu_id, int node) const;
+  // The resolved link between two nodes: PCIe-class when equal, else the
+  // pair's inter-node link (explicit override, cross-rack, or shared inter).
+  const LinkModel& LinkBetweenNodes(int node_a, int node_b) const;
+  // Slowest inter-node transfer of `bytes` out of `node` across its resolved
+  // pair links — the conservative funnel bound used by the PS comm model and
+  // the aggregate dp baselines (a node's remote traffic fans out to every
+  // other node, so the worst link bounds it). Bit-identical to
+  // infiniband().TransferTime(bytes) on a uniform fabric, including the
+  // degenerate single-node cluster.
+  double WorstInterTransferTimeFrom(int node, uint64_t bytes) const;
 
   const PcieLink& pcie() const { return pcie_; }
   const InfinibandLink& infiniband() const { return infiniband_; }
@@ -107,6 +140,11 @@ class Cluster {
   std::vector<Gpu> gpus_;
   PcieLink pcie_;
   InfinibandLink infiniband_;
+  // Rack ids per node (empty: no rack structure) and the pair-resolved inter
+  // links (empty: uniform fabric, every pair shares infiniband_).
+  std::vector<int> rack_of_node_;
+  std::vector<InfinibandLink> pair_links_;
+  std::vector<int> pair_link_index_;  // num_nodes^2 or empty; -1 = infiniband_
   std::string name_;
   std::string spec_text_;
 };

@@ -1,10 +1,12 @@
 #include "hw/cluster_spec.h"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace hetpipe::hw {
 namespace {
@@ -49,6 +51,23 @@ int ParseCount(const std::string& token, const std::string& what, const std::str
   }
   if (v <= 0) {
     Fail(what + " must be positive, got \"" + token + "\"", context);
+  }
+  return v;
+}
+
+// Parses a "node<index>" reference (0-based) as used by rack and link
+// statements. Range checking against the declared node list happens in
+// Validate, so references may precede the node declarations.
+int ParseNodeRef(const std::string& token, const std::string& context) {
+  if (token.rfind("node", 0) != 0 || token.size() == 4) {
+    Fail("expected node<index>, got \"" + token + "\"", context);
+  }
+  const std::string digits = token.substr(4);
+  int v = 0;
+  const char* begin = digits.c_str();
+  const auto [ptr, ec] = std::from_chars(begin, begin + digits.size(), v);
+  if (ec != std::errc() || ptr != begin + digits.size() || v < 0) {
+    Fail("expected node<index>, got \"" + token + "\"", context);
   }
   return v;
 }
@@ -174,6 +193,108 @@ constexpr LinkKnob kLinkKnobs[] = {
     {"inter_intercept_s", &ClusterSpec::inter_intercept_s, InfinibandLink::kDefaultIntercept},
 };
 
+// The optional cross-rack knobs: unset inherits the matching inter_* value,
+// so there is no default to compare against — emitted whenever set.
+struct CrossRackKnob {
+  const char* statement;
+  std::optional<double> ClusterSpec::*field;
+};
+
+constexpr CrossRackKnob kCrossRackKnobs[] = {
+    {"cross_rack_gbits", &ClusterSpec::cross_rack_gbits},
+    {"cross_rack_efficiency", &ClusterSpec::cross_rack_efficiency},
+    {"cross_rack_intercept_s", &ClusterSpec::cross_rack_intercept_s},
+};
+
+// Parses "rack <name> { node0 node1 ... }"; the braces may be glued to their
+// neighbors ("rack r0 {node0 node1}"), so the statement is re-joined and
+// split on the braces before the member list is tokenized.
+RackDecl ParseRack(const std::vector<std::string>& tokens, const std::string& context) {
+  std::string joined;
+  for (size_t t = 1; t < tokens.size(); ++t) {
+    if (t > 1) {
+      joined.push_back(' ');
+    }
+    joined += tokens[t];
+  }
+  const size_t open = joined.find('{');
+  const size_t close = joined.rfind('}');
+  if (open == std::string::npos || close == std::string::npos || close < open ||
+      close + 1 != joined.size() || joined.find('{', open + 1) != std::string::npos ||
+      joined.find('}') != close) {
+    Fail("expected rack <name> { node<i> ... }", context);
+  }
+  RackDecl rack;
+  for (const std::string& token : Tokenize(joined.substr(0, open))) {
+    if (!rack.name.empty()) {
+      Fail("rack takes exactly one name", context);
+    }
+    rack.name = token;
+  }
+  if (rack.name.empty()) {
+    Fail("rack needs a name", context);
+  }
+  for (const std::string& token : Tokenize(joined.substr(open + 1, close - open - 1))) {
+    rack.nodes.push_back(ParseNodeRef(token, context));
+  }
+  if (rack.nodes.empty()) {
+    Fail("rack " + rack.name + " needs at least one node", context);
+  }
+  return rack;
+}
+
+// Parses "link node<a><->node<b> <key> <value> ..." with keys gbits /
+// efficiency / intercept_s; the pair is canonicalized to node_a < node_b.
+LinkOverrideDecl ParseLinkOverride(const std::vector<std::string>& tokens,
+                                   const std::string& context) {
+  if (tokens.size() < 4 || tokens.size() % 2 != 0) {
+    Fail("expected link node<a><->node<b> <key> <value> ...", context);
+  }
+  const std::string& pair = tokens[1];
+  const size_t arrow = pair.find("<->");
+  if (arrow == std::string::npos) {
+    Fail("expected node<a><->node<b>, got \"" + pair + "\"", context);
+  }
+  LinkOverrideDecl decl;
+  decl.node_a = ParseNodeRef(pair.substr(0, arrow), context);
+  decl.node_b = ParseNodeRef(pair.substr(arrow + 3), context);
+  if (decl.node_a > decl.node_b) {
+    std::swap(decl.node_a, decl.node_b);
+  }
+  for (size_t t = 2; t + 1 < tokens.size(); t += 2) {
+    const std::string& key = tokens[t];
+    const double value = ParseDouble(tokens[t + 1], context);
+    std::optional<double>* field = nullptr;
+    if (key == "gbits") {
+      field = &decl.gbits;
+    } else if (key == "efficiency") {
+      field = &decl.efficiency;
+    } else if (key == "intercept_s") {
+      field = &decl.intercept_s;
+    } else {
+      Fail("unknown link attribute \"" + key + "\"", context);
+    }
+    if (field->has_value()) {
+      Fail("duplicate link attribute \"" + key + "\"", context);
+    }
+    *field = value;
+  }
+  return decl;
+}
+
+// Declared rack index of `node`, or -1 when the node is not named by any
+// rack (an implicit single-node rack of its own).
+int DeclaredRackOf(const ClusterSpec& spec, int node) {
+  for (size_t r = 0; r < spec.racks.size(); ++r) {
+    for (int member : spec.racks[r].nodes) {
+      if (member == node) {
+        return static_cast<int>(r);
+      }
+    }
+  }
+  return -1;
+}
+
 }  // namespace
 
 int NodeDecl::TotalCount() const {
@@ -195,11 +316,26 @@ bool operator==(const NodeGroup& a, const NodeGroup& b) {
 
 bool operator==(const NodeDecl& a, const NodeDecl& b) { return a.groups == b.groups; }
 
+bool operator==(const RackDecl& a, const RackDecl& b) {
+  return a.name == b.name && a.nodes == b.nodes;
+}
+
+bool operator==(const LinkOverrideDecl& a, const LinkOverrideDecl& b) {
+  return a.node_a == b.node_a && a.node_b == b.node_b && a.gbits == b.gbits &&
+         a.efficiency == b.efficiency && a.intercept_s == b.intercept_s;
+}
+
 bool operator==(const ClusterSpec& a, const ClusterSpec& b) {
-  if (a.name != b.name || a.gpu_classes != b.gpu_classes || a.nodes != b.nodes) {
+  if (a.name != b.name || a.gpu_classes != b.gpu_classes || a.nodes != b.nodes ||
+      a.racks != b.racks || a.link_overrides != b.link_overrides) {
     return false;
   }
   for (const LinkKnob& knob : kLinkKnobs) {
+    if (a.*(knob.field) != b.*(knob.field)) {
+      return false;
+    }
+  }
+  for (const CrossRackKnob& knob : kCrossRackKnobs) {
     if (a.*(knob.field) != b.*(knob.field)) {
       return false;
     }
@@ -255,6 +391,39 @@ ClusterSpec& ClusterSpec::InterEfficiency(double efficiency) {
 
 ClusterSpec& ClusterSpec::InterInterceptS(double intercept_s) {
   inter_intercept_s = intercept_s;
+  return *this;
+}
+
+ClusterSpec& ClusterSpec::AddRack(std::string rack_name, std::vector<int> node_indices) {
+  racks.push_back(RackDecl{std::move(rack_name), std::move(node_indices)});
+  return *this;
+}
+
+ClusterSpec& ClusterSpec::CrossRackGbits(double gbits) {
+  cross_rack_gbits = gbits;
+  return *this;
+}
+
+ClusterSpec& ClusterSpec::CrossRackEfficiency(double efficiency) {
+  cross_rack_efficiency = efficiency;
+  return *this;
+}
+
+ClusterSpec& ClusterSpec::CrossRackInterceptS(double intercept_s) {
+  cross_rack_intercept_s = intercept_s;
+  return *this;
+}
+
+ClusterSpec& ClusterSpec::OverrideLink(int node_a, int node_b, std::optional<double> gbits,
+                                       std::optional<double> efficiency,
+                                       std::optional<double> intercept_s) {
+  LinkOverrideDecl decl;
+  decl.node_a = std::min(node_a, node_b);
+  decl.node_b = std::max(node_a, node_b);
+  decl.gbits = gbits;
+  decl.efficiency = efficiency;
+  decl.intercept_s = intercept_s;
+  link_overrides.push_back(std::move(decl));
   return *this;
 }
 
@@ -340,9 +509,23 @@ ClusterSpec ClusterSpec::Parse(const std::string& text) {
         }
         spec.nodes.push_back(ParseHomogeneousNode(tokens[1], raw));
       }
+    } else if (verb == "rack") {
+      spec.racks.push_back(ParseRack(tokens, raw));
+    } else if (verb == "link") {
+      spec.link_overrides.push_back(ParseLinkOverride(tokens, raw));
     } else {
       bool known = false;
       for (const LinkKnob& knob : kLinkKnobs) {
+        if (verb == knob.statement) {
+          if (tokens.size() != 2) {
+            Fail(std::string(knob.statement) + " takes exactly one number", raw);
+          }
+          spec.*(knob.field) = ParseDouble(tokens[1], raw);
+          known = true;
+          break;
+        }
+      }
+      for (const CrossRackKnob& knob : kCrossRackKnobs) {
         if (verb == knob.statement) {
           if (tokens.size() != 2) {
             Fail(std::string(knob.statement) + " takes exactly one number", raw);
@@ -407,9 +590,33 @@ std::string ClusterSpec::ToString() const {
       statement() << "node " << node.groups.front().count << 'x' << node.groups.front().type;
     }
   }
+  for (const RackDecl& rack : racks) {
+    statement() << "rack " << rack.name << " {";
+    for (int node : rack.nodes) {
+      os << " node" << node;
+    }
+    os << " }";
+  }
   for (const LinkKnob& knob : kLinkKnobs) {
     if (this->*(knob.field) != knob.default_value) {
       statement() << knob.statement << ' ' << FormatDouble(this->*(knob.field));
+    }
+  }
+  for (const CrossRackKnob& knob : kCrossRackKnobs) {
+    if ((this->*(knob.field)).has_value()) {
+      statement() << knob.statement << ' ' << FormatDouble(*(this->*(knob.field)));
+    }
+  }
+  for (const LinkOverrideDecl& decl : link_overrides) {
+    statement() << "link node" << decl.node_a << "<->node" << decl.node_b;
+    if (decl.gbits.has_value()) {
+      os << " gbits " << FormatDouble(*decl.gbits);
+    }
+    if (decl.efficiency.has_value()) {
+      os << " efficiency " << FormatDouble(*decl.efficiency);
+    }
+    if (decl.intercept_s.has_value()) {
+      os << " intercept_s " << FormatDouble(*decl.intercept_s);
     }
   }
   return os.str();
@@ -473,6 +680,86 @@ void ClusterSpec::Validate() const {
       }
     }
   }
+  const int num_nodes = static_cast<int>(nodes.size());
+  std::vector<int> racked(nodes.size(), 0);
+  for (size_t r = 0; r < racks.size(); ++r) {
+    const RackDecl& rack = racks[r];
+    // Rack names are re-emitted as bare tokens inside "rack <name> { ... }",
+    // so like cluster names they must survive the text round trip.
+    if (rack.name.empty() || rack.name.find_first_of(" \t\n;#{}") != std::string::npos) {
+      Fail("rack name \"" + rack.name + "\" must not be empty or contain whitespace or ';#{}'",
+           "");
+    }
+    for (size_t j = 0; j < r; ++j) {
+      if (racks[j].name == rack.name) {
+        Fail("duplicate rack \"" + rack.name + "\"", "");
+      }
+    }
+    if (rack.nodes.empty()) {
+      Fail("rack " + rack.name + " needs at least one node", "");
+    }
+    for (int node : rack.nodes) {
+      if (node < 0 || node >= num_nodes) {
+        Fail("rack " + rack.name + " names node" + std::to_string(node) +
+                 ", but the spec declares " + std::to_string(num_nodes) + " nodes",
+             "");
+      }
+      if (racked[static_cast<size_t>(node)]++ != 0) {
+        Fail("node" + std::to_string(node) + " belongs to more than one rack", "");
+      }
+    }
+  }
+  for (const CrossRackKnob& knob : kCrossRackKnobs) {
+    if ((this->*(knob.field)).has_value() && racks.empty()) {
+      Fail(std::string(knob.statement) + " needs at least one rack declaration", "");
+    }
+  }
+  if (cross_rack_gbits.has_value() &&
+      (!std::isfinite(*cross_rack_gbits) || *cross_rack_gbits <= 0.0)) {
+    Fail("cross_rack_gbits must be finite and positive", "");
+  }
+  if (cross_rack_efficiency.has_value() &&
+      (!std::isfinite(*cross_rack_efficiency) || *cross_rack_efficiency <= 0.0 ||
+       *cross_rack_efficiency > 1.0)) {
+    Fail("cross_rack_efficiency must be in (0, 1]", "");
+  }
+  if (cross_rack_intercept_s.has_value() &&
+      (!std::isfinite(*cross_rack_intercept_s) || *cross_rack_intercept_s < 0.0)) {
+    Fail("cross_rack_intercept_s must be finite and non-negative", "");
+  }
+  for (size_t i = 0; i < link_overrides.size(); ++i) {
+    const LinkOverrideDecl& decl = link_overrides[i];
+    if (decl.node_a < 0 || decl.node_b >= num_nodes || decl.node_a >= decl.node_b) {
+      Fail("link override needs two distinct in-range nodes, got node" +
+               std::to_string(decl.node_a) + "<->node" + std::to_string(decl.node_b),
+           "");
+    }
+    if (!decl.gbits.has_value() && !decl.efficiency.has_value() &&
+        !decl.intercept_s.has_value()) {
+      Fail("link override node" + std::to_string(decl.node_a) + "<->node" +
+               std::to_string(decl.node_b) + " sets no attribute",
+           "");
+    }
+    if (decl.gbits.has_value() && (!std::isfinite(*decl.gbits) || *decl.gbits <= 0.0)) {
+      Fail("link override gbits must be finite and positive", "");
+    }
+    if (decl.efficiency.has_value() &&
+        (!std::isfinite(*decl.efficiency) || *decl.efficiency <= 0.0 ||
+         *decl.efficiency > 1.0)) {
+      Fail("link override efficiency must be in (0, 1]", "");
+    }
+    if (decl.intercept_s.has_value() &&
+        (!std::isfinite(*decl.intercept_s) || *decl.intercept_s < 0.0)) {
+      Fail("link override intercept_s must be finite and non-negative", "");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (link_overrides[j].node_a == decl.node_a && link_overrides[j].node_b == decl.node_b) {
+        Fail("duplicate link override for node" + std::to_string(decl.node_a) + "<->node" +
+                 std::to_string(decl.node_b),
+             "");
+      }
+    }
+  }
   // Like the class numbers, every link knob must be finite: NaN slips past
   // one-sided comparisons and infinities turn into inf transfer times.
   for (const LinkKnob& knob : kLinkKnobs) {
@@ -500,6 +787,38 @@ void ClusterSpec::Validate() const {
   }
 }
 
+InfinibandLink ClusterSpec::InterLinkBetween(int node_a, int node_b) const {
+  const int num_nodes = static_cast<int>(nodes.size());
+  if (node_a < 0 || node_a >= num_nodes || node_b < 0 || node_b >= num_nodes) {
+    throw std::invalid_argument("cluster spec: InterLinkBetween node index out of range");
+  }
+  double gbits = inter_gbits;
+  double efficiency = inter_efficiency;
+  double intercept_s = inter_intercept_s;
+  if (!racks.empty() && node_a != node_b) {
+    // An un-racked node is its own implicit rack, so any pair not sharing a
+    // declared rack crosses racks.
+    const int rack_a = DeclaredRackOf(*this, node_a);
+    const int rack_b = DeclaredRackOf(*this, node_b);
+    if (rack_a < 0 || rack_b < 0 || rack_a != rack_b) {
+      gbits = cross_rack_gbits.value_or(gbits);
+      efficiency = cross_rack_efficiency.value_or(efficiency);
+      intercept_s = cross_rack_intercept_s.value_or(intercept_s);
+    }
+  }
+  const int lo = std::min(node_a, node_b);
+  const int hi = std::max(node_a, node_b);
+  for (const LinkOverrideDecl& decl : link_overrides) {
+    if (decl.node_a == lo && decl.node_b == hi) {
+      gbits = decl.gbits.value_or(gbits);
+      efficiency = decl.efficiency.value_or(efficiency);
+      intercept_s = decl.intercept_s.value_or(intercept_s);
+      break;
+    }
+  }
+  return InfinibandLink(gbits, efficiency, intercept_s);
+}
+
 Cluster ClusterSpec::Build() const {
   Validate();
   std::vector<std::vector<GpuType>> node_gpus;
@@ -515,6 +834,65 @@ Cluster ClusterSpec::Build() const {
   }
   Cluster cluster(node_gpus, IntraLink(), InterLink(), name);
   cluster.set_spec_text(ToString());
+
+  if (!racks.empty() || !link_overrides.empty()) {
+    const int h = static_cast<int>(nodes.size());
+    std::vector<int> rack_of;
+    if (!racks.empty()) {
+      rack_of.assign(static_cast<size_t>(h), -1);
+      for (size_t r = 0; r < racks.size(); ++r) {
+        for (int node : racks[r].nodes) {
+          rack_of[static_cast<size_t>(node)] = static_cast<int>(r);
+        }
+      }
+      // Un-racked nodes form implicit single-node racks after the declared
+      // ones, in node order.
+      int next_rack = static_cast<int>(racks.size());
+      for (int& rack : rack_of) {
+        if (rack < 0) {
+          rack = next_rack++;
+        }
+      }
+    }
+    // Resolve every pair; pairs identical to the shared inter link keep the
+    // -1 default, so a spec whose racks/overrides change nothing stays a
+    // uniform fabric (bit-identical links, partitions, and cache keys).
+    const InfinibandLink base = InterLink();
+    std::vector<InfinibandLink> pair_links;
+    std::vector<int> pair_index(static_cast<size_t>(h) * static_cast<size_t>(h), -1);
+    bool any_custom = false;
+    for (int i = 0; i < h; ++i) {
+      for (int j = i + 1; j < h; ++j) {
+        const InfinibandLink link = InterLinkBetween(i, j);
+        if (link.EffectiveBandwidth() == base.EffectiveBandwidth() &&
+            link.intercept_s() == base.intercept_s()) {
+          continue;
+        }
+        int index = -1;
+        for (size_t k = 0; k < pair_links.size(); ++k) {
+          if (pair_links[k].EffectiveBandwidth() == link.EffectiveBandwidth() &&
+              pair_links[k].intercept_s() == link.intercept_s()) {
+            index = static_cast<int>(k);
+            break;
+          }
+        }
+        if (index < 0) {
+          index = static_cast<int>(pair_links.size());
+          pair_links.push_back(link);
+        }
+        pair_index[static_cast<size_t>(i) * static_cast<size_t>(h) + static_cast<size_t>(j)] =
+            index;
+        pair_index[static_cast<size_t>(j) * static_cast<size_t>(h) + static_cast<size_t>(i)] =
+            index;
+        any_custom = true;
+      }
+    }
+    if (!any_custom) {
+      pair_links.clear();
+      pair_index.clear();
+    }
+    cluster.SetLinkTopology(std::move(rack_of), std::move(pair_links), std::move(pair_index));
+  }
   return cluster;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,12 +44,36 @@ struct NodeDecl {
   int TotalCount() const;
 };
 
+// One rack declaration: a named group of node indices ("rack r0 { node0
+// node1 }"). Rack membership shapes the inter-node fabric: node pairs in
+// different racks use the cross_rack_* link knobs (which default to the
+// inter_* values), so a spec with racks but no cross-rack knob is
+// link-identical to the same spec without racks. A node not named by any
+// rack forms its own implicit single-node rack.
+struct RackDecl {
+  std::string name;
+  std::vector<int> nodes;  // node indices, in declaration order
+};
+
+// One per-node-pair link override ("link node0<->node2 gbits 10
+// efficiency 0.2 intercept_s 5e-4"). The pair is unordered (canonicalized
+// node_a < node_b); unset fields inherit the pair's base link (the
+// cross-rack link when the pair crosses racks, the inter link otherwise).
+struct LinkOverrideDecl {
+  int node_a = -1;
+  int node_b = -1;
+  std::optional<double> gbits;
+  std::optional<double> efficiency;
+  std::optional<double> intercept_s;
+};
+
 // Declarative description of an arbitrary heterogeneous cluster: GPU classes
 // with TFLOPS/memory, per-node GPU counts (mixed classes allowed within one
-// node), and intra-/inter-node link models including their latency/intercept
-// and scaling/efficiency knobs. This is the "any cluster you can imagine"
-// entry point the experiment pipeline runs on — the paper's fixed 4 x 4
-// testbed is just PaperTestbed().
+// node), intra-/inter-node link models including their latency/intercept
+// and scaling/efficiency knobs, and a rack-structured inter-node fabric
+// (rack groups, cross-rack link knobs, per-node-pair overrides). This is the
+// "any cluster you can imagine" entry point the experiment pipeline runs on
+// — the paper's fixed 4 x 4 testbed is just PaperTestbed().
 //
 // Compact text form: statements separated by newlines or ';', tokens by
 // whitespace, '#' comments to end of line.
@@ -65,6 +90,14 @@ struct NodeDecl {
 //   inter_gbits 25          # inter-node link rate, Gbit/s (default: 56G IB FDR)
 //   inter_efficiency 0.2    # achieved fraction of the line rate (regression slope)
 //   inter_intercept_s 5e-04 # per-transfer regression intercept, seconds
+//   rack r0 { node0 node1 } # rack group (nodes by index; at most one rack each)
+//   rack r1 { node2 }
+//   cross_rack_gbits 10     # link rate between racks (default: inter_gbits)
+//   cross_rack_efficiency 0.15   # (default: inter_efficiency)
+//   cross_rack_intercept_s 5e-4  # (default: inter_intercept_s)
+//   link node0<->node2 gbits 5 efficiency 0.1 intercept_s 1e-3
+//                           # per-pair override; each key optional, unset
+//                           # keys inherit the pair's base (cross-)rack link
 //
 // ToString() emits canonical single-line text ("; "-separated) that Parse()
 // round-trips, so a core::Experiment can carry a whole cluster as one string
@@ -80,6 +113,13 @@ struct ClusterSpec {
   double inter_gbits = InfinibandLink::kDefaultRawGbits;
   double inter_efficiency = InfinibandLink::kDefaultEfficiency;
   double inter_intercept_s = InfinibandLink::kDefaultIntercept;
+  std::vector<RackDecl> racks;
+  std::vector<LinkOverrideDecl> link_overrides;
+  // Cross-rack link knobs; an unset knob inherits the matching inter_* value,
+  // so racks alone (no knob set) leave the fabric link-identical.
+  std::optional<double> cross_rack_gbits;
+  std::optional<double> cross_rack_efficiency;
+  std::optional<double> cross_rack_intercept_s;
 
   // Chainable builder API.
   ClusterSpec& Named(std::string label);
@@ -94,12 +134,27 @@ struct ClusterSpec {
   ClusterSpec& InterGbits(double gbits);
   ClusterSpec& InterEfficiency(double efficiency);
   ClusterSpec& InterInterceptS(double intercept_s);
+  // Rack topology: groups `node_indices` under `rack_name`.
+  ClusterSpec& AddRack(std::string rack_name, std::vector<int> node_indices);
+  ClusterSpec& CrossRackGbits(double gbits);
+  ClusterSpec& CrossRackEfficiency(double efficiency);
+  ClusterSpec& CrossRackInterceptS(double intercept_s);
+  // Per-pair override; pass std::nullopt for fields that should inherit the
+  // pair's base link (at least one field must be set).
+  ClusterSpec& OverrideLink(int node_a, int node_b, std::optional<double> gbits,
+                            std::optional<double> efficiency = std::nullopt,
+                            std::optional<double> intercept_s = std::nullopt);
 
   // The spec's link models (what Build() hands the cluster).
   PcieLink IntraLink() const { return PcieLink(intra_gbps, intra_scaling, intra_latency_s); }
   InfinibandLink InterLink() const {
     return InfinibandLink(inter_gbits, inter_efficiency, inter_intercept_s);
   }
+  // The resolved inter-node link for a specific pair: the inter link, with
+  // cross_rack_* knobs applied when the nodes sit in different racks and the
+  // pair's explicit override (if any) applied on top. Requires a validated
+  // spec; node indices are range-checked.
+  InfinibandLink InterLinkBetween(int node_a, int node_b) const;
 
   // Parses the text form; throws std::invalid_argument (with the offending
   // statement in the message) on malformed input. The result is validated.
@@ -114,7 +169,10 @@ struct ClusterSpec {
 
   // Throws std::invalid_argument on an unknown GPU type, a zero-GPU node or
   // node group, an out-of-range link knob, a non-positive TFLOPS/memory,
-  // duplicate class names, or an empty node list.
+  // duplicate class names, an empty node list, a rack naming an out-of-range
+  // or twice-racked node, a cross-rack knob without racks, or a malformed
+  // link override (self pair, out-of-range node, duplicate pair, no fields,
+  // out-of-range values).
   void Validate() const;
 
   // Registers the declared GPU classes and materializes the cluster (with
@@ -126,6 +184,8 @@ struct ClusterSpec {
 bool operator==(const GpuClassDecl& a, const GpuClassDecl& b);
 bool operator==(const NodeGroup& a, const NodeGroup& b);
 bool operator==(const NodeDecl& a, const NodeDecl& b);
+bool operator==(const RackDecl& a, const RackDecl& b);
+bool operator==(const LinkOverrideDecl& a, const LinkOverrideDecl& b);
 bool operator==(const ClusterSpec& a, const ClusterSpec& b);
 
 }  // namespace hetpipe::hw

@@ -1,6 +1,7 @@
 #include "runner/partition_cache.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
@@ -124,6 +125,30 @@ std::string MakeKey(const partition::Partitioner& partitioner, const std::vector
   fp.Mix(partitioner.cluster().pcie().TransferTime(1ULL << 20));
   fp.Mix(partitioner.cluster().infiniband().TransferTime(1));
   fp.Mix(partitioner.cluster().infiniband().TransferTime(1ULL << 20));
+  // Rack topologies and per-pair overrides make the inter-node fabric
+  // non-uniform, so probe the resolved links among the virtual worker's own
+  // nodes too (file version 3). Solve depends on inter-node links only
+  // between consecutive stages, which are all VW GPUs, so pairs outside the
+  // VW are irrelevant — probing only the VW's pairs keeps a degraded link
+  // elsewhere in the cluster from splitting keys of provably identical
+  // solves. On a uniform fabric every probe is a pure function of the four
+  // above, so topology-only changes, and nothing else, split keys.
+  const hw::Cluster& cluster = partitioner.cluster();
+  std::vector<int> vw_nodes;
+  vw_nodes.reserve(gpu_ids.size());
+  for (int id : gpu_ids) {
+    const int node = cluster.gpu(id).node;
+    if (std::find(vw_nodes.begin(), vw_nodes.end(), node) == vw_nodes.end()) {
+      vw_nodes.push_back(node);
+    }
+  }
+  std::sort(vw_nodes.begin(), vw_nodes.end());
+  for (size_t a = 0; a < vw_nodes.size(); ++a) {
+    for (size_t b = a + 1; b < vw_nodes.size(); ++b) {
+      fp.Mix(cluster.LinkBetweenNodes(vw_nodes[a], vw_nodes[b]).TransferTime(1));
+      fp.Mix(cluster.LinkBetweenNodes(vw_nodes[a], vw_nodes[b]).TransferTime(1ULL << 20));
+    }
+  }
   fp.Mix(options.mem_params.optimizer_multiplier);
   fp.Mix(options.mem_params.framework_overhead_bytes);
   fp.Mix(static_cast<uint64_t>(options.mem_params.stash_weights ? 1 : 0));
@@ -377,15 +402,29 @@ bool PartitionCache::Save(const std::string& path, std::string* error) const {
   file += records;
   PutU64(file, ChecksumBytes(records.data(), records.size()));
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) {
-    SetError(error, "cannot open " + path + " for writing");
-    return false;
+  // Write-then-rename so a crash (or ENOSPC) mid-save can never leave `path`
+  // truncated: the previous cache survives until the new bytes are complete,
+  // and the rename swaps them in atomically (same directory, so it cannot
+  // degrade to a copy).
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      SetError(error, "cannot open " + tmp_path + " for writing");
+      return false;
+    }
+    out.write(file.data(), static_cast<std::streamsize>(file.size()));
+    out.flush();
+    if (!out.good()) {
+      SetError(error, "short write to " + tmp_path);
+      out.close();
+      std::remove(tmp_path.c_str());
+      return false;
+    }
   }
-  out.write(file.data(), static_cast<std::streamsize>(file.size()));
-  out.flush();
-  if (!out.good()) {
-    SetError(error, "short write to " + path);
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    SetError(error, "cannot rename " + tmp_path + " to " + path);
+    std::remove(tmp_path.c_str());
     return false;
   }
   return true;

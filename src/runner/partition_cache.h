@@ -14,8 +14,9 @@ namespace hetpipe::runner {
 // search dominates sweep cost, and sweeps revisit the same virtual-worker
 // shapes constantly (every ED virtual worker of a cluster, every wave of an
 // Nm sweep, every policy sharing a subset). Keyed by (model profile
-// fingerprint, cluster layout + link-model probes (bandwidth, scaling, and
-// latency/intercept knobs), VW GPU (class, node) multiset, Nm, order-search
+// fingerprint, cluster layout + link-model probes (bandwidth, scaling,
+// latency/intercept knobs, and the per-node-pair links a rack topology or
+// link override resolves to), VW GPU (class, node) multiset, Nm, order-search
 // flag, memory params) — everything
 // Partitioner::Solve's result depends on. Keys are value-based (GPU class
 // names and numbers, never process-local handles), so they are stable across
@@ -43,8 +44,12 @@ class PartitionCache {
   // Bumped whenever the file layout or the key derivation changes; files of
   // any other version are rejected on Load. v2: link probes moved from
   // (0 B, 1 MiB) to (1 B, 1 MiB) so spec-level latency/intercept knobs are
-  // always part of the key.
-  static constexpr uint32_t kFileVersion = 2;
+  // always part of the key. v3: the resolved inter link of every node pair
+  // of the virtual worker is probed, so rack topology and per-pair link
+  // overrides can never alias a uniform-fabric entry (and vice versa),
+  // while topology changes outside the VW's nodes — which cannot affect its
+  // solve — still share entries.
+  static constexpr uint32_t kFileVersion = 3;
 
   // Drop-in for Partitioner::Solve.
   partition::Partition Solve(const partition::Partitioner& partitioner,
@@ -56,8 +61,11 @@ class PartitionCache {
   int FindMaxNm(const partition::Partitioner& partitioner, const std::vector<int>& gpu_ids,
                 int nm_cap, partition::PartitionOptions options);
 
-  // Writes every entry (materialized and still-serialized alike) to `path`.
-  // Returns false and fills `error` (when non-null) on I/O failure.
+  // Writes every entry (materialized and still-serialized alike) to `path`,
+  // via a temp file in the same directory renamed over the target, so a
+  // crash mid-save never leaves `path` truncated or corrupted. Returns false
+  // and fills `error` (when non-null) on I/O failure (the target is then
+  // untouched).
   bool Save(const std::string& path, std::string* error = nullptr) const;
 
   // Merges the entries of a Save'd file; keys already present are kept as-is.

@@ -1,6 +1,7 @@
 #include "runner/result_sink.h"
 
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 namespace hetpipe::runner {
@@ -17,22 +18,49 @@ std::string EscapeJson(const std::string& s) {
       case '\\':
         out += "\\\\";
         break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
       case '\n':
         out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
         break;
       case '\t':
         out += "\\t";
         break;
       default:
-        out.push_back(c);
+        // JSON forbids raw control characters in strings; anything below
+        // 0x20 without a short escape must go out as \u00XX or the line is
+        // unparseable.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04X",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
     }
   }
   return out;
 }
 
-std::string FormatDouble(double v) {
-  if (std::isnan(v)) {
-    return "null";
+// How a row value is rendered: JSON token (strings quoted+escaped,
+// non-finite doubles -> null), the raw JSON-value form ResultRow::Get
+// returns (strings unquoted), or a CSV cell (non-finite doubles -> empty:
+// CSV has no null literal, and "inf"/"nan" break numeric column parsers).
+enum class ValueFormat { kJson, kRaw, kCsv };
+
+std::string FormatDouble(double v, ValueFormat format) {
+  if (!std::isfinite(v)) {
+    // JSON has no literal for NaN or the infinities; null is the only
+    // faithful spelling ("inf" makes the whole line unparseable).
+    return format == ValueFormat::kCsv ? "" : "null";
   }
   std::ostringstream os;
   os.precision(12);
@@ -40,17 +68,17 @@ std::string FormatDouble(double v) {
   return os.str();
 }
 
-std::string ValueToString(const ResultRow::Value& value, bool quote_strings) {
+std::string ValueToString(const ResultRow::Value& value, ValueFormat format) {
   struct Visitor {
-    bool quote;
+    ValueFormat format;
     std::string operator()(bool v) const { return v ? "true" : "false"; }
     std::string operator()(int64_t v) const { return std::to_string(v); }
-    std::string operator()(double v) const { return FormatDouble(v); }
+    std::string operator()(double v) const { return FormatDouble(v, format); }
     std::string operator()(const std::string& v) const {
-      return quote ? "\"" + EscapeJson(v) + "\"" : v;
+      return format == ValueFormat::kJson ? "\"" + EscapeJson(v) + "\"" : v;
     }
   };
-  return std::visit(Visitor{quote_strings}, value);
+  return std::visit(Visitor{format}, value);
 }
 
 std::string EscapeCsv(const std::string& s) {
@@ -74,7 +102,7 @@ std::string EscapeCsv(const std::string& s) {
 std::string ResultRow::Get(const std::string& key) const {
   for (const auto& [k, v] : fields_) {
     if (k == key) {
-      return ValueToString(v, /*quote_strings=*/false);
+      return ValueToString(v, ValueFormat::kRaw);
     }
   }
   return "";
@@ -88,7 +116,7 @@ void JsonlSink::Write(const ResultRow& row) {
       *out_ << ",";
     }
     first = false;
-    *out_ << "\"" << EscapeJson(key) << "\":" << ValueToString(value, /*quote_strings=*/true);
+    *out_ << "\"" << EscapeJson(key) << "\":" << ValueToString(value, ValueFormat::kJson);
   }
   *out_ << "}\n";
 }
@@ -98,7 +126,11 @@ void CsvSink::Flush() {
     return;
   }
 
-  if (columns_.empty()) {
+  // Rows flushed together with the header all contributed their keys to it,
+  // so the late-column check below can only ever fire on later flushes.
+  const bool check_late_columns = header_written_;
+
+  if (!header_written_) {
     for (const ResultRow& row : rows_) {
       for (const auto& [key, value] : row.fields()) {
         (void)value;
@@ -118,6 +150,7 @@ void CsvSink::Flush() {
       *out_ << (i > 0 ? "," : "") << EscapeCsv(columns_[i]);
     }
     *out_ << "\n";
+    header_written_ = true;
   }
 
   for (const ResultRow& row : rows_) {
@@ -125,13 +158,35 @@ void CsvSink::Flush() {
       std::string cell;
       for (const auto& [key, value] : row.fields()) {
         if (key == columns_[i]) {
-          cell = ValueToString(value, /*quote_strings=*/false);
+          cell = ValueToString(value, ValueFormat::kCsv);
           break;
         }
       }
       *out_ << (i > 0 ? "," : "") << EscapeCsv(cell);
     }
     *out_ << "\n";
+    // A key first seen after the header is already out cannot get a column;
+    // dropping it silently would let a sweep lose a metric without anyone
+    // noticing, so record it and warn once per column.
+    if (check_late_columns) {
+      for (const auto& [key, value] : row.fields()) {
+        (void)value;
+        bool known = false;
+        for (const std::string& c : columns_) {
+          known = known || c == key;
+        }
+        for (const std::string& d : dropped_columns_) {
+          known = known || d == key;
+        }
+        if (!known) {
+          dropped_columns_.push_back(key);
+          std::fprintf(stderr,
+                       "warning: CSV column \"%s\" first appeared after the header was "
+                       "written; its values are dropped\n",
+                       key.c_str());
+        }
+      }
+    }
   }
   rows_.clear();
 }

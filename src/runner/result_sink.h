@@ -60,7 +60,10 @@ class JsonlSink : public ResultSink {
 // CSV with a header row. Rows are buffered until Flush (or destruction);
 // the first Flush fixes the column set — the union of keys over the rows
 // buffered so far, in first-seen order — and later flushes render their rows
-// against those columns (keys first appearing after that are dropped).
+// against those columns. A key first appearing after the header is out
+// cannot get a column anymore (the header line is already in the stream); it
+// is reported in dropped_columns() and warned about on stderr once, never
+// dropped silently.
 class CsvSink : public ResultSink {
  public:
   explicit CsvSink(std::ostream& out) : out_(&out) {}
@@ -68,10 +71,16 @@ class CsvSink : public ResultSink {
   void Write(const ResultRow& row) override { rows_.push_back(row); }
   void Flush() override;
 
+  // Keys that appeared only after the header was written, in first-seen
+  // order; their values never reached the output.
+  const std::vector<std::string>& dropped_columns() const { return dropped_columns_; }
+
  private:
   std::ostream* out_;
   std::vector<ResultRow> rows_;
-  std::vector<std::string> columns_;  // fixed at the first Flush
+  std::vector<std::string> columns_;  // fixed once header_written_
+  bool header_written_ = false;
+  std::vector<std::string> dropped_columns_;
 };
 
 // Fans rows out to several sinks (e.g. --json and --csv together).

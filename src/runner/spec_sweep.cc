@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
 
 #include "cluster/allocator.h"
@@ -113,6 +114,33 @@ std::vector<core::Experiment> ScalingSweep(const hw::ClusterSpec& spec,
     hw::ClusterSpec subset = spec;
     subset.nodes.assign(spec.nodes.begin(), spec.nodes.begin() + static_cast<long>(prefix));
     subset.name = SpecLabel(spec) + "-" + std::to_string(prefix) + "n";
+    // Trim the topology to the prefix, or the truncated spec fails Validate:
+    // racks keep their in-prefix members (emptied racks vanish), an override
+    // survives only when both of its nodes are in the prefix, and cross-rack
+    // knobs need at least one surviving rack.
+    subset.racks.clear();
+    for (const hw::RackDecl& rack : spec.racks) {
+      hw::RackDecl kept{rack.name, {}};
+      for (const int node : rack.nodes) {
+        if (node < static_cast<int>(prefix)) {
+          kept.nodes.push_back(node);
+        }
+      }
+      if (!kept.nodes.empty()) {
+        subset.racks.push_back(std::move(kept));
+      }
+    }
+    subset.link_overrides.clear();
+    for (const hw::LinkOverrideDecl& decl : spec.link_overrides) {
+      if (decl.node_b < static_cast<int>(prefix)) {
+        subset.link_overrides.push_back(decl);
+      }
+    }
+    if (subset.racks.empty()) {
+      subset.cross_rack_gbits.reset();
+      subset.cross_rack_efficiency.reset();
+      subset.cross_rack_intercept_s.reset();
+    }
     const std::string label =
         std::string(core::ModelName(options.model)) + " " + subset.name;
 
@@ -154,6 +182,54 @@ std::vector<core::Experiment> BandwidthSweep(const hw::ClusterSpec& spec,
     tuned.InterGbits(gbits);
     experiments.push_back(SpecExperiment(tuned, "bandwidth " + Num(gbits) + " Gbit/s",
                                          options.d, options.jitter_cv, options));
+  }
+  return experiments;
+}
+
+std::vector<core::Experiment> TopologySweep(const hw::ClusterSpec& spec,
+                                            const std::vector<int>& rack_sizes,
+                                            const std::vector<double>& cross_rack_gbits,
+                                            const std::vector<double>& degraded_pair_gbits,
+                                            const SpecSweepOptions& options) {
+  if (!spec.racks.empty() || !spec.link_overrides.empty()) {
+    throw std::invalid_argument(
+        "TopologySweep: the base spec must not carry racks or link overrides");
+  }
+  const int num_nodes = static_cast<int>(spec.nodes.size());
+  std::vector<core::Experiment> experiments;
+  for (const int rack_size : rack_sizes) {
+    if (rack_size <= 0 || rack_size >= num_nodes) {
+      // One rack spanning everything (or nonsense sizes) has no cross-rack
+      // pair to sweep.
+      continue;
+    }
+    hw::ClusterSpec racked = spec;
+    for (int first = 0, rack = 0; first < num_nodes; first += rack_size, ++rack) {
+      std::vector<int> members;
+      for (int node = first; node < std::min(first + rack_size, num_nodes); ++node) {
+        members.push_back(node);
+      }
+      racked.AddRack("r" + std::to_string(rack), std::move(members));
+    }
+    for (const double gbits : cross_rack_gbits) {
+      hw::ClusterSpec tuned = racked;
+      tuned.CrossRackGbits(gbits);
+      experiments.push_back(SpecExperiment(
+          tuned,
+          "racks of " + std::to_string(rack_size) + " xrack=" + Num(gbits) + " Gbit/s",
+          options.d, options.jitter_cv, options));
+    }
+  }
+  if (num_nodes > 1) {
+    for (const double gbits : degraded_pair_gbits) {
+      hw::ClusterSpec degraded = spec;
+      degraded.OverrideLink(0, num_nodes - 1, gbits);
+      experiments.push_back(SpecExperiment(
+          degraded,
+          "degraded node0<->node" + std::to_string(num_nodes - 1) + " " + Num(gbits) +
+              " Gbit/s",
+          options.d, options.jitter_cv, options));
+    }
   }
   return experiments;
 }

@@ -78,4 +78,21 @@ std::vector<core::Experiment> LatencySweep(const hw::ClusterSpec& spec,
                                            const std::vector<double>& intra_latencies_s,
                                            const SpecSweepOptions& options = {});
 
+// Topology grid over a rack-structured fabric, two scenario families on
+// one spec (which must carry no racks/overrides of its own):
+//   - rack partitions: for every rack size r in `rack_sizes`, the nodes are
+//     grouped into consecutive racks of r ("r0", "r1", ...; last rack
+//     partial), and the spec re-runs at every cross-rack rate in
+//     `cross_rack_gbits`;
+//   - single-pair degradation: for every rate in `degraded_pair_gbits`, the
+//     un-racked spec re-runs with the link node0<->node<H-1> overridden to
+//     that rate (skipped on single-node specs).
+// This is how coverage grows beyond uniform-fabric grids: the same workload
+// under rack-structured bandwidth cliffs and one bad cable.
+std::vector<core::Experiment> TopologySweep(const hw::ClusterSpec& spec,
+                                            const std::vector<int>& rack_sizes,
+                                            const std::vector<double>& cross_rack_gbits,
+                                            const std::vector<double>& degraded_pair_gbits,
+                                            const SpecSweepOptions& options = {});
+
 }  // namespace hetpipe::runner

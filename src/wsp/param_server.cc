@@ -35,7 +35,11 @@ VwCommTimes ComputePsCommTimes(const partition::Partition& partition, const hw::
 
   double max_ib_s = 0.0;
   for (const auto& [node, bytes] : remote_bytes_by_node) {
-    max_ib_s = std::max(max_ib_s, cluster.infiniband().TransferTime(bytes));
+    // Round-robin placement spreads the remote shards over every other node,
+    // so the funneled bytes ride the node's slowest inter-node link — on a
+    // uniform fabric that is exactly the shared inter link, on a rack
+    // topology or with a degraded pair it is the worst resolved pair link.
+    max_ib_s = std::max(max_ib_s, cluster.WorstInterTransferTimeFrom(node, bytes));
   }
 
   VwCommTimes times;

@@ -36,7 +36,11 @@ struct VwCommTimes {
 // Computes push/pull times for a virtual worker's partition: every stage
 // moves its parameter bytes to/from the PS shards, local bytes over PCIe and
 // remote bytes over the node NIC (Infiniband). Stage transfers on different
-// nodes proceed in parallel; transfers sharing a node NIC serialize.
+// nodes proceed in parallel; transfers sharing a node NIC serialize. On a
+// rack topology (or with per-pair link overrides) a node's remote bytes ride
+// its slowest resolved inter-node link — round-robin shards live on every
+// other node, so the worst pair bounds the funnel; uniform fabrics are
+// bit-identical to the shared-link model.
 VwCommTimes ComputePsCommTimes(const partition::Partition& partition, const hw::Cluster& cluster,
                                PlacementPolicy placement);
 

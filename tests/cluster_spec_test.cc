@@ -4,8 +4,10 @@
 // kFullCluster experiments end-to-end through the sweep runner.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "cluster/allocator.h"
 #include "core/experiment.h"
@@ -442,6 +444,295 @@ TEST(ClusterSpecTest, GenericClusterRunsFullClusterExperimentEndToEnd) {
   const auto serial_results = serial.Run({e});
   ASSERT_EQ(serial_results.size(), 1u);
   EXPECT_EQ(serial_results[0].throughput_img_s, results[0].throughput_img_s);
+}
+
+// ---- Rack topology and per-node-pair link overrides ----
+
+constexpr const char* kRackSpecText =
+    "name rack-mix\n"
+    "gpu RackCard tflops=8.5 mem=32\n"
+    "node 2xRackCard\n"
+    "node 2xRackCard\n"
+    "node 2xRackCard\n"
+    "rack r0 { node0 node1 }\n"
+    "rack r1 { node2 }\n"
+    "cross_rack_gbits 10\n"
+    "link node0<->node2 gbits 5 efficiency 0.1 intercept_s 0.001\n";
+
+TEST(ClusterSpecTest, ParsesRacksAndLinkOverrides) {
+  const ClusterSpec spec = ClusterSpec::Parse(kRackSpecText);
+  ASSERT_EQ(spec.racks.size(), 2u);
+  EXPECT_EQ(spec.racks[0].name, "r0");
+  EXPECT_EQ(spec.racks[0].nodes, (std::vector<int>{0, 1}));
+  EXPECT_EQ(spec.racks[1].nodes, (std::vector<int>{2}));
+  ASSERT_TRUE(spec.cross_rack_gbits.has_value());
+  EXPECT_EQ(*spec.cross_rack_gbits, 10.0);
+  EXPECT_FALSE(spec.cross_rack_efficiency.has_value());
+  EXPECT_FALSE(spec.cross_rack_intercept_s.has_value());
+  ASSERT_EQ(spec.link_overrides.size(), 1u);
+  EXPECT_EQ(spec.link_overrides[0].node_a, 0);
+  EXPECT_EQ(spec.link_overrides[0].node_b, 2);
+  EXPECT_EQ(spec.link_overrides[0].gbits, std::optional<double>(5.0));
+  EXPECT_EQ(spec.link_overrides[0].efficiency, std::optional<double>(0.1));
+  EXPECT_EQ(spec.link_overrides[0].intercept_s, std::optional<double>(0.001));
+
+  // The glued-brace spelling and reversed pairs parse too (canonicalized).
+  const ClusterSpec glued = ClusterSpec::Parse(
+      "node 1xV; node 1xV; rack top {node0 node1}; link node1<->node0 gbits 3");
+  ASSERT_EQ(glued.racks.size(), 1u);
+  EXPECT_EQ(glued.racks[0].name, "top");
+  EXPECT_EQ(glued.racks[0].nodes, (std::vector<int>{0, 1}));
+  ASSERT_EQ(glued.link_overrides.size(), 1u);
+  EXPECT_EQ(glued.link_overrides[0].node_a, 0);
+  EXPECT_EQ(glued.link_overrides[0].node_b, 1);
+  EXPECT_FALSE(glued.link_overrides[0].efficiency.has_value());
+}
+
+TEST(ClusterSpecTest, RackSpecRoundTripsAndMatchesBuilder) {
+  const ClusterSpec spec = ClusterSpec::Parse(kRackSpecText);
+  const std::string canonical = spec.ToString();
+  EXPECT_NE(canonical.find("rack r0 { node0 node1 }"), std::string::npos) << canonical;
+  EXPECT_NE(canonical.find("cross_rack_gbits 10"), std::string::npos) << canonical;
+  EXPECT_NE(canonical.find("link node0<->node2 gbits 5 efficiency 0.1 intercept_s 0.001"),
+            std::string::npos)
+      << canonical;
+  EXPECT_TRUE(ClusterSpec::Parse(canonical) == spec) << canonical;
+
+  ClusterSpec built;
+  built.Named("rack-mix")
+      .AddGpuClass("RackCard", 8.5, 32.0)
+      .AddNode("RackCard", 2)
+      .AddNode("RackCard", 2)
+      .AddNode("RackCard", 2)
+      .AddRack("r0", {0, 1})
+      .AddRack("r1", {2})
+      .CrossRackGbits(10.0)
+      .OverrideLink(0, 2, 5.0, 0.1, 0.001);
+  EXPECT_TRUE(built == spec);
+}
+
+TEST(ClusterSpecTest, RejectsMalformedRacksAndOverrides) {
+  constexpr const char* kNodes = "node 1xV; node 1xV; node 1xV; ";
+  // Rack grammar and membership errors.
+  EXPECT_THROW(ClusterSpec::Parse(std::string(kNodes) + "rack r0"), std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse(std::string(kNodes) + "rack r0 { }"),
+               std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse(std::string(kNodes) + "rack { node0 }"),
+               std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse(std::string(kNodes) + "rack r0 { junk }"),
+               std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse(std::string(kNodes) + "rack r0 { node9 }"),
+               std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse(std::string(kNodes) + "rack r0 { node-1 }"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ClusterSpec::Parse(std::string(kNodes) + "rack r0 { node0 }; rack r1 { node0 }"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      ClusterSpec::Parse(std::string(kNodes) + "rack r0 { node0 }; rack r0 { node1 }"),
+      std::invalid_argument);
+  // Cross-rack knobs need racks and sane values.
+  EXPECT_THROW(ClusterSpec::Parse(std::string(kNodes) + "cross_rack_gbits 10"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ClusterSpec::Parse(std::string(kNodes) + "rack r0 { node0 }; cross_rack_gbits 0"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      ClusterSpec::Parse(std::string(kNodes) + "rack r0 { node0 }; cross_rack_efficiency 1.5"),
+      std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse(std::string(kNodes) +
+                                  "rack r0 { node0 }; cross_rack_intercept_s -1e-3"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ClusterSpec::Parse(std::string(kNodes) + "rack r0 { node0 }; cross_rack_gbits nan"),
+      std::invalid_argument);
+  // Link override errors: grammar, ranges, duplicates, empty, self pairs.
+  EXPECT_THROW(ClusterSpec::Parse(std::string(kNodes) + "link node0<->node1"),
+               std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse(std::string(kNodes) + "link node0-node1 gbits 5"),
+               std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse(std::string(kNodes) + "link node0<->node0 gbits 5"),
+               std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse(std::string(kNodes) + "link node0<->node9 gbits 5"),
+               std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse(std::string(kNodes) + "link node0<->node1 gbits 0"),
+               std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse(std::string(kNodes) + "link node0<->node1 efficiency 2"),
+               std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse(std::string(kNodes) + "link node0<->node1 watts 5"),
+               std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse(std::string(kNodes) + "link node0<->node1 gbits 5 gbits 6"),
+               std::invalid_argument);
+  EXPECT_THROW(ClusterSpec::Parse(std::string(kNodes) +
+                                  "link node0<->node1 gbits 5; link node1<->node0 gbits 6"),
+               std::invalid_argument);
+}
+
+TEST(ClusterSpecTest, ResolvesPairLinksSameRackCrossRackAndOverride) {
+  const ClusterSpec spec = ClusterSpec::Parse(kRackSpecText);
+  const Cluster cluster = spec.Build();
+  EXPECT_FALSE(cluster.UniformFabric());
+  EXPECT_EQ(cluster.NodeRack(0), 0);
+  EXPECT_EQ(cluster.NodeRack(1), 0);
+  EXPECT_EQ(cluster.NodeRack(2), 1);
+  EXPECT_TRUE(cluster.SameRack(0, 1));
+  EXPECT_FALSE(cluster.SameRack(1, 2));
+
+  const uint64_t bytes = 8ULL << 20;
+  // Same rack: the plain inter link (56G IB defaults here).
+  EXPECT_EQ(cluster.LinkBetweenNodes(0, 1).TransferTime(bytes),
+            cluster.infiniband().TransferTime(bytes));
+  // Cross-rack: inter with gbits swapped to 10 (efficiency/intercept
+  // inherited).
+  const InfinibandLink cross(10.0, InfinibandLink::kDefaultEfficiency,
+                             InfinibandLink::kDefaultIntercept);
+  EXPECT_EQ(cluster.LinkBetweenNodes(1, 2).TransferTime(bytes), cross.TransferTime(bytes));
+  EXPECT_EQ(cluster.LinkBetweenNodes(2, 1).TransferTime(bytes), cross.TransferTime(bytes));
+  // Explicit override beats the cross-rack link on its pair.
+  const InfinibandLink overridden(5.0, 0.1, 0.001);
+  EXPECT_EQ(cluster.LinkBetweenNodes(0, 2).TransferTime(bytes),
+            overridden.TransferTime(bytes));
+  // The spec-level resolver agrees with the built cluster.
+  EXPECT_EQ(spec.InterLinkBetween(0, 2).TransferTime(bytes), overridden.TransferTime(bytes));
+  EXPECT_EQ(spec.InterLinkBetween(1, 2).TransferTime(bytes), cross.TransferTime(bytes));
+  // GPU-level routing picks the pair link: GPUs 0 (node0) and 5 (node2).
+  EXPECT_EQ(cluster.LinkBetween(0, 5).TransferTime(bytes), overridden.TransferTime(bytes));
+  EXPECT_EQ(cluster.LinkToNode(0, 2).TransferTime(bytes), overridden.TransferTime(bytes));
+  // Same node stays PCIe.
+  EXPECT_EQ(cluster.LinkBetween(0, 1).TransferTime(bytes),
+            cluster.pcie().TransferTime(bytes));
+  // The conservative funnel bound is the node's worst resolved pair link:
+  // from node1 that is the cross-rack 10 Gbit/s link to node2 (the node0
+  // link is the plain inter link, which is faster).
+  EXPECT_EQ(cluster.WorstInterTransferTimeFrom(1, bytes), cross.TransferTime(bytes));
+  EXPECT_EQ(cluster.WorstInterTransferTimeFrom(0, bytes), overridden.TransferTime(bytes));
+  // On a uniform fabric the bound is exactly the shared inter link.
+  const Cluster uniform = ClusterSpec::Parse("node 2xV; node 2xV").Build();
+  EXPECT_EQ(uniform.WorstInterTransferTimeFrom(0, bytes),
+            uniform.infiniband().TransferTime(bytes));
+}
+
+TEST(ClusterSpecTest, RacksAloneKeepTheFabricUniform) {
+  // Racks without any cross-rack knob (or with knobs equal to the inter
+  // values) change no link, so the cluster stays a uniform fabric and every
+  // transfer time is bit-identical to the rack-free build.
+  const char* kBase = "node 2xV; node 2xV; node 2xV; inter_gbits 25";
+  const Cluster plain = ClusterSpec::Parse(kBase).Build();
+  const Cluster racked =
+      ClusterSpec::Parse(std::string(kBase) + "; rack r0 { node0 node1 }; rack r1 { node2 }")
+          .Build();
+  const Cluster racked_same_knob =
+      ClusterSpec::Parse(std::string(kBase) +
+                         "; rack r0 { node0 node1 }; rack r1 { node2 }; cross_rack_gbits 25")
+          .Build();
+  EXPECT_TRUE(plain.UniformFabric());
+  EXPECT_TRUE(racked.UniformFabric());
+  EXPECT_TRUE(racked_same_knob.UniformFabric());
+  // Rack metadata is still there for the traffic accounting.
+  EXPECT_EQ(racked.NodeRack(2), 1);
+  EXPECT_EQ(plain.NodeRack(2), -1);
+  const uint64_t bytes = 16ULL << 20;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      EXPECT_EQ(racked.LinkBetweenNodes(a, b).TransferTime(bytes),
+                plain.LinkBetweenNodes(a, b).TransferTime(bytes));
+    }
+  }
+
+  // And the partitioner returns a bit-identical partition.
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  partition::PartitionOptions options;
+  options.nm = 2;
+  const std::vector<int> vw = {0, 2, 4};
+  const partition::Partition a = partition::Partitioner(profile, plain).Solve(vw, options);
+  const partition::Partition b = partition::Partitioner(profile, racked).Solve(vw, options);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_EQ(a.num_stages(), b.num_stages());
+  EXPECT_EQ(a.bottleneck_time, b.bottleneck_time);
+  EXPECT_EQ(a.sum_time, b.sum_time);
+  for (int q = 0; q < a.num_stages(); ++q) {
+    EXPECT_EQ(a.stages[static_cast<size_t>(q)].gpu_id, b.stages[static_cast<size_t>(q)].gpu_id);
+    EXPECT_EQ(a.stages[static_cast<size_t>(q)].last_layer,
+              b.stages[static_cast<size_t>(q)].last_layer);
+  }
+}
+
+TEST(ClusterSpecTest, PartitionerRespondsToADegradedNodePair) {
+  // The ISSUE's acceptance scenario: degrade one node pair's link and the
+  // partitioner's chosen partition must respond. Three single-V nodes, a VW
+  // with one GPU per node; with a uniform fabric the order search keeps the
+  // first (id-ordered) representative, with node0<->node1 degraded it must
+  // route around the bad cable by never placing stages on nodes 0 and 1
+  // adjacently — at no bottleneck cost, since the detour links are intact.
+  const char* kBase = "node 1xV; node 1xV; node 1xV";
+  const Cluster uniform = ClusterSpec::Parse(kBase).Build();
+  const Cluster degraded =
+      ClusterSpec::Parse(std::string(kBase) + "; link node0<->node1 gbits 0.5").Build();
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  partition::PartitionOptions options;
+  options.nm = 1;
+
+  const partition::Partition base =
+      partition::Partitioner(profile, uniform).Solve({0, 1, 2}, options);
+  ASSERT_TRUE(base.feasible);
+  ASSERT_EQ(base.num_stages(), 3);
+  EXPECT_EQ(base.stages[0].node, 0);
+  EXPECT_EQ(base.stages[1].node, 1);
+  EXPECT_EQ(base.stages[2].node, 2);
+
+  const partition::Partitioner degraded_partitioner(profile, degraded);
+  const partition::Partition routed = degraded_partitioner.Solve({0, 1, 2}, options);
+  ASSERT_TRUE(routed.feasible);
+  ASSERT_EQ(routed.num_stages(), 3);
+  for (int q = 1; q < routed.num_stages(); ++q) {
+    const int prev = routed.stages[static_cast<size_t>(q) - 1].node;
+    const int cur = routed.stages[static_cast<size_t>(q)].node;
+    EXPECT_FALSE((prev == 0 && cur == 1) || (prev == 1 && cur == 0))
+        << "stage boundary " << q << " crosses the degraded pair";
+  }
+  EXPECT_EQ(routed.bottleneck_time, base.bottleneck_time);
+
+  // With the order search off the degraded pair cannot be avoided, so the
+  // link slowdown must surface in the objective — proof the per-pair link
+  // reaches the DP's hoisted transfer times.
+  partition::PartitionOptions fixed = options;
+  fixed.search_gpu_orders = false;
+  const partition::Partition stuck = degraded_partitioner.Solve({0, 1, 2}, fixed);
+  const partition::Partition stuck_base =
+      partition::Partitioner(profile, uniform).Solve({0, 1, 2}, fixed);
+  ASSERT_TRUE(stuck.feasible);
+  EXPECT_GT(stuck.bottleneck_time, stuck_base.bottleneck_time);
+
+  // Solve and SolveReference agree on non-uniform fabrics too.
+  const partition::Partition reference = degraded_partitioner.SolveReference({0, 1, 2}, options);
+  ASSERT_TRUE(reference.feasible);
+  EXPECT_EQ(reference.bottleneck_time, routed.bottleneck_time);
+  EXPECT_EQ(reference.sum_time, routed.sum_time);
+  for (int q = 0; q < routed.num_stages(); ++q) {
+    EXPECT_EQ(reference.stages[static_cast<size_t>(q)].gpu_id,
+              routed.stages[static_cast<size_t>(q)].gpu_id);
+    EXPECT_EQ(reference.stages[static_cast<size_t>(q)].last_layer,
+              routed.stages[static_cast<size_t>(q)].last_layer);
+  }
+}
+
+TEST(ClusterSpecTest, UseClusterRejectsNonUniformFabricWithoutSpecText) {
+  // A spec-built cluster carries its topology in spec_text; strip the text
+  // and the node-code fallback must refuse the cluster rather than silently
+  // rebuild it with a uniform fabric.
+  Cluster cluster =
+      ClusterSpec::Parse("node 4xV; node 4xR; link node0<->node1 gbits 2").Build();
+  cluster.set_spec_text("");
+  core::Experiment e;
+  EXPECT_THROW(e.UseCluster(cluster), std::invalid_argument);
+  // Racks with uniform links change no transfer time, but the traffic
+  // accounting reads them — they are just as unrepresentable as node codes.
+  Cluster rack_only =
+      ClusterSpec::Parse("node 4xV; node 4xR; rack r0 { node0 }; rack r1 { node1 }").Build();
+  rack_only.set_spec_text("");
+  EXPECT_THROW(e.UseCluster(rack_only), std::invalid_argument);
 }
 
 TEST(ClusterSpecTest, GenericGraphExperimentCarriesModelName) {

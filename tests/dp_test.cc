@@ -4,6 +4,7 @@
 #include "dp/horovod.h"
 #include "dp/placement.h"
 #include "hw/cluster.h"
+#include "hw/cluster_spec.h"
 #include "model/profiler.h"
 #include "model/resnet.h"
 #include "model/vgg.h"
@@ -162,6 +163,43 @@ TEST(PlacementTest, EdVwStillMovesActivationsAcrossNodes) {
   EXPECT_GT(bytes, 0u);
   // All three boundaries cross nodes in an ED virtual worker.
   EXPECT_GT(bytes, 50ULL << 20);
+}
+
+TEST(PlacementTest, ActivationTrafficByTierSplitsByRack) {
+  // Three 2-GPU V nodes, nodes 0+1 in one rack, node 2 alone; a fixed-order
+  // VW spanning (node0, node0, node1, node2) exercises every tier.
+  const hw::Cluster cluster =
+      hw::ClusterSpec::Parse(
+          "node 2xV; node 2xV; node 2xV;"
+          "rack r0 { node0 node1 }; rack r1 { node2 }; cross_rack_gbits 5")
+          .Build();
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  const partition::Partitioner partitioner(profile, cluster);
+  partition::PartitionOptions options;
+  options.nm = 1;
+  options.search_gpu_orders = false;  // keep the node sequence 0,0,1,2
+  const partition::Partition partition = partitioner.Solve({0, 1, 2, 4}, options);
+  ASSERT_TRUE(partition.feasible);
+
+  const ActivationTraffic traffic = ActivationTrafficByTier(partition, profile, cluster);
+  EXPECT_GT(traffic.intra_node_bytes, 0u);   // boundary inside node 0
+  EXPECT_GT(traffic.same_rack_bytes, 0u);    // node0 -> node1
+  EXPECT_GT(traffic.cross_rack_bytes, 0u);   // node1 -> node2
+  // The cross-node tiers partition exactly the flat cross-node accounting.
+  EXPECT_EQ(traffic.same_rack_bytes + traffic.cross_rack_bytes,
+            ActivationCrossNodeBytes(partition, profile));
+
+  // Without rack structure, every cross-node byte is same-rack.
+  const hw::Cluster flat = hw::Cluster::Paper();
+  const partition::Partitioner flat_partitioner(profile, flat);
+  partition::PartitionOptions ed;
+  ed.nm = 1;
+  const partition::Partition ed_partition = flat_partitioner.Solve({0, 4, 8, 12}, ed);
+  ASSERT_TRUE(ed_partition.feasible);
+  const ActivationTraffic flat_traffic = ActivationTrafficByTier(ed_partition, profile, flat);
+  EXPECT_EQ(flat_traffic.cross_rack_bytes, 0u);
+  EXPECT_EQ(flat_traffic.same_rack_bytes, ActivationCrossNodeBytes(ed_partition, profile));
 }
 
 TEST(PlacementTest, WaveAmortizationDividesByNm) {

@@ -20,6 +20,7 @@
 #include "core/experiment.h"
 #include "hw/cluster_spec.h"
 #include "runner/result_sink.h"
+#include "runner/spec_sweep.h"
 #include "runner/sweep_runner.h"
 
 #ifndef HETPIPE_GOLDEN_DIR
@@ -363,6 +364,25 @@ std::vector<core::Experiment> MixedNodeClusterExperiments() {
   return experiments;
 }
 
+std::vector<core::Experiment> TopologyExperiments() {
+  // Rack-topology scenarios pinned by golden: the canonical mixed demo
+  // cluster under rack-structured cross-rack bandwidth cliffs and one
+  // degraded node pair (runner::TopologySweep), so the per-node-pair link
+  // resolution cannot drift.
+  runner::SpecSweepOptions options;
+  options.model = core::ModelKind::kResNet152;
+  options.jitter_cv = 0.1;
+  options.waves = 15;
+  std::vector<core::Experiment> experiments =
+      runner::TopologySweep(runner::MixedDemoSpec("golden-topology"),
+                            /*rack_sizes=*/{1, 2}, /*cross_rack_gbits=*/{10.0, 2.0},
+                            /*degraded_pair_gbits=*/{2.0}, options);
+  for (core::Experiment& e : experiments) {
+    e.name = "golden-topology " + e.name;
+  }
+  return experiments;
+}
+
 TEST(GoldenTest, Fig3SingleVirtualWorkerRows) { CheckAgainstGolden("fig3", Fig3Experiments()); }
 
 TEST(GoldenTest, Fig4PolicyRows) { CheckAgainstGolden("fig4", Fig4Experiments()); }
@@ -375,6 +395,10 @@ TEST(GoldenTest, GenericClusterRows) {
 
 TEST(GoldenTest, MixedNodeClusterRows) {
   CheckAgainstGolden("mixed_cluster", MixedNodeClusterExperiments());
+}
+
+TEST(GoldenTest, TopologySweepRows) {
+  CheckAgainstGolden("topology_sweep", TopologyExperiments());
 }
 
 }  // namespace

@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -239,6 +241,43 @@ TEST(PartitionCacheTest, SpecLatencyKnobChangesTheKey) {
   EXPECT_EQ(cache.hits(), 1);
 }
 
+TEST(PartitionCacheTest, TopologyOnlyChangesAlterTheKey) {
+  // The ISSUE's acceptance scenario: two specs identical except for rack
+  // topology / a per-pair link override must never share a cache entry,
+  // while racks that change no link (no cross-rack knob) keep sharing —
+  // the solve really is identical there.
+  const char* kBase = "gpu TopoCard tflops=8 mem=32; node 1xTopoCard; node 1xTopoCard; "
+                      "node 1xTopoCard";
+  const hw::Cluster plain = hw::ClusterSpec::Parse(kBase).Build();
+  const hw::Cluster degraded =
+      hw::ClusterSpec::Parse(std::string(kBase) + "; link node0<->node2 gbits 2").Build();
+  const hw::Cluster racked_slow =
+      hw::ClusterSpec::Parse(std::string(kBase) +
+                             "; rack r0 { node0 node1 }; rack r1 { node2 };"
+                             "cross_rack_gbits 5")
+          .Build();
+  const hw::Cluster racked_noop =
+      hw::ClusterSpec::Parse(std::string(kBase) + "; rack r0 { node0 node1 }; rack r1 { node2 }")
+          .Build();
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  PartitionCache cache;
+  partition::PartitionOptions options;
+  options.nm = 1;
+  cache.Solve(partition::Partitioner(profile, plain), {0, 1, 2}, options);
+  cache.Solve(partition::Partitioner(profile, degraded), {0, 1, 2}, options);
+  cache.Solve(partition::Partitioner(profile, racked_slow), {0, 1, 2}, options);
+  EXPECT_EQ(cache.misses(), 3);
+  EXPECT_EQ(cache.hits(), 0);
+  // Racks that leave every link untouched resolve to the plain fabric: hit.
+  const partition::Partition hit =
+      cache.Solve(partition::Partitioner(profile, racked_noop), {0, 1, 2}, options);
+  EXPECT_EQ(cache.misses(), 3);
+  EXPECT_EQ(cache.hits(), 1);
+  ExpectSamePartition(partition::Partitioner(profile, racked_noop).Solve({0, 1, 2}, options),
+                      hit);
+}
+
 TEST(PartitionCacheTest, DistinguishesNmAndMemParams) {
   const hw::Cluster cluster = hw::Cluster::Paper();
   const model::ModelGraph graph = model::BuildResNet152();
@@ -375,6 +414,68 @@ TEST(PartitionCacheFileTest, RejectsTruncatedCorruptedAndMismatchedFiles) {
   WriteFileBytes(path, good);
   EXPECT_TRUE(cache.Load(path, &error)) << error;
   EXPECT_EQ(cache.size(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(PartitionCacheFileTest, SaveIsAtomicWriteThenRename) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  const partition::Partitioner partitioner(profile, cluster);
+  const std::string path = testing::TempDir() + "hetpipe_pcache_atomic.bin";
+
+  PartitionCache warm;
+  partition::PartitionOptions options;
+  options.nm = 1;
+  warm.Solve(partitioner, {0, 4, 8, 12}, options);
+  ASSERT_TRUE(warm.Save(path));
+  // The temp file was renamed over the target, not left behind.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  const std::string first = ReadFileBytes(path);
+  ASSERT_FALSE(first.empty());
+
+  // Saving over an existing file replaces it completely (no append, no
+  // partial mix of old and new bytes).
+  options.nm = 2;
+  warm.Solve(partitioner, {0, 4, 8, 12}, options);
+  ASSERT_TRUE(warm.Save(path));
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  PartitionCache reloaded;
+  ASSERT_TRUE(reloaded.Load(path));
+  EXPECT_EQ(reloaded.size(), 2);
+
+  // An unwritable destination fails without touching the target: the temp
+  // file cannot even be created, so the existing bytes survive.
+  const std::string untouched = ReadFileBytes(path);
+  std::string error;
+  EXPECT_FALSE(warm.Save("/nonexistent-dir-hetpipe/cache.bin", &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+  EXPECT_EQ(ReadFileBytes(path), untouched);
+  std::remove(path.c_str());
+}
+
+TEST(PartitionCacheFileTest, RejectsVersion2Files) {
+  // PR 5 bumped the cache format to v3 (per-node-pair link probes in the
+  // key); a v2-era file must be rejected by version, never half-read. This
+  // pins the bump itself, not just "some other version fails".
+  const std::string path = testing::TempDir() + "hetpipe_pcache_v2.bin";
+  std::string v2;
+  const uint32_t magic = 0x31435048;  // "HPC1"
+  const uint32_t version = 2;
+  const uint64_t count = 0;
+  const uint64_t empty_checksum = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  v2.append(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  v2.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  v2.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  v2.append(reinterpret_cast<const char*>(&empty_checksum), sizeof(empty_checksum));
+  WriteFileBytes(path, v2);
+
+  PartitionCache cache;
+  std::string error;
+  EXPECT_FALSE(cache.Load(path, &error));
+  EXPECT_NE(error.find("version 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("expected 3"), std::string::npos) << error;
+  EXPECT_EQ(cache.size(), 0);
   std::remove(path.c_str());
 }
 
@@ -548,6 +649,92 @@ TEST(ResultSinkTest, CsvKeepsWritingAcrossFlushes) {
             "name,x\n"
             "r1,1\n"
             "r2,2\n");
+}
+
+TEST(ResultSinkTest, JsonlEscapesControlCharacters) {
+  // \r and other sub-0x20 bytes passed through raw make the line invalid
+  // JSON; every parser rejects it. Short escapes where JSON has them,
+  // \u00XX for the rest.
+  std::ostringstream out;
+  JsonlSink sink(out);
+  ResultRow row;
+  // Adjacent literals keep the hex escapes from greedily eating the next
+  // character ("\x01c" would parse as \x1c).
+  row.Set("s", std::string("a\rb\x01" "c\x1f" "d\be\ff"));
+  sink.Write(row);
+  EXPECT_EQ(out.str(), "{\"s\":\"a\\rb\\u0001c\\u001Fd\\be\\ff\"}\n");
+}
+
+TEST(ResultSinkTest, JsonlRendersNonFiniteDoublesAsNull) {
+  // JSON has no literal for NaN or the infinities; "inf" is unparseable.
+  const double inf = std::numeric_limits<double>::infinity();
+  std::ostringstream out;
+  JsonlSink sink(out);
+  ResultRow row;
+  row.Set("nan", std::nan("")).Set("pinf", inf).Set("ninf", -inf).Set("x", 2.0);
+  sink.Write(row);
+  EXPECT_EQ(out.str(), "{\"nan\":null,\"pinf\":null,\"ninf\":null,\"x\":2}\n");
+}
+
+TEST(ResultSinkTest, CsvRendersNonFiniteDoublesAsEmpty) {
+  // CSV has no null literal; an empty cell is the conventional "missing"
+  // spelling that numeric column parsers accept.
+  const double inf = std::numeric_limits<double>::infinity();
+  std::ostringstream out;
+  {
+    CsvSink sink(out);
+    ResultRow row;
+    row.Set("nan", std::nan("")).Set("pinf", inf).Set("ninf", -inf).Set("x", 2.0);
+    sink.Write(row);
+  }
+  EXPECT_EQ(out.str(),
+            "nan,pinf,ninf,x\n"
+            ",,,2\n");
+}
+
+TEST(ResultSinkTest, CsvReportsColumnsFirstSeenAfterTheHeader) {
+  // The header freezes at the first flush; a key appearing only in later
+  // rows cannot get a column anymore, but it must be reported (stderr +
+  // dropped_columns()), never lost silently.
+  std::ostringstream out;
+  CsvSink sink(out);
+  ResultRow a;
+  a.Set("name", "r1").Set("x", 1);
+  sink.Write(a);
+  sink.Flush();
+  EXPECT_TRUE(sink.dropped_columns().empty());
+
+  ResultRow b;
+  b.Set("name", "r2").Set("x", 2).Set("late", 7);
+  sink.Write(b);
+  sink.Write(b);  // the same late key must be reported once, not per row
+  sink.Flush();
+  ASSERT_EQ(sink.dropped_columns().size(), 1u);
+  EXPECT_EQ(sink.dropped_columns()[0], "late");
+
+  // Known columns still render; the output stays rectangular.
+  EXPECT_EQ(out.str(),
+            "name,x\n"
+            "r1,1\n"
+            "r2,2\n"
+            "r2,2\n");
+
+  // Keys buffered before the first flush all make the header — evolution
+  // inside one buffered batch loses nothing.
+  std::ostringstream out2;
+  CsvSink sink2(out2);
+  ResultRow c;
+  c.Set("name", "r1");
+  ResultRow d;
+  d.Set("name", "r2").Set("extra", true);
+  sink2.Write(c);
+  sink2.Write(d);
+  sink2.Flush();
+  EXPECT_TRUE(sink2.dropped_columns().empty());
+  EXPECT_EQ(out2.str(),
+            "name,extra\n"
+            "r1,\n"
+            "r2,true\n");
 }
 
 TEST(ResultSinkTest, RowGetRendersValues) {

@@ -4,7 +4,9 @@
 // SweepRunner.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -99,6 +101,103 @@ TEST(SpecSweepTest, GridSweepsReflectTheKnobInTheSpecText) {
   EXPECT_EQ(straggler[0].config.jitter_cv, 0.0);
   EXPECT_EQ(straggler[3].config.jitter_cv, 0.1);
   EXPECT_EQ(straggler[3].config.sync.d, 4);
+}
+
+TEST(SpecSweepTest, ScalingSweepTrimsTopologyToTheNodePrefix) {
+  // A spec carrying racks and an override must still produce valid prefix
+  // subsets: racks lose their out-of-prefix members, overrides needing
+  // truncated nodes vanish, and cross-rack knobs follow the racks.
+  hw::ClusterSpec spec = SweepFixtureSpec();
+  spec.AddRack("r0", {0, 1}).AddRack("r1", {2}).CrossRackGbits(5.0).OverrideLink(0, 2, 2.0);
+
+  const std::vector<core::Experiment> experiments = ScalingSweep(spec);
+  ASSERT_EQ(experiments.size(), 6u);
+  for (const core::Experiment& e : experiments) {
+    // Every emitted spec parses and builds (Validate passes).
+    EXPECT_NO_THROW(hw::ClusterSpec::Parse(e.cluster_spec).Build()) << e.cluster_spec;
+  }
+  const hw::ClusterSpec one_node = hw::ClusterSpec::Parse(experiments[1].cluster_spec);
+  ASSERT_EQ(one_node.racks.size(), 1u);  // r1 lost its only node, r0 kept {0}
+  EXPECT_EQ(one_node.racks[0].nodes, (std::vector<int>{0}));
+  EXPECT_TRUE(one_node.link_overrides.empty());  // node2 is gone
+  const hw::ClusterSpec full = hw::ClusterSpec::Parse(experiments[5].cluster_spec);
+  EXPECT_EQ(full.racks.size(), 2u);
+  EXPECT_EQ(full.link_overrides.size(), 1u);
+  EXPECT_EQ(full.cross_rack_gbits, std::optional<double>(5.0));
+}
+
+TEST(SpecSweepTest, TopologySweepBuildsRackAndDegradedPairScenarios) {
+  const hw::ClusterSpec spec = SweepFixtureSpec();  // 3 nodes
+  const std::vector<core::Experiment> experiments =
+      TopologySweep(spec, /*rack_sizes=*/{1, 2, 3}, /*cross_rack_gbits=*/{10.0, 2.0},
+                    /*degraded_pair_gbits=*/{1.0});
+  // rack size 3 spans everything (no cross-rack pair) and is skipped:
+  // 2 rack sizes x 2 rates + 1 degraded pair.
+  ASSERT_EQ(experiments.size(), 5u);
+
+  const hw::ClusterSpec racks_of_1 = hw::ClusterSpec::Parse(experiments[0].cluster_spec);
+  ASSERT_EQ(racks_of_1.racks.size(), 3u);
+  EXPECT_EQ(racks_of_1.racks[0].nodes, (std::vector<int>{0}));
+  EXPECT_EQ(racks_of_1.cross_rack_gbits, std::optional<double>(10.0));
+  EXPECT_TRUE(racks_of_1.link_overrides.empty());
+
+  const hw::ClusterSpec racks_of_2 = hw::ClusterSpec::Parse(experiments[2].cluster_spec);
+  ASSERT_EQ(racks_of_2.racks.size(), 2u);  // {0,1} and the partial {2}
+  EXPECT_EQ(racks_of_2.racks[0].nodes, (std::vector<int>{0, 1}));
+  EXPECT_EQ(racks_of_2.racks[1].nodes, (std::vector<int>{2}));
+
+  const hw::ClusterSpec degraded = hw::ClusterSpec::Parse(experiments[4].cluster_spec);
+  EXPECT_TRUE(degraded.racks.empty());
+  ASSERT_EQ(degraded.link_overrides.size(), 1u);
+  EXPECT_EQ(degraded.link_overrides[0].node_a, 0);
+  EXPECT_EQ(degraded.link_overrides[0].node_b, 2);
+  EXPECT_EQ(degraded.link_overrides[0].gbits, std::optional<double>(1.0));
+
+  // Scenario names are distinct, and identical calls produce identical lists.
+  std::set<std::string> names;
+  for (const core::Experiment& e : experiments) {
+    names.insert(e.name);
+  }
+  EXPECT_EQ(names.size(), experiments.size());
+  const std::vector<core::Experiment> again =
+      TopologySweep(spec, {1, 2, 3}, {10.0, 2.0}, {1.0});
+  ASSERT_EQ(again.size(), experiments.size());
+  for (size_t i = 0; i < experiments.size(); ++i) {
+    EXPECT_EQ(again[i].name, experiments[i].name);
+    EXPECT_EQ(again[i].cluster_spec, experiments[i].cluster_spec);
+  }
+
+  // A base spec that already carries topology is refused (the sweep would
+  // silently overwrite it).
+  hw::ClusterSpec pre_racked = spec;
+  pre_racked.AddRack("r0", {0});
+  EXPECT_THROW(TopologySweep(pre_racked, {1}, {10.0}, {}), std::invalid_argument);
+}
+
+TEST(SpecSweepTest, TopologySweepRunsEndToEndAndSlowerCrossRackIsNoFaster) {
+  const hw::ClusterSpec spec = SweepFixtureSpec();
+  SpecSweepOptions options;
+  options.waves = 8;
+  options.warmup_waves = 2;
+  options.jitter_cv = 0.0;  // deterministic, so the monotonicity check is exact
+  const std::vector<core::Experiment> experiments =
+      TopologySweep(spec, /*rack_sizes=*/{1}, /*cross_rack_gbits=*/{25.0, 1.0},
+                    /*degraded_pair_gbits=*/{2.0}, options);
+  ASSERT_EQ(experiments.size(), 3u);
+
+  SweepOptions sweep_options;
+  sweep_options.threads = 4;
+  SweepRunner sweep(sweep_options);
+  const std::vector<core::ExperimentResult> results = sweep.Run(experiments);
+  for (const core::ExperimentResult& r : results) {
+    EXPECT_TRUE(r.feasible) << r.name;
+    EXPECT_GT(r.throughput_img_s, 0.0) << r.name;
+  }
+  // Racks of 1 make every inter-node link cross-rack: dropping those links
+  // from 25 to 1 Gbit/s cannot speed the cluster up.
+  EXPECT_LT(results[1].throughput_img_s, results[0].throughput_img_s);
+  // Distinct topologies never share partition-cache entries.
+  EXPECT_GE(sweep.cache().misses(), 2);
 }
 
 TEST(SpecSweepTest, GeneratedGridsRunEndToEnd) {

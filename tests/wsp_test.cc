@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "hw/cluster.h"
+#include "hw/cluster_spec.h"
 #include "model/profiler.h"
 #include "model/vgg.h"
 #include "partition/partitioner.h"
@@ -136,6 +139,34 @@ TEST_F(PsCommTest, PushPullSymmetric) {
   const VwCommTimes t = ComputePsCommTimes(partition, cluster_, PlacementPolicy::kRoundRobin);
   EXPECT_DOUBLE_EQ(t.push_s, t.pull_s);
   EXPECT_GT(t.push_s, 0.0);
+}
+
+TEST_F(PsCommTest, RoundRobinRidesTheSlowestResolvedPairLink) {
+  // With per-pair links, a node's remote PS bytes funnel over its slowest
+  // inter-node link: degrading one pair must slow round-robin push/pull,
+  // while a topology-free spec of the same shape stays bit-identical to the
+  // shared-link model.
+  const char* kBase = "node 1xV; node 1xV; node 1xV; node 1xV";
+  const hw::Cluster uniform = hw::ClusterSpec::Parse(kBase).Build();
+  const hw::Cluster degraded =
+      hw::ClusterSpec::Parse(std::string(kBase) + "; link node0<->node3 gbits 1").Build();
+
+  const model::ModelProfile profile(graph_, 32);
+  const partition::Partitioner partitioner(profile, uniform);
+  partition::PartitionOptions options;
+  options.nm = 1;
+  options.search_gpu_orders = false;  // same stage order on both clusters
+  const partition::Partition partition = partitioner.Solve({0, 1, 2, 3}, options);
+  ASSERT_TRUE(partition.feasible);
+
+  const VwCommTimes flat =
+      ComputePsCommTimes(partition, uniform, PlacementPolicy::kRoundRobin);
+  const VwCommTimes slow =
+      ComputePsCommTimes(partition, degraded, PlacementPolicy::kRoundRobin);
+  EXPECT_GT(slow.push_s, flat.push_s);
+  // Local placement moves nothing across nodes, so the bad cable is free.
+  EXPECT_DOUBLE_EQ(ComputePsCommTimes(partition, degraded, PlacementPolicy::kLocal).push_s,
+                   ComputePsCommTimes(partition, uniform, PlacementPolicy::kLocal).push_s);
 }
 
 // ---- WSP coordinator in a controlled simulation. ----
