@@ -1,0 +1,330 @@
+// serve_bench: load generator for hetpipe_serve. Opens --concurrency
+// connections, round-trips --queries requests drawn from a deterministic
+// skewed workload (a Zipf pick over --workload-size distinct plan/max_nm
+// queries, so the cache sees hot keys and a long tail), and reports the
+// latency/throughput/hit-rate trajectory. The JSON rows (--json) are the
+// repo's serve perf trajectory; commit a run as BENCH_serve.json (see README
+// "Serve performance" and docs/benchmarks.md).
+//
+// With --port=N it drives a live daemon (what CI's smoke test and the
+// committed trajectory do); without it, it starts an in-process PlanServer on
+// an ephemeral loopback port — same wire path, one command.
+//
+// Flags: --host=ADDR --port=N      target server (default: in-process)
+//        --queries=N               total round trips (default 1000)
+//        --concurrency=N           connections, each on its own thread
+//                                  (default 8)
+//        --qps=N                   global pacing; 0 = as fast as possible
+//        --skew=PCT                Zipf exponent in percent: 0 = uniform,
+//                                  100 = classic 1/rank (default 100)
+//        --workload-size=N         distinct requests in the pool (default 12)
+//        --seed=N                  workload/sampling seed (default 42)
+//        --threads --json --csv --cache-file (runner/cli.h; cache/threads
+//        only shape the in-process server)
+//
+// Exit 0 when every query round-tripped with ok=true; 1 otherwise.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runner/cli.h"
+#include "runner/partition_cache.h"
+#include "runner/result_sink.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace hetpipe;
+using Clock = std::chrono::steady_clock;
+
+struct Sample {
+  double done_s = 0.0;     // completion time since bench start
+  double latency_us = 0.0; // client-observed round trip
+  bool cache_hit = false;
+  bool ok = false;
+};
+
+// The pool of distinct requests the Zipf pick draws from: plan queries over
+// the paper testbed's virtual-worker shapes at several Nm, with a max_nm
+// query mixed in every fifth slot. Deterministic in k, so two runs (and the
+// server's cache) see the identical key set.
+serve::PlanRequest WorkloadItem(int k) {
+  static const char* kSelectors[] = {"VVVV", "RRRR", "GGGG", "QQQQ", "VRGQ", "VVQQ",
+                                     "VV",   "QQ",   "VQ",   "RG",   "VRG",  "GQ"};
+  constexpr int kNumSelectors = static_cast<int>(sizeof(kSelectors) / sizeof(kSelectors[0]));
+  serve::PlanRequest request;
+  request.selector = kSelectors[k % kNumSelectors];
+  request.model = (k % 3 == 2) ? "vgg19" : "resnet152";
+  if (k % 5 == 4) {
+    request.op = "max_nm";
+    request.nm_cap = 4;
+  } else {
+    request.op = "plan";
+    request.nm = 1 + (k % 4);
+  }
+  request.id = "w" + std::to_string(k);
+  return request;
+}
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t index = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+bool ParseCountFlag(const std::string& value, const char* name, int min, int* out) {
+  if (!runner::ParseIntFlag(value, out) || *out < min) {
+    std::fprintf(stderr, "error: %s needs an integer >= %d, got \"%s\"\n", name, min,
+                 value.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runner::BenchArgs args = runner::BenchArgs::Parse(argc, argv);
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int queries = 1000;
+  int concurrency = 8;
+  int qps = 0;
+  int skew_pct = 100;
+  int workload_size = 12;
+  int seed = 42;
+  for (const std::string& arg : args.rest) {
+    const auto value = [&](size_t prefix) { return arg.substr(prefix); };
+    if (arg.rfind("--host=", 0) == 0) {
+      host = value(7);
+    } else if (arg.rfind("--port=", 0) == 0) {
+      if (!ParseCountFlag(value(7), "--port", 1, &port)) return 2;
+    } else if (arg.rfind("--queries=", 0) == 0) {
+      if (!ParseCountFlag(value(10), "--queries", 1, &queries)) return 2;
+    } else if (arg.rfind("--concurrency=", 0) == 0) {
+      if (!ParseCountFlag(value(14), "--concurrency", 1, &concurrency)) return 2;
+    } else if (arg.rfind("--qps=", 0) == 0) {
+      if (!ParseCountFlag(value(6), "--qps", 0, &qps)) return 2;
+    } else if (arg.rfind("--skew=", 0) == 0) {
+      if (!ParseCountFlag(value(7), "--skew", 0, &skew_pct)) return 2;
+    } else if (arg.rfind("--workload-size=", 0) == 0) {
+      if (!ParseCountFlag(value(16), "--workload-size", 1, &workload_size)) return 2;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      if (!ParseCountFlag(value(7), "--seed", 0, &seed)) return 2;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (concurrency > queries) concurrency = queries;
+
+  // In-process fallback: same sockets, same frames, no separate process.
+  runner::PartitionCache local_cache;
+  std::unique_ptr<serve::PlanServer> local_server;
+  if (port == 0) {
+    serve::PlanServerOptions options;
+    options.threads = args.threads;
+    options.cache_path = args.cache_path();
+    local_server = std::make_unique<serve::PlanServer>(
+        args.cache() ? args.cache() : &local_cache, options);
+    std::string error;
+    if (!local_server->Start(&error)) {
+      std::fprintf(stderr, "serve_bench: in-process server: %s\n", error.c_str());
+      return 1;
+    }
+    host = "127.0.0.1";
+    port = local_server->port();
+    std::printf("serve_bench: started in-process server on 127.0.0.1:%d\n", port);
+  }
+
+  // Workload pool and its Zipf weights: weight of rank i is (i+1)^-skew.
+  const double skew = skew_pct / 100.0;
+  std::vector<std::string> pool_json;
+  pool_json.reserve(static_cast<size_t>(workload_size));
+  for (int k = 0; k < workload_size; ++k) pool_json.push_back(WorkloadItem(k).ToJson());
+  std::vector<double> cumulative(pool_json.size());
+  double total_weight = 0.0;
+  for (size_t i = 0; i < pool_json.size(); ++i) {
+    total_weight += std::pow(static_cast<double>(i + 1), -skew);
+    cumulative[i] = total_weight;
+  }
+
+  std::vector<Sample> samples(static_cast<size_t>(queries));
+  std::vector<std::thread> workers;
+  std::vector<std::string> worker_errors(static_cast<size_t>(concurrency));
+  const Clock::time_point bench_start = Clock::now();
+
+  for (int t = 0; t < concurrency; ++t) {
+    workers.emplace_back([&, t] {
+      serve::PlanClient client;
+      std::string error;
+      if (!client.Connect(host, port, &error)) {
+        worker_errors[static_cast<size_t>(t)] = error;
+        return;
+      }
+      std::mt19937 rng(static_cast<uint32_t>(seed) + static_cast<uint32_t>(t) * 7919u);
+      std::uniform_real_distribution<double> uniform(0.0, total_weight);
+      std::string response_json;
+      std::map<std::string, serve::JsonValue> response;
+      for (int i = t; i < queries; i += concurrency) {
+        if (qps > 0) {
+          const auto due = bench_start + std::chrono::duration_cast<Clock::duration>(
+                                             std::chrono::duration<double>(i / double(qps)));
+          std::this_thread::sleep_until(due);
+        }
+        const double pick = uniform(rng);
+        const size_t item = static_cast<size_t>(
+            std::lower_bound(cumulative.begin(), cumulative.end(), pick) - cumulative.begin());
+        const Clock::time_point sent = Clock::now();
+        Sample& sample = samples[static_cast<size_t>(i)];
+        if (!client.CallRaw(pool_json[std::min(item, pool_json.size() - 1)], &response_json,
+                            &error)) {
+          worker_errors[static_cast<size_t>(t)] = error;
+          return;
+        }
+        const Clock::time_point got = Clock::now();
+        sample.latency_us = std::chrono::duration<double, std::micro>(got - sent).count();
+        sample.done_s = std::chrono::duration<double>(got - bench_start).count();
+        response.clear();
+        if (serve::ParseJsonObject(response_json, &response, &error)) {
+          auto ok = response.find("ok");
+          sample.ok = ok != response.end() &&
+                      ok->second.type == serve::JsonValue::Type::kBool && ok->second.boolean;
+          auto hit = response.find("cache_hit");
+          sample.cache_hit = hit != response.end() &&
+                             hit->second.type == serve::JsonValue::Type::kBool &&
+                             hit->second.boolean;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double wall_s = std::chrono::duration<double>(Clock::now() - bench_start).count();
+
+  bool failed = false;
+  for (int t = 0; t < concurrency; ++t) {
+    if (!worker_errors[static_cast<size_t>(t)].empty()) {
+      std::fprintf(stderr, "serve_bench: worker %d: %s\n", t,
+                   worker_errors[static_cast<size_t>(t)].c_str());
+      failed = true;
+    }
+  }
+  int64_t ok_count = 0, hit_count = 0;
+  for (const Sample& sample : samples) {
+    ok_count += sample.ok ? 1 : 0;
+    hit_count += sample.cache_hit ? 1 : 0;
+  }
+
+  // Server-side cache truth, from the stats op over the same wire.
+  double server_hit_rate = 0.0;
+  int64_t server_requests = 0;
+  {
+    serve::PlanClient stats_client;
+    std::string error;
+    serve::PlanRequest stats;
+    stats.op = "stats";
+    std::map<std::string, serve::JsonValue> response;
+    if (stats_client.Connect(host, port, &error) &&
+        stats_client.Call(stats, &response, &error)) {
+      const auto num = [&](const char* key) {
+        auto it = response.find(key);
+        return it != response.end() && it->second.type == serve::JsonValue::Type::kNumber
+                   ? it->second.num
+                   : 0.0;
+      };
+      const double hits = num("cache_hits"), misses = num("cache_misses");
+      if (hits + misses > 0) server_hit_rate = hits / (hits + misses);
+      server_requests = static_cast<int64_t>(num("requests"));
+    } else {
+      std::fprintf(stderr, "serve_bench: stats query failed: %s\n", error.c_str());
+      failed = true;
+    }
+  }
+
+  // Trajectory: completion-ordered samples in up-to-10 equal-count windows.
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) { return a.done_s < b.done_s; });
+  const int windows = std::min(10, queries);
+  std::printf("\n%8s %8s %8s %10s %10s %8s\n", "window", "t_end_s", "queries", "p50_ms",
+              "p99_ms", "hit_rate");
+  for (int w = 0; w < windows; ++w) {
+    const size_t first = static_cast<size_t>(queries) * static_cast<size_t>(w) /
+                         static_cast<size_t>(windows);
+    const size_t last = static_cast<size_t>(queries) * static_cast<size_t>(w + 1) /
+                        static_cast<size_t>(windows);
+    if (last <= first) continue;
+    std::vector<double> latencies;
+    latencies.reserve(last - first);
+    int64_t window_hits = 0;
+    for (size_t i = first; i < last; ++i) {
+      latencies.push_back(samples[i].latency_us);
+      window_hits += samples[i].cache_hit ? 1 : 0;
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const double window_start = first == 0 ? 0.0 : samples[first - 1].done_s;
+    const double span = std::max(samples[last - 1].done_s - window_start, 1e-9);
+    const double window_qps = static_cast<double>(last - first) / span;
+    const double p50_ms = Percentile(latencies, 0.50) / 1000.0;
+    const double p99_ms = Percentile(latencies, 0.99) / 1000.0;
+    const double hit_rate = static_cast<double>(window_hits) / static_cast<double>(last - first);
+    std::printf("%8d %8.3f %8zu %10.3f %10.3f %8.3f\n", w, samples[last - 1].done_s,
+                last - first, p50_ms, p99_ms, hit_rate);
+    if (runner::ResultSink* sink = args.sink()) {
+      runner::ResultRow row;
+      row.Set("bench", "serve").Set("row", "window").Set("window", w);
+      row.Set("t_end_s", samples[last - 1].done_s);
+      row.Set("queries", static_cast<int64_t>(last - first));
+      row.Set("qps", window_qps);
+      row.Set("p50_ms", p50_ms).Set("p99_ms", p99_ms).Set("hit_rate", hit_rate);
+      sink->Write(row);
+    }
+  }
+
+  std::vector<double> all_latencies;
+  all_latencies.reserve(samples.size());
+  for (const Sample& sample : samples) all_latencies.push_back(sample.latency_us);
+  std::sort(all_latencies.begin(), all_latencies.end());
+  const double overall_qps = static_cast<double>(queries) / std::max(wall_s, 1e-9);
+  const double p50_ms = Percentile(all_latencies, 0.50) / 1000.0;
+  const double p99_ms = Percentile(all_latencies, 0.99) / 1000.0;
+  const double client_hit_rate = static_cast<double>(hit_count) / static_cast<double>(queries);
+
+  std::printf("\n%d queries on %d connections in %.3f s: %.1f qps, p50 %.3f ms, p99 %.3f ms\n"
+              "cache hit rate: %.3f client-observed, %.3f server-side (%lld server requests)\n",
+              queries, concurrency, wall_s, overall_qps, p50_ms, p99_ms, client_hit_rate,
+              server_hit_rate, static_cast<long long>(server_requests));
+  if (ok_count != queries) {
+    std::fprintf(stderr, "serve_bench: %lld of %d responses were not ok\n",
+                 static_cast<long long>(queries - ok_count), queries);
+    failed = true;
+  }
+
+  if (runner::ResultSink* sink = args.sink()) {
+    runner::ResultRow row;
+    row.Set("bench", "serve").Set("row", "summary");
+    row.Set("queries", queries).Set("concurrency", concurrency);
+    row.Set("workload_size", workload_size).Set("skew", skew).Set("qps_target", qps);
+    row.Set("wall_s", wall_s).Set("qps", overall_qps);
+    row.Set("p50_ms", p50_ms).Set("p99_ms", p99_ms);
+    row.Set("hit_rate", client_hit_rate).Set("server_hit_rate", server_hit_rate);
+    row.Set("ok", ok_count == queries);
+    sink->Write(row);
+    sink->Flush();
+  }
+
+  if (local_server) {
+    local_server->RequestShutdown();
+    local_server->Join();
+  }
+  return failed ? 1 : 0;
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Verifies every relative markdown link in the repo's *.md files points at a
+# file that exists. External (scheme://), mailto:, and pure-anchor links are
+# skipped; an optional #fragment is stripped before the existence check.
+# Exit 0 when all links resolve, 1 otherwise (each broken link on stderr).
+set -u
+
+cd "$(dirname "$0")/.."
+
+fail=0
+while IFS= read -r file; do
+  dir=$(dirname "$file")
+  # Pull out every inline-link target: [text](target)
+  while IFS= read -r target; do
+    case "$target" in
+      '' | \#* | *://* | mailto:*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "broken link in $file: ($target)" >&2
+      fail=1
+    fi
+  done < <(grep -o '\[[^][]*\]([^()[:space:]]*)' "$file" | sed 's/.*(\(.*\))/\1/')
+done < <(git ls-files '*.md')
+
+if [ "$fail" -eq 0 ]; then
+  echo "all markdown links resolve"
+fi
+exit "$fail"

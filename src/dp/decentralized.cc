@@ -50,13 +50,30 @@ DecentralizedResult SimulateAdPsgd(const hw::Cluster& cluster,
     }
     const double p_local = n > 1.0 ? same_node / (n - 1.0) : 0.0;
     // Exchange both directions: 2x params over the chosen link.
-    // Cross-node gossip peers are drawn from every other node, so the
-    // exchange is bounded by the worker's slowest resolved inter link (==
-    // the shared inter link on uniform fabrics).
+    const int node = cluster.gpu(id).node;
+    double cross_s = 0.0;
+    if (cluster.UniformFabric()) {
+      // Uniform fabric: every cross-node peer costs the same shared inter
+      // link, so the historical single-term expression is exact; keeping it
+      // keeps uniform-fabric results bit-identical to pre-topology releases.
+      cross_s = cluster.WorstInterTransferTimeFrom(node, 2 * params);
+    } else {
+      // Rack topology / link overrides: gossip peers are the *actual* other
+      // workers, so average the exchange over their nodes' resolved pair
+      // links — a peer behind a degraded cross-rack link costs what that
+      // link charges, and degrading a pair no worker touches changes
+      // nothing.
+      int cross_peers = 0;
+      for (int other : workers) {
+        if (other == id || cluster.SameNode(id, other)) continue;
+        cross_s += cluster.LinkBetweenNodes(node, cluster.gpu(other).node)
+                       .TransferTime(2 * params);
+        ++cross_peers;
+      }
+      cross_s = cross_peers > 0 ? cross_s / cross_peers : 0.0;
+    }
     const double comm =
-        p_local * cluster.pcie().TransferTime(2 * params) +
-        (1.0 - p_local) *
-            cluster.WorstInterTransferTimeFrom(cluster.gpu(id).node, 2 * params);
+        p_local * cluster.pcie().TransferTime(2 * params) + (1.0 - p_local) * cross_s;
     const double exposed = comm * (1.0 - options.comm_overlap);
     const double compute = profile.FullModelTime(cluster.gpu(id).type);
     sum_rate += profile.batch_size() / (compute + exposed);

@@ -58,13 +58,33 @@ PsDpResult SimulatePsDataParallel(const hw::Cluster& cluster,
 
     const uint64_t local = 2 * params / static_cast<uint64_t>(num_nodes);
     const uint64_t remote = 2 * params - local;
-    const int sharing = workers_per_node[cluster.gpu(id).node];
-    // The remote shards live on every other node, so the worker's NIC share
-    // is bounded by its node's slowest resolved inter link (== the shared
-    // inter link on uniform fabrics).
-    const double comm =
-        cluster.pcie().TransferTime(local) +
-        cluster.WorstInterTransferTimeFrom(cluster.gpu(id).node, remote) * sharing;
+    const int node = cluster.gpu(id).node;
+    const int sharing = workers_per_node[node];
+    double inter_s = 0.0;
+    if (cluster.UniformFabric() || num_nodes <= 1) {
+      // Uniform fabric: every destination uses the one shared inter link, and
+      // the historical aggregate formula is exact. Kept as the literal
+      // expression (not the per-destination sum below, whose float additions
+      // associate differently) so uniform-fabric results stay bit-identical
+      // to every release before per-pair links existed.
+      inter_s = cluster.WorstInterTransferTimeFrom(node, remote);
+    } else {
+      // Rack topology / link overrides: the remote shards live one per other
+      // node, so price each destination over its actual resolved pair link.
+      // Shards are the round-robin split of `remote` with the remainder
+      // spread over the first destinations in node order.
+      const uint64_t destinations = static_cast<uint64_t>(num_nodes - 1);
+      const uint64_t base = remote / destinations;
+      uint64_t extra = remote % destinations;
+      for (int dest = 0; dest < num_nodes; ++dest) {
+        if (dest == node) continue;
+        const uint64_t shard = base + (extra > 0 ? 1 : 0);
+        if (extra > 0) --extra;
+        inter_s += cluster.LinkBetweenNodes(node, dest).TransferTime(shard);
+      }
+    }
+    // The node's workers share its NIC, local shards move over PCIe.
+    const double comm = cluster.pcie().TransferTime(local) + inter_s * sharing;
     result.comm_s = std::max(result.comm_s, comm);
     sum_rate_asp += profile.batch_size() / (compute + comm);
     worst_iteration = std::max(worst_iteration, compute + comm);

@@ -46,6 +46,9 @@ class BenchArgs {
   ResultSink* sink();
   // The --cache-file cache (null when the flag is absent).
   PartitionCache* cache() { return cache_.get(); }
+  // The --cache-file path ("" when the flag is absent); hetpipe_serve hands
+  // it to the server's periodic background saver.
+  const std::string& cache_path() const { return cache_path_; }
 
   int threads = 0;
   std::vector<std::string> rest;

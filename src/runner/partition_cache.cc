@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <mutex>
+#include <shared_mutex>
 
 namespace hetpipe::runner {
 namespace {
@@ -333,14 +335,42 @@ void SetError(std::string* error, const std::string& message) {
 
 partition::Partition PartitionCache::Solve(const partition::Partitioner& partitioner,
                                            const std::vector<int>& gpu_ids,
-                                           const partition::PartitionOptions& options) {
+                                           const partition::PartitionOptions& options,
+                                           bool* was_hit) {
   const std::string key = MakeKey(partitioner, gpu_ids, options);
+  if (was_hit != nullptr) {
+    *was_hit = false;
+  }
+  // Fast path: a materialized hit needs only the shared lock — concurrent
+  // readers (sweep tasks, serve connections) never serialize here. The LRU
+  // stamp is an atomic inside the entry, so refreshing it is a plain store.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
-      ++hits_;
-      return Remap(it->second, partitioner.cluster(), gpu_ids);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      it->second.last_use.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                                std::memory_order_relaxed);
+      if (was_hit != nullptr) {
+        *was_hit = true;
+      }
+      return Remap(it->second.partition, partitioner.cluster(), gpu_ids);
+    }
+  }
+  // Slow path: materializing a disk-loaded entry or recording a miss mutates
+  // the maps, so take the exclusive lock and re-check (another thread may
+  // have materialized or solved this key since the shared lock dropped).
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      it->second.last_use.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                                std::memory_order_relaxed);
+      if (was_hit != nullptr) {
+        *was_hit = true;
+      }
+      return Remap(it->second.partition, partitioner.cluster(), gpu_ids);
     }
     auto pending = pending_.find(key);
     if (pending != pending_.end()) {
@@ -348,19 +378,58 @@ partition::Partition PartitionCache::Solve(const partition::Partitioner& partiti
       const bool usable = DeserializePartition(pending->second, &materialized);
       pending_.erase(pending);
       if (usable) {
-        ++hits_;
-        entries_.emplace(key, materialized);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        entries_.try_emplace(key, materialized,
+                             clock_.fetch_add(1, std::memory_order_relaxed) + 1);
+        if (was_hit != nullptr) {
+          *was_hit = true;
+        }
         return Remap(std::move(materialized), partitioner.cluster(), gpu_ids);
       }
     }
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
   }
   partition::Partition solved = partitioner.Solve(gpu_ids, options);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    entries_.emplace(key, solved);
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    entries_.try_emplace(key, solved, clock_.fetch_add(1, std::memory_order_relaxed) + 1);
+    EvictOverCapacityLocked();
   }
   return solved;
+}
+
+void PartitionCache::SetCapacity(int64_t max_entries) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  max_entries_ = max_entries < 0 ? 0 : max_entries;
+  EvictOverCapacityLocked();
+}
+
+int64_t PartitionCache::capacity() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return max_entries_;
+}
+
+void PartitionCache::EvictOverCapacityLocked() {
+  if (max_entries_ <= 0) {
+    return;
+  }
+  while (static_cast<int64_t>(entries_.size() + pending_.size()) > max_entries_) {
+    // Loaded-but-never-requested entries rank older than any materialized
+    // one: nothing in this process has asked for them yet.
+    if (!pending_.empty()) {
+      pending_.erase(pending_.begin());
+    } else {
+      auto oldest = entries_.begin();
+      for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->second.last_use.load(std::memory_order_relaxed) <
+            oldest->second.last_use.load(std::memory_order_relaxed)) {
+          oldest = it;
+        }
+      }
+      entries_.erase(oldest);
+    }
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 int PartitionCache::FindMaxNm(const partition::Partitioner& partitioner,
@@ -377,12 +446,15 @@ bool PartitionCache::Save(const std::string& path, std::string* error) const {
   std::string records;
   uint64_t count = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Shared lock: Save only reads, so a periodic background save never
+    // blocks concurrent cache hits (inserts wait, which is fine — they are
+    // preceded by a full solve anyway).
+    std::shared_lock<std::shared_mutex> lock(mu_);
     count = entries_.size() + pending_.size();
-    for (const auto& [key, partition] : entries_) {
+    for (const auto& [key, entry] : entries_) {
       std::string blob;
       PutStr(blob, key);
-      SerializePartition(blob, partition);
+      SerializePartition(blob, entry.partition);
       PutU32(records, static_cast<uint32_t>(blob.size()));
       records += blob;
     }
@@ -496,36 +568,28 @@ bool PartitionCache::Load(const std::string& path, std::string* error) {
     return false;
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   for (auto& [key, bytes] : loaded) {
     if (entries_.find(key) == entries_.end() && pending_.find(key) == pending_.end()) {
       pending_.emplace(std::move(key), std::move(bytes));
     }
   }
+  EvictOverCapacityLocked();
   return true;
 }
 
-int64_t PartitionCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return hits_;
-}
-
-int64_t PartitionCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return misses_;
-}
-
 int64_t PartitionCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return static_cast<int64_t>(entries_.size() + pending_.size());
 }
 
 void PartitionCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   entries_.clear();
   pending_.clear();
-  hits_ = 0;
-  misses_ = 0;
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace hetpipe::runner

@@ -108,18 +108,21 @@ std::string ResultRow::Get(const std::string& key) const {
   return "";
 }
 
-void JsonlSink::Write(const ResultRow& row) {
-  *out_ << "{";
+std::string RowToJson(const ResultRow& row) {
+  std::string out = "{";
   bool first = true;
   for (const auto& [key, value] : row.fields()) {
     if (!first) {
-      *out_ << ",";
+      out += ",";
     }
     first = false;
-    *out_ << "\"" << EscapeJson(key) << "\":" << ValueToString(value, ValueFormat::kJson);
+    out += "\"" + EscapeJson(key) + "\":" + ValueToString(value, ValueFormat::kJson);
   }
-  *out_ << "}\n";
+  out += "}";
+  return out;
 }
+
+void JsonlSink::Write(const ResultRow& row) { *out_ << RowToJson(row) << "\n"; }
 
 void CsvSink::Flush() {
   if (rows_.empty()) {

@@ -11,6 +11,7 @@
 namespace hetpipe::runner {
 
 // One machine-readable result record: an ordered list of named fields.
+// A plain value type — not thread-safe; build each row on one thread.
 class ResultRow {
  public:
   using Value = std::variant<bool, int64_t, double, std::string>;
@@ -35,6 +36,14 @@ class ResultRow {
   }
   std::vector<std::pair<std::string, Value>> fields_;
 };
+
+// One row rendered as a single-line JSON object — exactly the line JsonlSink
+// writes (keys in insertion order, strings escaped per RFC 8259, non-finite
+// doubles as null), without the trailing newline. This is the one JSON
+// encoder in the tree: the JSONL sinks, the serve wire protocol, and the
+// serve clients all produce their objects through it, so escaping rules can
+// never diverge between a bench row and a network frame.
+std::string RowToJson(const ResultRow& row);
 
 // Destination for sweep results. Implementations are not required to be
 // thread-safe: the sweep runner writes rows sequentially, in experiment

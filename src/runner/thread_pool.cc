@@ -54,6 +54,20 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // A 1-thread pool has no dedicated workers; inline execution is the only
+    // way the task can ever run.
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) {
   if (n <= 0) {
     return;

@@ -10,11 +10,16 @@
 
 namespace hetpipe::runner {
 
-// Fixed-size worker pool for the sweep runner and the partitioner's GPU-order
-// search. Nested use is safe: ParallelFor called from inside a pool worker
-// runs its body inline on the calling thread instead of re-submitting, so a
-// task that itself fans out (e.g. an experiment whose partitioner
-// parallelizes its order search over the same pool) can never deadlock.
+// Fixed-size worker pool for the sweep runner, the partitioner's GPU-order
+// search, and the serve request executor. Nested use is safe: ParallelFor
+// called from inside a pool worker runs its body inline on the calling thread
+// instead of re-submitting, so a task that itself fans out (e.g. an
+// experiment whose partitioner parallelizes its order search over the same
+// pool) can never deadlock.
+//
+// Thread-safety: ParallelFor and Submit may be called concurrently from any
+// thread; the destructor must not race with either (join your producers
+// first — the serve server drains its connections before dropping the pool).
 class ThreadPool {
  public:
   // num_threads <= 0 selects the hardware concurrency (at least 1). A pool of
@@ -40,6 +45,17 @@ class ThreadPool {
   // exception (in completion order) is rethrown after all indices finish or
   // are abandoned.
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+  // Fire-and-forget: enqueues `task` for a dedicated worker. Unlike
+  // ParallelFor, the calling thread does not participate and does not wait —
+  // this is the serve server's request executor, where the caller is the
+  // accept loop and must return to accept(). Tasks only ever run on the
+  // dedicated workers, of which a pool of k threads has k - 1: Submit on a
+  // 1-thread pool runs the task inline on the calling thread (there is no
+  // one else to run it, and silently never running it would be worse).
+  // Exceptions escaping `task` terminate the process, as they would from any
+  // detached thread — wrap work that can throw.
+  void Submit(std::function<void()> task);
 
  private:
   void WorkerLoop();

@@ -1,0 +1,509 @@
+#include "serve/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "runner/result_sink.h"
+
+namespace hetpipe::serve {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone:
+      return "ok";
+    case ErrorCode::kBadFrame:
+      return "bad_frame";
+    case ErrorCode::kBadJson:
+      return "bad_json";
+    case ErrorCode::kBadRequest:
+      return "bad_request";
+    case ErrorCode::kBadSpec:
+      return "bad_spec";
+    case ErrorCode::kBadModel:
+      return "bad_model";
+    case ErrorCode::kBadSelector:
+      return "bad_selector";
+    case ErrorCode::kShuttingDown:
+      return "shutting_down";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+namespace {
+
+// Recursive-descent reader over the payload. Positions advance only on
+// success; every failure records the byte offset so protocol errors point at
+// the offending character, not just "bad JSON".
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+  const std::string& error() const { return error_; }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+  bool Expect(char c) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Expect('"')) {
+      return false;
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Fail("truncated \\u escape");
+          }
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') {
+              value |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              value |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              value |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad \\u escape digit");
+            }
+          }
+          // The writer side only emits \u00XX (control characters); decode
+          // the BMP as UTF-8 so any well-formed producer round-trips.
+          if (value < 0x80) {
+            out->push_back(static_cast<char>(value));
+          } else if (value < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (value >> 6)));
+            out->push_back(static_cast<char>(0x80 | (value & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (value >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((value >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (value & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    SkipWs();
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("expected a number");
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    errno = 0;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || errno == ERANGE || !std::isfinite(value)) {
+      return Fail("malformed number \"" + token + "\"");
+    }
+    out->type = JsonValue::Type::kNumber;
+    out->num = value;
+    return true;
+  }
+
+  // Syntax-checks a nested object/array and captures its raw text: protocol
+  // messages are flat, so nothing downstream decodes these further.
+  bool SkipNested(JsonValue* out) {
+    SkipWs();
+    const size_t start = pos_;
+    const char open = text_[pos_];
+    const char close = open == '{' ? '}' : ']';
+    int depth = 0;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        std::string ignored;
+        if (!ParseString(&ignored)) {
+          return false;
+        }
+        continue;
+      }
+      ++pos_;
+      if (c == open || c == '{' || c == '[') {
+        ++depth;
+      } else if (c == close || c == '}' || c == ']') {
+        --depth;
+        if (depth == 0) {
+          out->type = JsonValue::Type::kRaw;
+          out->str = text_.substr(start, pos_ - start);
+          return true;
+        }
+        if (depth < 0) {
+          return Fail("mismatched bracket");
+        }
+      }
+    }
+    return Fail("unterminated nested value");
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return Fail("expected a value");
+    }
+    const char c = text_[pos_];
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->str);
+    }
+    if (c == '{' || c == '[') {
+      return SkipNested(out);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      out->type = JsonValue::Type::kBool;
+      out->boolean = false;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      out->type = JsonValue::Type::kNull;
+      return true;
+    }
+    return ParseNumber(out);
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+}
+
+// Reads exactly `size` bytes, looping over short reads and EINTR. Returns
+// bytes read before EOF (== size on success), or -1 on error.
+ssize_t ReadFully(int fd, char* data, size_t size) {
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, data + got, size - got);
+    if (n == 0) {
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return -1;
+    }
+    got += static_cast<size_t>(n);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+}  // namespace
+
+bool ParseJsonObject(const std::string& text, std::map<std::string, JsonValue>* out,
+                     std::string* error) {
+  out->clear();
+  JsonReader reader(text);
+  if (!reader.Expect('{')) {
+    SetError(error, reader.error());
+    return false;
+  }
+  if (!reader.Peek('}')) {
+    for (;;) {
+      std::string key;
+      JsonValue value;
+      if (!reader.ParseString(&key) || !reader.Expect(':') || !reader.ParseValue(&value)) {
+        SetError(error, reader.error());
+        return false;
+      }
+      (*out)[key] = std::move(value);
+      if (reader.Peek(',')) {
+        reader.Expect(',');
+        continue;
+      }
+      break;
+    }
+  }
+  if (!reader.Expect('}')) {
+    SetError(error, reader.error());
+    return false;
+  }
+  if (!reader.AtEnd()) {
+    SetError(error, "trailing bytes after the object");
+    return false;
+  }
+  return true;
+}
+
+bool WriteFrame(int fd, const std::string& payload, uint32_t max_frame_bytes,
+                std::string* error) {
+  if (payload.size() > max_frame_bytes) {
+    SetError(error, "frame of " + std::to_string(payload.size()) + " bytes exceeds the " +
+                        std::to_string(max_frame_bytes) + "-byte bound");
+    return false;
+  }
+  const uint32_t size = static_cast<uint32_t>(payload.size());
+  std::string frame(reinterpret_cast<const char*>(&size), sizeof(size));
+  frame += payload;
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    // MSG_NOSIGNAL: a peer that vanished mid-response must surface as EPIPE,
+    // not kill the daemon with SIGPIPE.
+    const ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      SetError(error, std::string("send: ") + std::strerror(errno));
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+FrameResult ReadFrame(int fd, uint32_t max_frame_bytes, std::string* payload,
+                      std::string* error) {
+  uint32_t size = 0;
+  const ssize_t header = ReadFully(fd, reinterpret_cast<char*>(&size), sizeof(size));
+  if (header == 0) {
+    return FrameResult::kEof;  // clean close between frames
+  }
+  if (header < 0 || header != static_cast<ssize_t>(sizeof(size))) {
+    SetError(error, header < 0 ? std::string("read: ") + std::strerror(errno)
+                               : "stream ended inside a length prefix");
+    return FrameResult::kError;
+  }
+  if (size > max_frame_bytes) {
+    SetError(error, "length prefix of " + std::to_string(size) + " bytes exceeds the " +
+                        std::to_string(max_frame_bytes) + "-byte bound");
+    return FrameResult::kError;
+  }
+  payload->resize(size);
+  const ssize_t body = size == 0 ? 0 : ReadFully(fd, payload->data(), size);
+  if (body != static_cast<ssize_t>(size)) {
+    SetError(error, body < 0 ? std::string("read: ") + std::strerror(errno)
+                             : "stream ended inside a frame payload");
+    return FrameResult::kError;
+  }
+  return FrameResult::kFrame;
+}
+
+std::string PlanRequest::ToJson() const {
+  runner::ResultRow row;
+  row.Set("v", kProtocolVersion);
+  row.Set("op", op);
+  if (!id.empty()) {
+    row.Set("id", id);
+  }
+  if (!cluster_spec.empty()) {
+    row.Set("cluster_spec", cluster_spec);
+  } else {
+    row.Set("cluster_nodes", cluster_nodes);
+  }
+  row.Set("model", model);
+  if (!selector.empty()) {
+    row.Set("selector", selector);
+  }
+  row.Set("nm", nm);
+  row.Set("nm_cap", nm_cap);
+  row.Set("batch_size", batch_size);
+  row.Set("search_orders", search_orders);
+  return runner::RowToJson(row);
+}
+
+namespace {
+
+// Field decoding helpers shared by ParsePlanRequest: every type mismatch is
+// a kBadRequest naming the field, never a silent default.
+bool TakeString(const std::map<std::string, JsonValue>& fields, const std::string& key,
+                std::string* out, std::string* error) {
+  auto it = fields.find(key);
+  if (it == fields.end()) {
+    return true;
+  }
+  if (it->second.type != JsonValue::Type::kString) {
+    *error = "field \"" + key + "\" must be a string";
+    return false;
+  }
+  *out = it->second.str;
+  return true;
+}
+
+bool TakeInt(const std::map<std::string, JsonValue>& fields, const std::string& key, int min,
+             int max, int* out, std::string* error) {
+  auto it = fields.find(key);
+  if (it == fields.end()) {
+    return true;
+  }
+  const JsonValue& v = it->second;
+  if (v.type != JsonValue::Type::kNumber || v.num != std::floor(v.num)) {
+    *error = "field \"" + key + "\" must be an integer";
+    return false;
+  }
+  if (v.num < min || v.num > max) {
+    *error = "field \"" + key + "\" must be in [" + std::to_string(min) + ", " +
+             std::to_string(max) + "]";
+    return false;
+  }
+  *out = static_cast<int>(v.num);
+  return true;
+}
+
+bool TakeBool(const std::map<std::string, JsonValue>& fields, const std::string& key, bool* out,
+              std::string* error) {
+  auto it = fields.find(key);
+  if (it == fields.end()) {
+    return true;
+  }
+  if (it->second.type != JsonValue::Type::kBool) {
+    *error = "field \"" + key + "\" must be a boolean";
+    return false;
+  }
+  *out = it->second.boolean;
+  return true;
+}
+
+}  // namespace
+
+bool ParsePlanRequest(const std::string& payload, PlanRequest* out, ErrorCode* code,
+                      std::string* error) {
+  *out = PlanRequest();
+  std::map<std::string, JsonValue> fields;
+  std::string parse_error;
+  if (!ParseJsonObject(payload, &fields, &parse_error)) {
+    *code = ErrorCode::kBadJson;
+    *error = parse_error;
+    return false;
+  }
+
+  int version = kProtocolVersion;
+  if (!TakeInt(fields, "v", 0, std::numeric_limits<int>::max(), &version, error) ||
+      !TakeString(fields, "op", &out->op, error) || !TakeString(fields, "id", &out->id, error) ||
+      !TakeString(fields, "cluster_spec", &out->cluster_spec, error) ||
+      !TakeString(fields, "cluster_nodes", &out->cluster_nodes, error) ||
+      !TakeString(fields, "model", &out->model, error) ||
+      !TakeString(fields, "selector", &out->selector, error) ||
+      !TakeInt(fields, "nm", 1, 1024, &out->nm, error) ||
+      !TakeInt(fields, "nm_cap", 1, 1024, &out->nm_cap, error) ||
+      !TakeInt(fields, "batch_size", 1, 65536, &out->batch_size, error) ||
+      !TakeBool(fields, "search_orders", &out->search_orders, error)) {
+    *code = ErrorCode::kBadRequest;
+    return false;
+  }
+  if (version != kProtocolVersion) {
+    *code = ErrorCode::kBadRequest;
+    *error = "protocol version " + std::to_string(version) + " is not supported (this server: " +
+             std::to_string(kProtocolVersion) + ")";
+    return false;
+  }
+  if (out->op != "plan" && out->op != "max_nm" && out->op != "stats" && out->op != "shutdown") {
+    *code = ErrorCode::kBadRequest;
+    *error = "unknown op \"" + out->op + "\"";
+    return false;
+  }
+  if ((out->op == "plan" || out->op == "max_nm") && out->selector.empty()) {
+    *code = ErrorCode::kBadRequest;
+    *error = "op \"" + out->op + "\" needs a \"selector\"";
+    return false;
+  }
+  *code = ErrorCode::kNone;
+  return true;
+}
+
+}  // namespace hetpipe::serve

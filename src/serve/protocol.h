@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hetpipe::serve {
+
+// ---- Wire format ----
+//
+// hetpipe_serve speaks length-prefixed JSON over a stream socket: each
+// message is a 4-byte little-endian unsigned payload length followed by that
+// many bytes of UTF-8 JSON (one object per message, no trailing newline).
+// Requests and responses use the same framing; a connection carries any
+// number of request/response pairs in order. Responses are produced by the
+// same runner::RowToJson encoder the JSONL sinks use, so escaping rules are
+// identical to every other JSON this repo emits. docs/serve-protocol.md is
+// the field-level reference.
+//
+// Versioning: every request and response carries "v". A server answers
+// requests whose "v" equals kProtocolVersion and rejects others with
+// error_code "bad_request" — new optional fields may be added within a
+// version, field renames/removals or semantic changes bump it.
+constexpr int kProtocolVersion = 1;
+
+// Frames larger than this are refused (read or written): a length prefix of
+// gigabytes is a corrupt stream or an attack, not a plan query. The server
+// makes its bound configurable; this is the default on both sides.
+constexpr uint32_t kDefaultMaxFrameBytes = 1u << 20;
+
+// Machine-readable error identities, sent as "error_code" strings (the
+// numeric values never travel). Stable: new codes may be appended, existing
+// names never change meaning.
+enum class ErrorCode {
+  kNone = 0,
+  kBadFrame,      // oversized or malformed frame
+  kBadJson,       // payload is not a JSON object
+  kBadRequest,    // missing/ill-typed field, unknown op, version mismatch
+  kBadSpec,       // cluster spec text failed to parse/validate
+  kBadModel,      // unknown model name
+  kBadSelector,   // VW selector unsatisfiable on the cluster
+  kShuttingDown,  // server is draining; retry against a live instance
+  kInternal,      // unexpected exception; message has details
+};
+const char* ErrorCodeName(ErrorCode code);
+
+// ---- Minimal JSON reader ----
+//
+// Just enough JSON to decode protocol messages: one top-level object with
+// string/number/bool/null values. Nested objects and arrays are
+// syntax-checked and preserved as raw text (kRaw) — protocol messages are
+// flat, so nothing in the tree decodes them further. Not a general-purpose
+// parser; it exists because the repo's JSON machinery only ever needed to
+// write, and the serve protocol is the first reader.
+struct JsonValue {
+  enum class Type { kString, kNumber, kBool, kNull, kRaw };
+  Type type = Type::kNull;
+  std::string str;       // kString: decoded text; kRaw: raw JSON text
+  double num = 0.0;      // kNumber
+  bool boolean = false;  // kBool
+};
+
+// Parses one JSON object into key -> value (later duplicate keys win, as in
+// every lenient JSON reader). Returns false and fills `error` on anything
+// that is not a single well-formed object.
+bool ParseJsonObject(const std::string& text, std::map<std::string, JsonValue>* out,
+                     std::string* error);
+
+// ---- Framed stream I/O (POSIX fd) ----
+
+// Writes one frame; loops over partial writes, suppresses SIGPIPE. Returns
+// false and fills `error` on I/O failure or an oversized payload.
+bool WriteFrame(int fd, const std::string& payload, uint32_t max_frame_bytes,
+                std::string* error);
+
+enum class FrameResult {
+  kFrame,  // payload filled
+  kEof,    // clean end of stream at a frame boundary
+  kError,  // I/O failure, truncated frame, or oversized length prefix
+};
+// Reads one frame; blocks until a full frame, EOF, or error. EOF inside a
+// frame (after the prefix, before the payload completes) is kError.
+FrameResult ReadFrame(int fd, uint32_t max_frame_bytes, std::string* payload,
+                      std::string* error);
+
+// ---- Requests ----
+
+// One decoded plan-service request. Field-by-field reference (defaults,
+// units, which ops read which fields) lives in docs/serve-protocol.md.
+struct PlanRequest {
+  std::string op = "plan";  // plan | max_nm | stats | shutdown
+  std::string id;           // opaque client tag, echoed into the response
+  // Cluster: a hw::ClusterSpec text, or (when empty) paper node codes.
+  std::string cluster_spec;
+  std::string cluster_nodes = "VRGQ";
+  std::string model = "resnet152";  // resnet152 | vgg19
+  std::string selector;             // core::PickGpus selector for the VW
+  int nm = 1;                       // plan: concurrent minibatches
+  int nm_cap = 7;                   // max_nm: search ceiling (paper: 7)
+  int batch_size = 32;              // per-VW minibatch size
+  bool search_orders = true;        // try all distinct GPU orders
+
+  // Serializes through the ResultRow JSON machinery (kProtocolVersion and
+  // every non-default field).
+  std::string ToJson() const;
+};
+
+// Decodes and validates a request payload. On failure returns false with
+// `code`/`error` describing the rejection; `out` is default-initialized
+// except for any fields decoded before the failure (callers must not use it
+// on failure beyond error reporting).
+bool ParsePlanRequest(const std::string& payload, PlanRequest* out, ErrorCode* code,
+                      std::string* error);
+
+}  // namespace hetpipe::serve

@@ -1,0 +1,202 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "runner/result_sink.h"
+
+namespace hetpipe::serve {
+namespace {
+
+PlanServiceOptions ServiceOptions(runner::ThreadPool* pool) {
+  PlanServiceOptions options;
+  options.pool = pool;
+  return options;
+}
+
+}  // namespace
+
+PlanServer::PlanServer(runner::PartitionCache* cache, PlanServerOptions options)
+    : cache_(cache),
+      options_(std::move(options)),
+      // k pool threads = k - 1 dedicated workers; at least one worker must
+      // exist or Submit would run connections inline on the accept loop.
+      pool_(options_.threads <= 0 ? 0 : (options_.threads < 2 ? 2 : options_.threads)),
+      service_(cache, ServiceOptions(&pool_)) {}
+
+PlanServer::~PlanServer() {
+  RequestShutdown();
+  Join();
+}
+
+bool PlanServer::Start(std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (options_.host.empty() || options_.host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "bad host \"" + options_.host + "\" (want an IPv4 address)";
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error) *error = std::string("bind: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    if (error) *error = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = options_.port;
+  }
+
+  started_.store(true);
+  accept_thread_ = std::thread(&PlanServer::AcceptLoop, this);
+  if (!options_.cache_path.empty() && options_.save_interval_s > 0) {
+    saver_thread_ = std::thread(&PlanServer::SaverLoop, this);
+  }
+  return true;
+}
+
+void PlanServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // EBADF/EINVAL after RequestShutdown closed the listener; anything
+      // else (e.g. EMFILE) also ends the loop rather than spinning.
+      break;
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      connections_.insert(fd);
+      ++active_;
+    }
+    // If RequestShutdown ran between the stop check above and the insert, its
+    // half-close sweep missed this fd — it would stay readable and stall the
+    // drain. stop_ is set before the sweep, so seeing it here covers the gap.
+    if (stop_.load(std::memory_order_acquire)) ::shutdown(fd, SHUT_RD);
+    pool_.Submit([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void PlanServer::HandleConnection(int fd) {
+  std::string payload;
+  std::string error;
+  while (true) {
+    FrameResult result = ReadFrame(fd, options_.max_frame_bytes, &payload, &error);
+    if (result != FrameResult::kFrame) break;
+
+    runner::ResultRow row;
+    bool want_shutdown = false;
+    if (stop_.load(std::memory_order_acquire)) {
+      // The connection was half-closed but this frame was already in the
+      // kernel buffer; tell the client to go elsewhere instead of answering
+      // after "shutdown drained".
+      row.Set("v", kProtocolVersion);
+      row.Set("ok", false);
+      row.Set("error_code", ErrorCodeName(ErrorCode::kShuttingDown));
+      row.Set("error", "server is shutting down");
+    } else {
+      row = service_.HandleJson(payload, &want_shutdown);
+    }
+    if (!WriteFrame(fd, runner::RowToJson(row), options_.max_frame_bytes, &error)) break;
+    if (want_shutdown) RequestShutdown();
+  }
+
+  ::close(fd);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections_.erase(fd);
+    --active_;
+  }
+  drain_cv_.notify_all();
+}
+
+void PlanServer::SaverLoop() {
+  const auto interval = std::chrono::duration<double>(options_.save_interval_s);
+  std::unique_lock<std::mutex> lock(saver_mu_);
+  while (!stop_.load(std::memory_order_acquire)) {
+    saver_cv_.wait_for(lock, interval, [&] { return stop_.load(std::memory_order_acquire); });
+    if (stop_.load(std::memory_order_acquire)) break;
+    lock.unlock();
+    std::string error;
+    if (!cache_->Save(options_.cache_path, &error)) {
+      std::fprintf(stderr, "hetpipe_serve: periodic cache save failed: %s\n", error.c_str());
+    }
+    lock.lock();
+  }
+}
+
+void PlanServer::RequestShutdown() {
+  bool expected = false;
+  if (!stop_.compare_exchange_strong(expected, true)) return;
+  if (!started_.load()) return;
+
+  // Unblock accept(); the fd itself is closed in Join after the accept
+  // thread has certainly stopped using it.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+
+  // Half-close open connections: readers blocked in ReadFrame see EOF, but
+  // responses in flight still write. HandleConnection owns the full close.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : connections_) ::shutdown(fd, SHUT_RD);
+  }
+  saver_cv_.notify_all();
+}
+
+void PlanServer::Join() {
+  if (!started_.load()) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    drain_cv_.wait(lock, [&] { return active_ == 0; });
+  }
+  if (saver_thread_.joinable()) saver_thread_.join();
+  if (!options_.cache_path.empty()) {
+    std::string error;
+    if (!cache_->Save(options_.cache_path, &error)) {
+      std::fprintf(stderr, "hetpipe_serve: final cache save failed: %s\n", error.c_str());
+    }
+  }
+}
+
+}  // namespace hetpipe::serve

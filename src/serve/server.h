@@ -1,0 +1,111 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "runner/thread_pool.h"
+#include "serve/plan_service.h"
+#include "serve/protocol.h"
+
+namespace hetpipe::serve {
+
+struct PlanServerOptions {
+  // Interface to bind. "0.0.0.0" listens on every interface; the default
+  // stays loopback-only because a plan server has no authentication.
+  std::string host = "127.0.0.1";
+  // 0 asks the kernel for an ephemeral port; port() reports the bound one
+  // (tests and the bench harness run on port 0 to avoid collisions).
+  int port = 0;
+  // Request-executor threads. Clamped to >= 2: a ThreadPool of k has k - 1
+  // dedicated workers, and the accept loop must never execute a connection
+  // inline (it has to get back to accept()). <= 0 selects the hardware
+  // concurrency.
+  int threads = 0;
+  // Refused frame size, both directions (see protocol.h).
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // When nonempty, a background thread persists the partition cache here
+  // every save_interval_s seconds (PartitionCache::Save is concurrent-safe
+  // and atomic via temp-then-rename), and Join writes a final snapshot after
+  // the drain — so a serve deployment's cache survives restarts.
+  std::string cache_path;
+  double save_interval_s = 30.0;
+};
+
+// The socket layer of hetpipe_serve: accepts TCP connections, reads
+// length-prefixed JSON frames, and answers each through a PlanService. One
+// accept thread hands every connection to the shared runner::ThreadPool via
+// Submit; a connection is serviced serially (requests on one connection are
+// answered in order), connections run concurrently.
+//
+// Shutdown is two-phase so it can be triggered from anywhere without
+// deadlock:
+//   RequestShutdown() — non-blocking: stops the accept loop and half-closes
+//     (SHUT_RD) every open connection, so blocked readers see EOF while
+//     responses still flow out. Safe to call from a connection handler (the
+//     remote "shutdown" op does exactly that, after its response is written).
+//   Join() — blocking: waits for in-flight connections to drain, stops the
+//     saver thread, and writes the final cache snapshot. Call after
+//     RequestShutdown; the destructor runs both.
+// Frames that arrive after shutdown began are answered with error_code
+// "shutting_down" rather than processed.
+class PlanServer {
+ public:
+  // `cache` is the shared partition cache (caller-owned, must outlive the
+  // server); it is also what the saver thread persists.
+  PlanServer(runner::PartitionCache* cache, PlanServerOptions options = {});
+  ~PlanServer();
+
+  PlanServer(const PlanServer&) = delete;
+  PlanServer& operator=(const PlanServer&) = delete;
+
+  // Binds, listens, and starts the accept (and saver) threads. Returns false
+  // with `error` filled on bind/listen failure; the server is then inert and
+  // safe to destroy.
+  bool Start(std::string* error);
+
+  // The bound port (after a successful Start).
+  int port() const { return port_; }
+
+  void RequestShutdown();
+  void Join();
+
+  // True once shutdown began (locally or via the remote "shutdown" op); the
+  // daemon's main loop polls this to know when to Join.
+  bool shutdown_requested() const { return stop_.load(std::memory_order_acquire); }
+
+  PlanService& service() { return service_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  void SaverLoop();
+
+  runner::PartitionCache* cache_;
+  PlanServerOptions options_;
+  runner::ThreadPool pool_;
+  PlanService service_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::thread saver_thread_;
+
+  // Open connection fds (for SHUT_RD on shutdown) and the in-flight count
+  // Join drains to zero.
+  std::mutex conn_mu_;
+  std::condition_variable drain_cv_;
+  std::set<int> connections_;
+  int active_ = 0;
+
+  std::mutex saver_mu_;
+  std::condition_variable saver_cv_;
+};
+
+}  // namespace hetpipe::serve

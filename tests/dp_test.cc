@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include "dp/allreduce.h"
+#include "dp/decentralized.h"
 #include "dp/horovod.h"
 #include "dp/placement.h"
+#include "dp/ps_baselines.h"
 #include "hw/cluster.h"
 #include "hw/cluster_spec.h"
 #include "model/profiler.h"
@@ -200,6 +202,108 @@ TEST(PlacementTest, ActivationTrafficByTierSplitsByRack) {
   const ActivationTraffic flat_traffic = ActivationTrafficByTier(ed_partition, profile, flat);
   EXPECT_EQ(flat_traffic.cross_rack_bytes, 0u);
   EXPECT_EQ(flat_traffic.same_rack_bytes, ActivationCrossNodeBytes(ed_partition, profile));
+}
+
+// ---- Per-node-pair links in the dp baselines ----
+// The ps and AD-PSGD models price traffic over the actual resolved pair
+// links on non-uniform fabrics, and keep the literal historical aggregate
+// formula on uniform ones (so every pre-topology result is bit-identical).
+
+TEST(PairLinkTest, PsDegradedPairSlowsAffectedWorkers) {
+  const char* base_spec = "node 2xV; node 2xV; node 2xV";
+  const hw::Cluster uniform = hw::ClusterSpec::Parse(base_spec).Build();
+  const hw::Cluster degraded =
+      hw::ClusterSpec::Parse(std::string(base_spec) + "; link node0<->node2 gbits 1").Build();
+  ASSERT_TRUE(uniform.UniformFabric());
+  ASSERT_FALSE(degraded.UniformFabric());
+
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  const PsDpResult fast = SimulatePsDataParallel(uniform, profile);
+  const PsDpResult slow = SimulatePsDataParallel(degraded, profile);
+  ASSERT_TRUE(fast.feasible);
+  ASSERT_TRUE(slow.feasible);
+  // Workers on nodes 0 and 2 now push their node-2 / node-0 shard over a
+  // 1 Gbit link; the bottleneck comm (and hence throughput) must move.
+  EXPECT_GT(slow.comm_s, fast.comm_s);
+  EXPECT_LT(slow.throughput_img_s, fast.throughput_img_s);
+}
+
+TEST(PairLinkTest, PsPerDestinationRefinesTheFunnelBound) {
+  // With one degraded pair out of two, only that destination's shard pays
+  // the slow link; the old funnel bound charged *all* remote bytes at the
+  // worst link. The refined comm must therefore sit strictly between the
+  // uniform comm and the all-worst bound.
+  const char* base_spec = "node 2xV; node 2xV; node 2xV";
+  const hw::Cluster degraded =
+      hw::ClusterSpec::Parse(std::string(base_spec) + "; link node0<->node2 gbits 1").Build();
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+
+  const uint64_t params = profile.graph().total_param_bytes();
+  const uint64_t local = 2 * params / 3;
+  const uint64_t remote = 2 * params - local;
+  // Worker on node 0, which shares its NIC with one other worker.
+  const double funnel = degraded.pcie().TransferTime(local) +
+                        degraded.WorstInterTransferTimeFrom(0, remote) * 2;
+  const PsDpResult result = SimulatePsDataParallel(degraded, profile);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_LT(result.comm_s, funnel);
+}
+
+TEST(PairLinkTest, AdPsgdDegradedPairBetweenWorkersSlowsGossip) {
+  const char* base_spec = "node 2xV; node 2xV; node 2xV";
+  const hw::Cluster uniform = hw::ClusterSpec::Parse(base_spec).Build();
+  const hw::Cluster degraded =
+      hw::ClusterSpec::Parse(std::string(base_spec) + "; link node0<->node1 gbits 1").Build();
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  const DecentralizedResult fast = SimulateAdPsgd(uniform, profile);
+  const DecentralizedResult slow = SimulateAdPsgd(degraded, profile);
+  ASSERT_TRUE(fast.feasible);
+  ASSERT_TRUE(slow.feasible);
+  EXPECT_GT(slow.avg_pairwise_comm_s, fast.avg_pairwise_comm_s);
+  EXPECT_LT(slow.throughput_img_s, fast.throughput_img_s);
+}
+
+TEST(PairLinkTest, AdPsgdIgnoresDegradedPairTouchingNoWorkers) {
+  // ResNet-152 does not fit a G GPU, so node 2 hosts no eligible workers.
+  // Degrading a link into node 2 flips the cluster to a non-uniform fabric —
+  // exercising the per-pair path — but gossip peers live only on nodes 0 and
+  // 1, so the result must be exactly the uniform-fabric one.
+  const char* base_spec = "node 2xV; node 2xV; node 2xG";
+  const hw::Cluster uniform = hw::ClusterSpec::Parse(base_spec).Build();
+  const hw::Cluster degraded =
+      hw::ClusterSpec::Parse(std::string(base_spec) + "; link node1<->node2 gbits 1").Build();
+  ASSERT_FALSE(degraded.UniformFabric());
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  const DecentralizedResult expected = SimulateAdPsgd(uniform, profile);
+  const DecentralizedResult actual = SimulateAdPsgd(degraded, profile);
+  ASSERT_TRUE(expected.feasible);
+  EXPECT_EQ(expected.num_workers, actual.num_workers);
+  EXPECT_EQ(expected.num_excluded, actual.num_excluded);
+  EXPECT_EQ(expected.throughput_img_s, actual.throughput_img_s);
+  EXPECT_EQ(expected.avg_pairwise_comm_s, actual.avg_pairwise_comm_s);
+}
+
+TEST(PairLinkTest, UniformSpecMatchesPaperClusterExactly) {
+  // A spec-built uniform fabric and the hand-built paper testbed must price
+  // both baselines identically: the uniform branch is the literal historical
+  // formula.
+  const hw::Cluster paper = hw::Cluster::Paper();
+  const hw::Cluster spec = hw::ClusterSpec::PaperTestbed().Build();
+  ASSERT_TRUE(spec.UniformFabric());
+  const model::ModelGraph graph = model::BuildVgg19();
+  const model::ModelProfile profile(graph, 32);
+  const PsDpResult ps_a = SimulatePsDataParallel(paper, profile);
+  const PsDpResult ps_b = SimulatePsDataParallel(spec, profile);
+  EXPECT_EQ(ps_a.comm_s, ps_b.comm_s);
+  EXPECT_EQ(ps_a.throughput_img_s, ps_b.throughput_img_s);
+  const DecentralizedResult ad_a = SimulateAdPsgd(paper, profile);
+  const DecentralizedResult ad_b = SimulateAdPsgd(spec, profile);
+  EXPECT_EQ(ad_a.throughput_img_s, ad_b.throughput_img_s);
+  EXPECT_EQ(ad_a.avg_pairwise_comm_s, ad_b.avg_pairwise_comm_s);
 }
 
 TEST(PlacementTest, WaveAmortizationDividesByNm) {

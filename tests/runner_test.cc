@@ -13,6 +13,7 @@
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "core/experiment.h"
 #include "hw/cluster.h"
@@ -276,6 +277,156 @@ TEST(PartitionCacheTest, TopologyOnlyChangesAlterTheKey) {
   EXPECT_EQ(cache.hits(), 1);
   ExpectSamePartition(partition::Partitioner(profile, racked_noop).Solve({0, 1, 2}, options),
                       hit);
+}
+
+TEST(ThreadPoolTest, SubmitRunsEveryTaskBeforeDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&] { ran.fetch_add(1); });
+    }
+    // The destructor drains the queue before joining, so nothing submitted
+    // is ever silently dropped.
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitOnSingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  int ran = 0;  // no atomics: a 1-thread pool has no dedicated workers
+  pool.Submit([&] { ++ran; });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(PartitionCacheTest, CapacityBoundEvictsLeastRecentlyUsed) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  const partition::Partitioner partitioner(profile, cluster);
+  PartitionCache cache;
+  cache.SetCapacity(2);
+  EXPECT_EQ(cache.capacity(), 2);
+
+  const auto solve_nm = [&](int nm) {
+    partition::PartitionOptions options;
+    options.nm = nm;
+    cache.Solve(partitioner, {0, 4, 8, 12}, options);
+  };
+  solve_nm(1);  // miss
+  solve_nm(2);  // miss
+  solve_nm(1);  // hit — refreshes nm=1's stamp, so nm=2 is now the LRU entry
+  solve_nm(3);  // miss; inserting over the bound evicts nm=2
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_EQ(cache.evictions(), 1);
+  solve_nm(1);  // still cached: a hit
+  solve_nm(2);  // evicted: a miss again
+  EXPECT_EQ(cache.hits(), 2);
+  EXPECT_EQ(cache.misses(), 4);
+}
+
+TEST(PartitionCacheTest, ShrinkingCapacityEvictsImmediately) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  const partition::Partitioner partitioner(profile, cluster);
+  PartitionCache cache;
+  for (int nm : {1, 2, 3}) {
+    partition::PartitionOptions options;
+    options.nm = nm;
+    cache.Solve(partitioner, {0, 4, 8, 12}, options);
+  }
+  ASSERT_EQ(cache.size(), 3);
+  cache.SetCapacity(1);
+  EXPECT_EQ(cache.size(), 1);
+  EXPECT_EQ(cache.evictions(), 2);
+  cache.SetCapacity(0);  // unbounded again; nothing further is evicted
+  partition::PartitionOptions options;
+  options.nm = 4;
+  cache.Solve(partitioner, {0, 4, 8, 12}, options);
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_EQ(cache.evictions(), 2);
+}
+
+TEST(PartitionCacheTest, LoadedEntriesEvictBeforeMaterializedOnes) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  const partition::Partitioner partitioner(profile, cluster);
+  const std::string path = testing::TempDir() + "hetpipe_pcache_evict_pending.bin";
+
+  PartitionCache warm;
+  for (int nm : {1, 2}) {
+    partition::PartitionOptions options;
+    options.nm = nm;
+    warm.Solve(partitioner, {0, 4, 8, 12}, options);
+  }
+  ASSERT_TRUE(warm.Save(path));
+
+  PartitionCache cache;
+  partition::PartitionOptions options;
+  options.nm = 3;
+  cache.Solve(partitioner, {0, 4, 8, 12}, options);  // materialized entry
+  ASSERT_TRUE(cache.Load(path));                     // + two never-requested entries
+  ASSERT_EQ(cache.size(), 3);
+
+  // Shrinking to one entry must drop the loaded-but-never-requested entries
+  // first: they rank older than anything a request ever touched.
+  cache.SetCapacity(1);
+  EXPECT_EQ(cache.size(), 1);
+  EXPECT_EQ(cache.evictions(), 2);
+  bool was_hit = false;
+  cache.Solve(partitioner, {0, 4, 8, 12}, options, &was_hit);
+  EXPECT_TRUE(was_hit);
+  std::remove(path.c_str());
+}
+
+TEST(PartitionCacheTest, ConcurrentReadersWritersAndSavesStayExact) {
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  const partition::Partitioner partitioner(profile, cluster);
+  const std::string path = testing::TempDir() + "hetpipe_pcache_concurrent.bin";
+
+  // The oracle: cold solves of the four keys the threads will hammer.
+  partition::Partition expected[4];
+  for (int nm = 1; nm <= 4; ++nm) {
+    partition::PartitionOptions options;
+    options.nm = nm;
+    expected[nm - 1] = partitioner.Solve({0, 4, 8, 12}, options);
+  }
+
+  PartitionCache cache;
+  std::atomic<int> mismatches{0};
+  ThreadPool pool(8);
+  pool.ParallelFor(200, [&](int64_t i) {
+    partition::PartitionOptions options;
+    options.nm = 1 + static_cast<int>(i % 4);
+    const partition::Partition got = cache.Solve(partitioner, {0, 4, 8, 12}, options);
+    const partition::Partition& want = expected[options.nm - 1];
+    if (got.bottleneck_time != want.bottleneck_time || got.sum_time != want.sum_time ||
+        got.num_stages() != want.num_stages()) {
+      mismatches.fetch_add(1);
+    }
+    // Interleave saves with the solves: Save holds only the shared lock.
+    if (i % 17 == 0) {
+      cache.Save(path);
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(cache.size(), 4);
+  // Concurrent first-misses on one key may each count a miss (both threads
+  // solved before either inserted), but every request is accounted exactly
+  // once and at least one miss per key happened.
+  EXPECT_EQ(cache.hits() + cache.misses(), 200);
+  EXPECT_GE(cache.misses(), 4);
+
+  // A snapshot taken mid-run is a valid file.
+  PartitionCache reloaded;
+  std::string error;
+  ASSERT_TRUE(reloaded.Load(path, &error)) << error;
+  EXPECT_GE(reloaded.size(), 1);
+  std::remove(path.c_str());
 }
 
 TEST(PartitionCacheTest, DistinguishesNmAndMemParams) {
