@@ -17,6 +17,16 @@
 //                             comparison covers results only, never timings,
 //                             so it is stable across machines and compilers.
 //        --write-expect=PATH  regenerate that file from this run
+//        --growth[=smoke|full]  run the scalable-tier growth curve instead of
+//                             the grid: synthetic racked heterogeneous
+//                             clusters from 16 GPUs up to 1024 (full), timing
+//                             SolveScalable under the kAuto selector. The
+//                             16-GPU point stays on the exact path and is
+//                             verified bit-identical to Solve; it also anchors
+//                             beam quality (forced-beam bottleneck vs the
+//                             exact optimum).
+//        --growth-budget-ms=N fail if any growth solve exceeds N ms wall
+//                             clock (the CI ceiling).
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -248,6 +258,174 @@ int WriteExpectations(const std::vector<PointResult>& results, const std::string
   return out.good() ? 0 : 1;
 }
 
+// ---- The scalable-tier growth curve (--growth). ----
+
+// One synthetic cluster scale: `nodes` homogeneous nodes of `gpus_per_node`
+// GPUs cycling through four registered classes, grouped into `racks` racks
+// (0 = no rack structure), with a virtual worker of `k` GPUs taken
+// `per_node` at a time from evenly-strided nodes.
+struct GrowthCase {
+  std::string label;
+  int nodes = 0;
+  int gpus_per_node = 0;
+  int racks = 0;
+  int k = 0;
+  int per_node = 1;
+  bool compare_exact = false;  // k small enough for the exact oracle
+};
+
+std::vector<GrowthCase> GrowthCases(bool full) {
+  std::vector<GrowthCase> cases = {
+      // 16 GPUs, 2 racks, VW = 2 GPUs on each of 4 nodes: 8!/(2!^4) = 2520
+      // distinct orders, under the selector's exact limit — the growth
+      // curve's small end proves the auto path stays exact.
+      {"g16-2rack", 4, 4, 2, 8, 2, true},
+      // 64 GPUs, one GPU on each of 16 nodes across 4 racks: 16! orders,
+      // resolved to the hierarchical search.
+      {"g64-4rack", 16, 4, 4, 16, 1, false},
+      // The same 64 GPUs with no rack structure: resolved to the flat beam.
+      {"g64-norack", 16, 4, 0, 16, 1, false},
+  };
+  if (full) {
+    cases.push_back({"g256-8rack", 64, 4, 8, 24, 1, false});
+    cases.push_back({"g1024-16rack", 128, 8, 16, 32, 1, false});
+  }
+  return cases;
+}
+
+hw::Cluster BuildGrowthCluster(const GrowthCase& c) {
+  static const char* kClasses[4] = {"GrowV", "GrowR", "GrowG", "GrowQ"};
+  hw::ClusterSpec spec;
+  spec.Named(c.label)
+      .AddGpuClass("GrowV", 14.0, 12.0, 'v')
+      .AddGpuClass("GrowR", 16.3, 24.0, 'r')
+      .AddGpuClass("GrowG", 11.3, 8.0, 'g')
+      .AddGpuClass("GrowQ", 5.3, 32.0, 'q');
+  for (int node = 0; node < c.nodes; ++node) {
+    spec.AddNode(kClasses[node % 4], c.gpus_per_node);
+  }
+  if (c.racks > 0) {
+    const int per_rack = c.nodes / c.racks;
+    for (int rack = 0; rack < c.racks; ++rack) {
+      std::vector<int> members;
+      for (int node = rack * per_rack; node < (rack + 1) * per_rack; ++node) {
+        members.push_back(node);
+      }
+      spec.AddRack("rack" + std::to_string(rack), members);
+    }
+    spec.CrossRackGbits(5.0);
+  }
+  return spec.Build();
+}
+
+// The growth VW: `per_node` GPUs from each of k/per_node nodes strided evenly
+// across the cluster (and therefore across its racks).
+std::vector<int> PickGrowthVw(const hw::Cluster& cluster, const GrowthCase& c) {
+  const int nodes_used = c.k / c.per_node;
+  const int stride = std::max(1, c.nodes / nodes_used);
+  std::vector<int> ids;
+  for (int pick = 0; pick < nodes_used; ++pick) {
+    const int node = pick * stride;
+    int taken = 0;
+    for (const hw::Gpu& gpu : cluster.gpus()) {
+      if (gpu.node == node && taken < c.per_node) {
+        ids.push_back(gpu.id);
+        ++taken;
+      }
+    }
+  }
+  return ids;
+}
+
+int RunGrowthCurve(bool full, double budget_ms, int repeat, runner::ResultSink* sink) {
+  // The profile only covers GPU classes known at its construction, so the
+  // growth classes must exist first (idempotent with AddGpuClass's numbers).
+  hw::RegisterGpuType("GrowV", 14.0, 12.0, 'v');
+  hw::RegisterGpuType("GrowR", 16.3, 24.0, 'r');
+  hw::RegisterGpuType("GrowG", 11.3, 8.0, 'g');
+  hw::RegisterGpuType("GrowQ", 5.3, 32.0, 'q');
+  // resnet152 is the deepest profiled model (54 layers), so it admits the
+  // k=32 pipeline of the 1024-GPU point.
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  const int timing_rounds = std::min(repeat, 3);
+  bool ok = true;
+
+  std::printf("scalable-tier growth curve (%s): resnet152, nm=1, kAuto selector\n\n",
+              full ? "full" : "smoke");
+  for (const GrowthCase& c : GrowthCases(full)) {
+    const hw::Cluster cluster = BuildGrowthCluster(c);
+    const std::vector<int> gpu_ids = PickGrowthVw(cluster, c);
+    const partition::Partitioner partitioner(profile, cluster);
+    partition::PartitionOptions options;  // kAuto, defaults
+    const partition::SearchStrategy strategy =
+        partition::ResolveSearchStrategy(cluster, gpu_ids, options);
+    const uint64_t orders =
+        partition::EstimateOrderCount(cluster, gpu_ids, uint64_t{1} << 62);
+
+    const partition::Partition solved = partitioner.SolveScalable(gpu_ids, options);
+    double solve_ms = 0.0;
+    for (int r = 0; r < timing_rounds; ++r) {
+      const auto start = Clock::now();
+      (void)partitioner.SolveScalable(gpu_ids, options);
+      const double ms = MsBetween(start, Clock::now());
+      solve_ms = r == 0 ? ms : std::min(solve_ms, ms);
+    }
+
+    bool point_ok = solved.feasible;
+    double beam_over_exact = 0.0;
+    if (c.compare_exact) {
+      // The selector must have kept this point exact, bit-identically; the
+      // forced beam anchors approximate quality against the true optimum.
+      const partition::Partition exact = partitioner.Solve(gpu_ids, options);
+      point_ok = point_ok && strategy == partition::SearchStrategy::kExact &&
+                 SamePartition(solved, exact);
+      partition::PartitionOptions beam_options = options;
+      beam_options.strategy = partition::SearchStrategy::kBeam;
+      const partition::Partition beam = partitioner.SolveScalable(gpu_ids, beam_options);
+      point_ok = point_ok && beam.feasible &&
+                 beam.bottleneck_time >= exact.bottleneck_time - 1e-12;
+      beam_over_exact =
+          exact.bottleneck_time > 0.0 ? beam.bottleneck_time / exact.bottleneck_time : 0.0;
+    }
+    const bool within_budget = budget_ms <= 0.0 || solve_ms <= budget_ms;
+    ok = ok && point_ok && within_budget;
+
+    std::printf("  %-13s %4d gpus  k=%-2d  %-12s orders~%llu  %8.2f ms  bottleneck %.3f ms%s%s\n",
+                c.label.c_str(), c.nodes * c.gpus_per_node, c.k,
+                partition::SearchStrategyName(strategy),
+                static_cast<unsigned long long>(orders), solve_ms,
+                solved.bottleneck_time * 1e3,
+                c.compare_exact && beam_over_exact > 0.0
+                    ? (" (beam/exact " + std::to_string(beam_over_exact) + ")").c_str()
+                    : "",
+                point_ok ? (within_budget ? "" : "  OVER BUDGET") : "  FAILED");
+    if (sink != nullptr) {
+      runner::ResultRow row;
+      row.Set("bench", "partitioner_growth")
+          .Set("case", c.label)
+          .Set("gpus", c.nodes * c.gpus_per_node)
+          .Set("nodes", c.nodes)
+          .Set("racks", c.racks)
+          .Set("k", c.k)
+          .Set("strategy", partition::SearchStrategyName(strategy))
+          .Set("orders_estimate", static_cast<double>(orders))
+          .Set("solve_ms", solve_ms)
+          .Set("feasible", solved.feasible)
+          .Set("bottleneck_ms", solved.bottleneck_time * 1e3);
+      if (c.compare_exact) {
+        row.Set("beam_over_exact", beam_over_exact);
+      }
+      sink->Write(row);
+    }
+  }
+  if (sink != nullptr) {
+    sink->Flush();
+  }
+  std::printf("\ngrowth curve %s\n", ok ? "ok" : "FAILED");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -255,8 +433,24 @@ int main(int argc, char** argv) {
   int repeat = 5;
   std::string expect_path;
   std::string write_expect_path;
+  bool growth = false;
+  bool growth_full = false;
+  double growth_budget_ms = 0.0;
   for (const std::string& arg : args.rest) {
-    if (arg.rfind("--repeat=", 0) == 0) {
+    if (arg == "--growth" || arg == "--growth=smoke") {
+      growth = true;
+    } else if (arg == "--growth=full") {
+      growth = true;
+      growth_full = true;
+    } else if (arg.rfind("--growth-budget-ms=", 0) == 0) {
+      int parsed = 0;
+      if (!runner::ParseIntFlag(arg.substr(19), &parsed) || parsed < 1) {
+        std::fprintf(stderr, "error: --growth-budget-ms needs a positive integer, got \"%s\"\n",
+                     arg.c_str() + 19);
+        return 2;
+      }
+      growth_budget_ms = parsed;
+    } else if (arg.rfind("--repeat=", 0) == 0) {
       int parsed = 0;
       if (!runner::ParseIntFlag(arg.substr(9), &parsed) || parsed < 1) {
         std::fprintf(stderr, "error: --repeat needs a positive integer, got \"%s\"\n",
@@ -272,6 +466,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;
     }
+  }
+
+  if (growth) {
+    return RunGrowthCurve(growth_full, growth_budget_ms, repeat, args.sink());
   }
 
   // Shared read-only inputs, built once: profiles are per (model, batch) and

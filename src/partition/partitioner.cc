@@ -11,19 +11,22 @@
 
 namespace hetpipe::partition {
 
-namespace {
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-// True when `candidate` improves on `best` under the min-max objective with
-// the sum-time tie-break. Matches the serial search's "first wins" rule when
-// candidates are visited in enumeration order.
-bool Improves(const Partition& candidate, const Partition& best) {
+bool ImprovesPartition(const Partition& candidate, const Partition& best) {
   if (!candidate.feasible) {
     return false;
   }
   return !best.feasible || candidate.bottleneck_time < best.bottleneck_time ||
          (candidate.bottleneck_time == best.bottleneck_time &&
           candidate.sum_time < best.sum_time);
+}
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Shorthand for the shared first-wins improvement rule declared in the
+// header; the searches below visit candidates in enumeration order.
+bool Improves(const Partition& candidate, const Partition& best) {
+  return ImprovesPartition(candidate, best);
 }
 
 // Flat scratch buffers for SolveFixedOrder, one set per thread (the GPU-order
@@ -98,6 +101,8 @@ void EmitClassOrders(std::vector<ClassGroup>& groups, std::vector<int>& current,
   }
 }
 
+}  // namespace
+
 std::vector<std::vector<int>> DistinctClassOrders(const hw::Cluster& cluster,
                                                   std::vector<int> ids) {
   std::sort(ids.begin(), ids.end());
@@ -123,8 +128,6 @@ std::vector<std::vector<int>> DistinctClassOrders(const hw::Cluster& cluster,
   EmitClassOrders(groups, current, ids.size(), orders);
   return orders;
 }
-
-}  // namespace
 
 int64_t DpScratchGrowCount() { return LocalScratch().grows; }
 
@@ -319,15 +322,32 @@ Partition Partitioner::SolveFixedOrder(const std::vector<int>& gpu_ids,
       const double bwd_comm = next_xfer != nullptr ? next_xfer[last] : 0.0;
       double best = kInf;
       int best_j = -1;
-      for (int j = q - 1; j < i; ++j) {
+      // The stage's memory demand is non-increasing in j (a later split means
+      // fewer layers, and both prefix differences shrink), so feasibility is
+      // monotone over j: binary-search the first memory-feasible split and
+      // run the tightened loop from there with no per-j memory check. The
+      // skipped j values are exactly the ones the reference loop `continue`s
+      // on, so every surviving (j, cand) decision is unchanged.
+      int feasible_from = i;  // i: no feasible split for this (q, i)
+      {
+        int lo = q - 1;
+        int hi = i - 1;
+        while (lo <= hi) {
+          const int mid = lo + (hi - lo) / 2;
+          const uint64_t need = StageMemoryBytesFromSums(
+              param_prefix[i] - param_prefix[mid],  // layers [mid, i-1]
+              stash_prefix[i] - stash_prefix[mid], batch, in_flight, mem);
+          if (need <= cap) {
+            feasible_from = mid;
+            hi = mid - 1;
+          } else {
+            lo = mid + 1;
+          }
+        }
+      }
+      for (int j = feasible_from; j < i; ++j) {
         const double prior = prev[j];
         if (prior == kInf) {
-          continue;
-        }
-        const uint64_t need = StageMemoryBytesFromSums(
-            param_prefix[i] - param_prefix[j],  // layers [j, i-1]
-            stash_prefix[i] - stash_prefix[j], batch, in_flight, mem);
-        if (need > cap) {
           continue;
         }
         const size_t jn = static_cast<size_t>(j) * static_cast<size_t>(n);

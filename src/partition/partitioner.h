@@ -49,6 +49,20 @@ struct Partition {
   std::string ToString(const model::ModelProfile& profile) const;
 };
 
+// How SolveScalable searches the space of (type, node) stage orders. The
+// exact enumeration is optimal but its distinct-order count is a multinomial
+// that explodes once a virtual worker spans many distinct nodes (16 GPUs on
+// 16 nodes is already 16! orders); the scalable strategies trade optimality
+// guarantees for polynomial search cost. See docs/architecture.md
+// ("Partition search strategies").
+enum class SearchStrategy {
+  kAuto,          // pick by search-space size (exact whenever it is tractable)
+  kExact,         // every distinct (type, node) order: Partitioner::Solve
+  kBeam,          // beam over order prefixes + swap local search
+  kHierarchical,  // rack-level coarse order, then within-rack refinement
+};
+const char* SearchStrategyName(SearchStrategy strategy);
+
 struct PartitionOptions {
   int nm = 1;  // concurrent minibatches the partition must support
   // If true, try every distinct assignment of the virtual worker's GPUs to
@@ -67,6 +81,26 @@ struct PartitionOptions {
   // serial automatically (ThreadPool::ParallelFor is nesting-safe).
   runner::ThreadPool* pool = nullptr;
   StageMemoryParams mem_params;
+
+  // ---- SolveScalable knobs (ignored by plain Solve/SolveReference). ----
+  // kAuto picks exact whenever the distinct-order estimate fits under
+  // exact_order_limit, so every paper-scale solve stays bit-identical to
+  // Solve; an explicit strategy is honored whenever there is an order search
+  // to run (with search_gpu_orders off the given order IS the stage order,
+  // so everything resolves to the exact fixed-order DP).
+  SearchStrategy strategy = SearchStrategy::kAuto;
+  // Largest distinct (type, node) order count the auto selector still solves
+  // exactly. The default is far above every paper/mixed grid in this repo
+  // (those peak at a few thousand orders) but well below the multinomials a
+  // many-node virtual worker produces.
+  int64_t exact_order_limit = 10000;
+  // Beam width of the prefix beam search (kBeam and the hierarchical coarse
+  // phase when racks overflow exact enumeration).
+  int beam_width = 8;
+  // Within-rack refinement enumerates a rack segment's distinct orders
+  // exactly up to this count; beyond it the segment falls back to adjacent
+  // swap local search.
+  int64_t rack_order_limit = 720;
 };
 
 // Min-max partitioner (§7): splits the layer chain into k contiguous stages,
@@ -103,6 +137,35 @@ class Partitioner {
   // (Maxm of §4); returns 0 if even nm=1 is infeasible.
   int FindMaxNm(const std::vector<int>& gpu_ids, int nm_cap,
                 PartitionOptions options = {}) const;
+
+  // ---- The scalable search tier (src/partition/search.cc). ----
+
+  // Strategy-dispatched solve: resolves options.strategy (kAuto goes through
+  // ResolveSearchStrategy) and runs the exact, beam, or hierarchical search.
+  // On the exact path this IS Solve — bit-identical results, including ties —
+  // so paper-scale callers can switch to SolveScalable without any drift.
+  // The approximate paths return a valid feasible partition (built by the
+  // same BuildFixedPartition machinery, so TimeOf/stage fields mean the same
+  // thing) whose bottleneck is >= the exact optimum; they search only a
+  // polynomial slice of the order space.
+  Partition SolveScalable(const std::vector<int>& gpu_ids,
+                          const PartitionOptions& options) const;
+
+  // Beam search over (type, node) order prefixes: states carry the exact DP
+  // row of their closed stages, extend one class at a time, and the top
+  // options.beam_width states per depth survive; the surviving complete
+  // orders are then polished by deterministic pairwise-swap local search.
+  // Deterministic, and invariant under permutations of `gpu_ids` with equal
+  // (type, node) multisets (ids are canonicalized first).
+  Partition SolveBeam(const std::vector<int>& gpu_ids, const PartitionOptions& options) const;
+
+  // Hierarchical search over the PR-5 rack topology: coarsen the virtual
+  // worker to its racks, search the rack order (exhaustively for few racks,
+  // beam otherwise), then refine each rack's internal order with the exact
+  // distinct-order enumerator (coordinate descent across racks). Virtual
+  // workers inside a single rack degrade to SolveBeam.
+  Partition SolveHierarchical(const std::vector<int>& gpu_ids,
+                              const PartitionOptions& options) const;
 
   const model::ModelProfile& profile() const { return *profile_; }
   const hw::Cluster& cluster() const { return *cluster_; }
@@ -146,6 +209,36 @@ Partition BuildFixedPartition(const model::ModelProfile& profile, const hw::Clus
 // scanning nm_cap -> 1; the returned nm is identical to the linear scan's.
 int FindMaxNmWith(const std::function<Partition(const PartitionOptions&)>& solve, int nm_cap,
                   PartitionOptions options);
+
+// True when `candidate` improves on `best` under the min-max objective with
+// the sum-time tie-break. Matches the exact search's "first wins" rule when
+// candidates are visited in enumeration order; the scalable searches use the
+// same rule so their reductions agree with Solve's.
+bool ImprovesPartition(const Partition& candidate, const Partition& best);
+
+// Number of distinct (type, node) orderings of the virtual worker's GPUs —
+// the exact search's work, a multinomial k! / prod(class_count!). Saturates
+// at `cap` (so thousand-node multisets never overflow); cap must be >= 1.
+uint64_t EstimateOrderCount(const hw::Cluster& cluster, const std::vector<int>& gpu_ids,
+                            uint64_t cap);
+
+// The strategy SolveScalable (and the partition cache's key derivation) uses
+// for this input: an explicit options.strategy wins; kAuto picks kExact when
+// EstimateOrderCount fits under options.exact_order_limit (or the order
+// search is off — a fixed order has nothing to search), else kHierarchical
+// when the virtual worker spans more than one rack, else kBeam. Never
+// returns kAuto.
+SearchStrategy ResolveSearchStrategy(const hw::Cluster& cluster,
+                                     const std::vector<int>& gpu_ids,
+                                     const PartitionOptions& options);
+
+// The distinct (type, node) orderings of `ids`, each realized by its minimal
+// ascending-id representative, in the first-occurrence order of the
+// reference factorial scan (see the implementation note in partitioner.cc).
+// This is the exact enumerator Solve searches; the hierarchical refinement
+// reuses it per rack segment.
+std::vector<std::vector<int>> DistinctClassOrders(const hw::Cluster& cluster,
+                                                  std::vector<int> ids);
 
 // Stage boundaries of the naive baselines the ablation compares against.
 enum class NaiveSplit {

@@ -1,0 +1,618 @@
+// The scalable partitioner search tier: strategy selection, the beam search
+// over (type, node) order prefixes, and the rack-hierarchical search. The
+// exact enumeration in partitioner.cc is optimal but visits a multinomial
+// number of orders; these searches visit a polynomial slice of that space,
+// always producing their result through the same SolveFixedOrder DP, so a
+// returned partition is exactly what Solve would report for its order — only
+// the set of orders tried differs. Everything here is deterministic and
+// invariant under permutations of the input gpu ids with equal (type, node)
+// multisets: ids are canonicalized up front and every search decision is a
+// function of classes and positions, never of raw id values.
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "partition/partitioner.h"
+
+namespace hetpipe::partition {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// One distinct (type, node) class of a virtual worker, with its member ids
+// ascending. Groups are ordered by (type, node) — an id-free canonical order,
+// so equal multisets on different ids group identically.
+struct Group {
+  hw::GpuType type;
+  int node = -1;
+  std::vector<int> ids;
+};
+
+std::vector<Group> CanonicalGroups(const hw::Cluster& cluster, std::vector<int> ids) {
+  std::sort(ids.begin(), ids.end());
+  std::vector<Group> groups;
+  for (int id : ids) {
+    const hw::Gpu& gpu = cluster.gpu(id);
+    Group* group = nullptr;
+    for (Group& existing : groups) {
+      if (existing.type == gpu.type && existing.node == gpu.node) {
+        group = &existing;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.push_back(Group{gpu.type, gpu.node, {}});
+      group = &groups.back();
+    }
+    group->ids.push_back(id);
+  }
+  std::sort(groups.begin(), groups.end(), [](const Group& a, const Group& b) {
+    if (a.type != b.type) {
+      return static_cast<int>(a.type) < static_cast<int>(b.type);
+    }
+    return a.node < b.node;
+  });
+  return groups;
+}
+
+// Realizes a group-index sequence as a gpu-id order: each group contributes
+// its ids in ascending order (the minimal representative, matching the exact
+// enumerator's convention).
+std::vector<int> RealizeOrder(const std::vector<Group>& groups, const std::vector<int>& seq) {
+  std::vector<size_t> next(groups.size(), 0);
+  std::vector<int> order;
+  order.reserve(seq.size());
+  for (int g : seq) {
+    order.push_back(groups[static_cast<size_t>(g)].ids[next[static_cast<size_t>(g)]++]);
+  }
+  return order;
+}
+
+// A partial beam state: `seq` classes chosen for stages 0..t-1, of which
+// stages 0..t-2 are "closed" (full cost known — a stage's backward comm needs
+// the NEXT stage's class, so the newest stage stays pending until extended).
+// `dp[i]` is the exact minimal bottleneck of placing the first i layers on
+// the closed stages; `score` is min_i dp[i], an optimistic bound used only
+// for beam ranking.
+struct BeamState {
+  std::vector<int> seq;
+  std::vector<int> used;  // per-group consumed count
+  std::vector<double> dp;
+  double score = 0.0;
+};
+
+// Deterministic beam ordering: better bound first, ties by class sequence.
+bool BeamLess(const BeamState& a, const BeamState& b) {
+  if (a.score != b.score) {
+    return a.score < b.score;
+  }
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+const char* SearchStrategyName(SearchStrategy strategy) {
+  switch (strategy) {
+    case SearchStrategy::kAuto:
+      return "auto";
+    case SearchStrategy::kExact:
+      return "exact";
+    case SearchStrategy::kBeam:
+      return "beam";
+    case SearchStrategy::kHierarchical:
+      return "hierarchical";
+  }
+  return "unknown";
+}
+
+uint64_t EstimateOrderCount(const hw::Cluster& cluster, const std::vector<int>& gpu_ids,
+                            uint64_t cap) {
+  if (cap == 0) {
+    cap = 1;
+  }
+  const std::vector<Group> groups = CanonicalGroups(cluster, gpu_ids);
+  // Multinomial k! / prod(c_g!) built as a product of binomials: placing each
+  // group's c ids into the slots left over contributes C(placed + c, c).
+  uint64_t total = 1;
+  uint64_t placed = 0;
+  for (const Group& group : groups) {
+    const uint64_t c = group.ids.size();
+    uint64_t binom = 1;
+    for (uint64_t i = 1; i <= c; ++i) {
+      // binom is C(placed + i, i) after each step (integral stepwise) and
+      // non-decreasing in i, so saturating early is sound.
+      const __uint128_t grown = static_cast<__uint128_t>(binom) * (placed + i) / i;
+      if (grown > cap) {
+        return cap;
+      }
+      binom = static_cast<uint64_t>(grown);
+    }
+    const __uint128_t next = static_cast<__uint128_t>(total) * binom;
+    if (next > cap) {
+      return cap;
+    }
+    total = static_cast<uint64_t>(next);
+    placed += c;
+  }
+  return total;
+}
+
+SearchStrategy ResolveSearchStrategy(const hw::Cluster& cluster,
+                                     const std::vector<int>& gpu_ids,
+                                     const PartitionOptions& options) {
+  // With the order search off the given order IS the stage order — there is
+  // no order space to search, so every strategy degenerates to the exact
+  // fixed-order DP.
+  if (!options.search_gpu_orders || gpu_ids.size() <= 1) {
+    return SearchStrategy::kExact;
+  }
+  if (options.strategy != SearchStrategy::kAuto) {
+    return options.strategy;
+  }
+  const uint64_t limit =
+      options.exact_order_limit < 1 ? 1 : static_cast<uint64_t>(options.exact_order_limit);
+  if (EstimateOrderCount(cluster, gpu_ids, limit + 1) <= limit) {
+    return SearchStrategy::kExact;
+  }
+  // Beyond exact reach: hierarchical when the virtual worker actually spans
+  // racks (the coarse phase needs more than one super-node), beam otherwise.
+  int first_rack = -2;
+  bool multi_rack = false;
+  for (int id : gpu_ids) {
+    const int rack = cluster.NodeRack(cluster.gpu(id).node);
+    if (rack < 0) {
+      multi_rack = false;  // no rack structure at all
+      break;
+    }
+    if (first_rack == -2) {
+      first_rack = rack;
+    } else if (rack != first_rack) {
+      multi_rack = true;
+    }
+  }
+  return multi_rack ? SearchStrategy::kHierarchical : SearchStrategy::kBeam;
+}
+
+Partition Partitioner::SolveScalable(const std::vector<int>& gpu_ids,
+                                     const PartitionOptions& options) const {
+  switch (ResolveSearchStrategy(*cluster_, gpu_ids, options)) {
+    case SearchStrategy::kBeam:
+      return SolveBeam(gpu_ids, options);
+    case SearchStrategy::kHierarchical:
+      return SolveHierarchical(gpu_ids, options);
+    case SearchStrategy::kAuto:  // ResolveSearchStrategy never returns kAuto
+    case SearchStrategy::kExact:
+      break;
+  }
+  return Solve(gpu_ids, options);
+}
+
+namespace {
+
+// Shared context of one beam/local search: the canonical groups plus the
+// hoisted per-class tables the incremental DP closes stages with.
+struct SearchContext {
+  const model::ModelProfile* profile = nullptr;
+  const hw::Cluster* cluster = nullptr;
+  std::vector<Group> groups;
+  int k = 0;
+  int n = 0;
+};
+
+// Closes stage `sq` (class `cur`, preceded by `prev_class` or -1, followed by
+// `next_class` or -1 for the last stage) over `dp_prev`, producing the next
+// dp row. Identical cost and memory arithmetic to SolveFixedOrder, evaluated
+// through the same cumulative tables and prefix sums.
+std::vector<double> CloseStage(const SearchContext& ctx, const PartitionOptions& options,
+                               const std::vector<double>& dp_prev, int sq, int prev_class,
+                               int cur, int next_class) {
+  const int n = ctx.n;
+  const int k = ctx.k;
+  const hw::GpuType type = ctx.groups[static_cast<size_t>(cur)].type;
+  const double* fwd_cum = ctx.profile->FwdCum(type);
+  const double* bwd_cum = ctx.profile->BwdCum(type);
+  const uint64_t* param_prefix = ctx.profile->graph().ParamPrefix();
+  const uint64_t* stash_prefix = ctx.profile->graph().StashPrefix();
+  const uint64_t batch = static_cast<uint64_t>(ctx.profile->batch_size());
+  const uint64_t in_flight = static_cast<uint64_t>(InFlightAtStage(sq, k, options.nm));
+  const uint64_t cap = hw::MemoryBytes(type);
+
+  // Boundary transfer rows, hoisted like SolveFixedOrder's xfer table. A
+  // group's first id stands in for the class — links depend on nodes only.
+  const auto rep = [&](int g) { return ctx.groups[static_cast<size_t>(g)].ids.front(); };
+  std::vector<double> fwd_x;
+  if (prev_class >= 0) {
+    const hw::LinkModel& link = ctx.cluster->LinkBetween(rep(prev_class), rep(cur));
+    fwd_x.resize(static_cast<size_t>(n));
+    for (int b = 0; b + 1 < n; ++b) {
+      fwd_x[static_cast<size_t>(b)] = link.TransferTime(ctx.profile->BoundaryTransferBytes(b));
+    }
+  }
+  std::vector<double> bwd_x;
+  if (next_class >= 0) {
+    const hw::LinkModel& link = ctx.cluster->LinkBetween(rep(cur), rep(next_class));
+    bwd_x.resize(static_cast<size_t>(n));
+    for (int b = 0; b + 1 < n; ++b) {
+      bwd_x[static_cast<size_t>(b)] = link.TransferTime(ctx.profile->BoundaryTransferBytes(b));
+    }
+  }
+
+  std::vector<double> dp(static_cast<size_t>(n) + 1, kInf);
+  const int q = sq + 1;  // dp rows count closed stages, 1-based like the DP
+  for (int i = q; i <= n - (k - q); ++i) {
+    const size_t last = static_cast<size_t>(i - 1);
+    double best = kInf;
+    for (int j = q - 1; j < i; ++j) {
+      const double prior = dp_prev[static_cast<size_t>(j)];
+      if (prior == kInf) {
+        continue;
+      }
+      const uint64_t need = StageMemoryBytesFromSums(
+          param_prefix[i] - param_prefix[j], stash_prefix[i] - stash_prefix[j], batch,
+          in_flight, options.mem_params);
+      if (need > cap) {
+        continue;
+      }
+      const size_t jn = static_cast<size_t>(j) * static_cast<size_t>(n);
+      double cost = fwd_cum[jn + last] + bwd_cum[jn + last];
+      if (!fwd_x.empty()) {
+        cost += fwd_x[static_cast<size_t>(j - 1)];
+      }
+      if (!bwd_x.empty()) {
+        cost += bwd_x[last];
+      }
+      const double cand = std::max(prior, cost);
+      if (cand < best) {
+        best = cand;
+      }
+    }
+    dp[static_cast<size_t>(i)] = best;
+  }
+  return dp;
+}
+
+double MinOf(const std::vector<double>& dp) {
+  double best = kInf;
+  for (double v : dp) {
+    best = std::min(best, v);
+  }
+  return best;
+}
+
+}  // namespace
+
+Partition Partitioner::SolveBeam(const std::vector<int>& gpu_ids,
+                                 const PartitionOptions& options) const {
+  const int n = profile_->num_layers();
+  const int k = static_cast<int>(gpu_ids.size());
+  if (k == 0 || n < k) {
+    return Partition{};
+  }
+  if (!options.search_gpu_orders || k == 1) {
+    return Solve(gpu_ids, options);
+  }
+
+  SearchContext ctx;
+  ctx.profile = profile_;
+  ctx.cluster = cluster_;
+  ctx.groups = CanonicalGroups(*cluster_, gpu_ids);
+  ctx.k = k;
+  ctx.n = n;
+  const int num_groups = static_cast<int>(ctx.groups.size());
+  const size_t width = static_cast<size_t>(std::max(1, options.beam_width));
+
+  // ---- Beam over order prefixes. ----
+  BeamState root;
+  root.used.assign(static_cast<size_t>(num_groups), 0);
+  root.dp.assign(static_cast<size_t>(n) + 1, kInf);
+  root.dp[0] = 0.0;
+  root.score = 0.0;
+  std::vector<BeamState> beam = {root};
+  for (int t = 0; t < k; ++t) {
+    std::vector<BeamState> expanded;
+    for (const BeamState& state : beam) {
+      for (int g = 0; g < num_groups; ++g) {
+        if (state.used[static_cast<size_t>(g)] >=
+            static_cast<int>(ctx.groups[static_cast<size_t>(g)].ids.size())) {
+          continue;
+        }
+        BeamState next = state;
+        next.seq.push_back(g);
+        ++next.used[static_cast<size_t>(g)];
+        if (t > 0) {
+          // Choosing stage t's class closes stage t-1 (its backward comm —
+          // the link to stage t — is now known).
+          const int prev_class = t >= 2 ? state.seq[static_cast<size_t>(t) - 2] : -1;
+          next.dp = CloseStage(ctx, options, state.dp, t - 1, prev_class,
+                               state.seq.back(), g);
+          next.score = MinOf(next.dp);
+          if (next.score == kInf) {
+            continue;  // no feasible closing: every completion is infeasible
+          }
+        }
+        expanded.push_back(std::move(next));
+      }
+    }
+    std::sort(expanded.begin(), expanded.end(), BeamLess);
+    if (expanded.size() > width) {
+      expanded.resize(width);
+    }
+    beam = std::move(expanded);
+    if (beam.empty()) {
+      break;
+    }
+  }
+
+  // ---- Candidate orders: beam survivors plus deterministic heuristic
+  // ---- seeds (the classic feasibility seed puts big memory first — the
+  // ---- front of a 1F1B pipeline holds the most in-flight minibatches).
+  std::vector<std::vector<int>> seqs;
+  for (const BeamState& state : beam) {
+    seqs.push_back(state.seq);
+  }
+  const auto push_sorted_seed = [&](auto less) {
+    std::vector<int> by_group(static_cast<size_t>(num_groups));
+    std::iota(by_group.begin(), by_group.end(), 0);
+    std::stable_sort(by_group.begin(), by_group.end(), less);
+    std::vector<int> seq;
+    seq.reserve(static_cast<size_t>(k));
+    for (int g : by_group) {
+      seq.insert(seq.end(), ctx.groups[static_cast<size_t>(g)].ids.size(), g);
+    }
+    seqs.push_back(std::move(seq));
+  };
+  push_sorted_seed([&](int a, int b) {
+    return hw::MemoryBytes(ctx.groups[static_cast<size_t>(a)].type) >
+           hw::MemoryBytes(ctx.groups[static_cast<size_t>(b)].type);
+  });
+  push_sorted_seed([&](int a, int b) {
+    return hw::SpecOf(ctx.groups[static_cast<size_t>(a)].type).effective_tflops >
+           hw::SpecOf(ctx.groups[static_cast<size_t>(b)].type).effective_tflops;
+  });
+
+  // ---- Exact evaluation of every candidate, then swap local search. ----
+  Partition best;
+  std::vector<int> best_seq;
+  for (const std::vector<int>& seq : seqs) {
+    const double bound = options.prune && best.feasible ? best.bottleneck_time : kInf;
+    Partition candidate = SolveFixedOrder(RealizeOrder(ctx.groups, seq), options, bound);
+    if (ImprovesPartition(candidate, best)) {
+      best = std::move(candidate);
+      best_seq = seq;
+    }
+  }
+  if (!best.feasible) {
+    return best;
+  }
+
+  // Greedy hill climb on pairwise class swaps: all pairs while that is cheap,
+  // adjacent pairs at large k. Pruned solves (bound = incumbent bottleneck)
+  // keep equal-bottleneck candidates alive, so the sum-time tie-break still
+  // applies; accepted swaps update the order in place.
+  const bool all_pairs = k * (k - 1) / 2 <= 300;
+  for (int pass = 0; pass < 4; ++pass) {
+    bool improved = false;
+    for (int a = 0; a < k - 1; ++a) {
+      const int b_end = all_pairs ? k : std::min(k, a + 2);
+      for (int b = a + 1; b < b_end; ++b) {
+        if (best_seq[static_cast<size_t>(a)] == best_seq[static_cast<size_t>(b)]) {
+          continue;
+        }
+        std::vector<int> swapped = best_seq;
+        std::swap(swapped[static_cast<size_t>(a)], swapped[static_cast<size_t>(b)]);
+        Partition candidate = SolveFixedOrder(RealizeOrder(ctx.groups, swapped), options,
+                                              options.prune ? best.bottleneck_time : kInf);
+        if (ImprovesPartition(candidate, best)) {
+          best = std::move(candidate);
+          best_seq = std::move(swapped);
+          improved = true;
+        }
+      }
+    }
+    if (!improved) {
+      break;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+// One rack's slice of the virtual worker during the hierarchical search.
+struct RackSegment {
+  int rack = -1;
+  std::vector<int> ids;     // canonical ascending
+  std::vector<int> order;   // current realized order of `ids`
+  uint64_t memory_bytes = 0;
+  double tflops = 0.0;
+};
+
+std::vector<int> ComposeOrder(const std::vector<RackSegment>& segments,
+                              const std::vector<int>& rack_order) {
+  std::vector<int> full;
+  for (int s : rack_order) {
+    const RackSegment& segment = segments[static_cast<size_t>(s)];
+    full.insert(full.end(), segment.order.begin(), segment.order.end());
+  }
+  return full;
+}
+
+}  // namespace
+
+Partition Partitioner::SolveHierarchical(const std::vector<int>& gpu_ids,
+                                         const PartitionOptions& options) const {
+  const int n = profile_->num_layers();
+  const int k = static_cast<int>(gpu_ids.size());
+  if (k == 0 || n < k) {
+    return Partition{};
+  }
+  if (!options.search_gpu_orders || k == 1) {
+    return Solve(gpu_ids, options);
+  }
+
+  // ---- Coarsen: one super-node per rack the virtual worker touches. ----
+  std::vector<int> ids = gpu_ids;
+  std::sort(ids.begin(), ids.end());
+  std::vector<RackSegment> segments;
+  for (int id : ids) {
+    const int rack = cluster_->NodeRack(cluster_->gpu(id).node);
+    RackSegment* segment = nullptr;
+    for (RackSegment& existing : segments) {
+      if (existing.rack == rack) {
+        segment = &existing;
+        break;
+      }
+    }
+    if (segment == nullptr) {
+      segments.push_back(RackSegment{rack, {}, {}, 0, 0.0});
+      segment = &segments.back();
+    }
+    segment->ids.push_back(id);
+    segment->memory_bytes += hw::MemoryBytes(cluster_->gpu(id).type);
+    segment->tflops += hw::SpecOf(cluster_->gpu(id).type).effective_tflops;
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const RackSegment& a, const RackSegment& b) { return a.rack < b.rack; });
+  const int num_segments = static_cast<int>(segments.size());
+  if (num_segments <= 1) {
+    // Single rack (or no rack structure): nothing to coarsen.
+    return SolveBeam(gpu_ids, options);
+  }
+
+  // Default within-rack order: big memory first, then fast first — the same
+  // feasibility-minded heuristic the beam seeds use. Id-free tie-breaks keep
+  // equal multisets on different ids order-identical.
+  for (RackSegment& segment : segments) {
+    segment.order = segment.ids;
+    std::stable_sort(segment.order.begin(), segment.order.end(), [&](int a, int b) {
+      const hw::Gpu& ga = cluster_->gpu(a);
+      const hw::Gpu& gb = cluster_->gpu(b);
+      const uint64_t ma = hw::MemoryBytes(ga.type);
+      const uint64_t mb = hw::MemoryBytes(gb.type);
+      if (ma != mb) {
+        return ma > mb;
+      }
+      const double ta = hw::SpecOf(ga.type).effective_tflops;
+      const double tb = hw::SpecOf(gb.type).effective_tflops;
+      if (ta != tb) {
+        return ta > tb;
+      }
+      if (ga.type != gb.type) {
+        return static_cast<int>(ga.type) < static_cast<int>(gb.type);
+      }
+      return ga.node < gb.node;
+    });
+  }
+
+  // ---- Coarse phase: search the rack order. Few racks are enumerated
+  // ---- exhaustively; beyond that, deterministic heuristic orders plus
+  // ---- adjacent-swap local search at rack granularity.
+  std::vector<std::vector<int>> rack_orders;
+  uint64_t permutations = 1;
+  for (int s = 2; s <= num_segments && permutations <= 720; ++s) {
+    permutations *= static_cast<uint64_t>(s);
+  }
+  if (permutations <= 720) {
+    std::vector<int> perm(static_cast<size_t>(num_segments));
+    std::iota(perm.begin(), perm.end(), 0);
+    do {
+      rack_orders.push_back(perm);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  } else {
+    std::vector<int> base(static_cast<size_t>(num_segments));
+    std::iota(base.begin(), base.end(), 0);
+    rack_orders.push_back(base);
+    std::vector<int> by_memory = base;
+    std::stable_sort(by_memory.begin(), by_memory.end(), [&](int a, int b) {
+      return segments[static_cast<size_t>(a)].memory_bytes >
+             segments[static_cast<size_t>(b)].memory_bytes;
+    });
+    rack_orders.push_back(by_memory);
+    std::vector<int> by_tflops = base;
+    std::stable_sort(by_tflops.begin(), by_tflops.end(), [&](int a, int b) {
+      return segments[static_cast<size_t>(a)].tflops > segments[static_cast<size_t>(b)].tflops;
+    });
+    rack_orders.push_back(by_tflops);
+  }
+
+  Partition best;
+  std::vector<int> best_rack_order;
+  const auto evaluate = [&](const std::vector<int>& rack_order) {
+    const double bound = options.prune && best.feasible ? best.bottleneck_time : kInf;
+    Partition candidate = SolveFixedOrder(ComposeOrder(segments, rack_order), options, bound);
+    if (ImprovesPartition(candidate, best)) {
+      best = std::move(candidate);
+      best_rack_order = rack_order;
+    }
+  };
+  for (const std::vector<int>& rack_order : rack_orders) {
+    evaluate(rack_order);
+  }
+  if (permutations > 720 && best.feasible) {
+    // Adjacent-swap polish over the rack order.
+    for (int pass = 0; pass < 3; ++pass) {
+      bool improved = false;
+      for (int a = 0; a + 1 < num_segments; ++a) {
+        std::vector<int> swapped = best_rack_order;
+        std::swap(swapped[static_cast<size_t>(a)], swapped[static_cast<size_t>(a) + 1]);
+        const Partition before = best;
+        evaluate(swapped);
+        improved = improved || best.bottleneck_time < before.bottleneck_time ||
+                   (best.feasible && !before.feasible);
+      }
+      if (!improved) {
+        break;
+      }
+    }
+  }
+  if (!best.feasible || best_rack_order.empty()) {
+    // No rack order produced a feasible pipeline with the heuristic interior
+    // orders; fall back to the flat beam, which searches interleavings the
+    // rack-contiguous composition cannot express.
+    return SolveBeam(gpu_ids, options);
+  }
+
+  // ---- Refine: coordinate descent across rack segments, each segment's
+  // ---- interior order searched with the exact distinct-order enumerator
+  // ---- (adjacent swaps when a segment alone overflows rack_order_limit).
+  for (int pass = 0; pass < 2; ++pass) {
+    bool improved = false;
+    for (int position = 0; position < num_segments; ++position) {
+      RackSegment& segment = segments[static_cast<size_t>(best_rack_order[
+          static_cast<size_t>(position)])];
+      const uint64_t limit =
+          options.rack_order_limit < 1 ? 1 : static_cast<uint64_t>(options.rack_order_limit);
+      std::vector<std::vector<int>> interior_orders;
+      if (EstimateOrderCount(*cluster_, segment.ids, limit + 1) <= limit) {
+        interior_orders = DistinctClassOrders(*cluster_, segment.ids);
+      } else {
+        for (size_t a = 0; a + 1 < segment.order.size(); ++a) {
+          std::vector<int> swapped = segment.order;
+          std::swap(swapped[a], swapped[a + 1]);
+          interior_orders.push_back(std::move(swapped));
+        }
+      }
+      for (const std::vector<int>& interior : interior_orders) {
+        const std::vector<int> saved = segment.order;
+        segment.order = interior;
+        const double bound = options.prune ? best.bottleneck_time : kInf;
+        Partition candidate =
+            SolveFixedOrder(ComposeOrder(segments, best_rack_order), options, bound);
+        if (ImprovesPartition(candidate, best)) {
+          best = std::move(candidate);
+          improved = true;
+        } else {
+          segment.order = saved;
+        }
+      }
+    }
+    if (!improved) {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace hetpipe::partition

@@ -160,6 +160,23 @@ std::string MakeKey(const partition::Partitioner& partitioner, const std::vector
                      /*order_invariant=*/options.search_gpu_orders);
   key += "nm" + std::to_string(options.nm);
   key += options.search_gpu_orders ? "s1" : "s0";
+  // Scalable-tier strategies search different order slices, so their results
+  // may differ from the exact search's and must not alias its entries. The
+  // token is appended only when the RESOLVED strategy is non-exact: every
+  // exact-path key (the only kind that existed before the scalable tier) is
+  // byte-identical to what it always was, so version-3 cache files stay
+  // valid with no version bump. The knobs that shape a non-exact search ride
+  // along in its token.
+  const partition::SearchStrategy resolved =
+      partition::ResolveSearchStrategy(partitioner.cluster(), gpu_ids, options);
+  if (resolved != partition::SearchStrategy::kExact) {
+    key.push_back('|');
+    key += partition::SearchStrategyName(resolved);
+    key += " w" + std::to_string(options.beam_width);
+    if (resolved == partition::SearchStrategy::kHierarchical) {
+      key += " r" + std::to_string(options.rack_order_limit);
+    }
+  }
   return key;
 }
 
@@ -389,7 +406,7 @@ partition::Partition PartitionCache::Solve(const partition::Partitioner& partiti
     }
     misses_.fetch_add(1, std::memory_order_relaxed);
   }
-  partition::Partition solved = partitioner.Solve(gpu_ids, options);
+  partition::Partition solved = partitioner.SolveScalable(gpu_ids, options);
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
     entries_.try_emplace(key, solved, clock_.fetch_add(1, std::memory_order_relaxed) + 1);

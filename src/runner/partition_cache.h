@@ -68,9 +68,14 @@ class PartitionCache {
   // solve — still share entries.
   static constexpr uint32_t kFileVersion = 3;
 
-  // Drop-in for Partitioner::Solve. When `was_hit` is non-null it reports
-  // whether the answer came from the cache (serve responses surface this);
-  // materializing a disk-loaded entry counts as a hit.
+  // Drop-in for Partitioner::SolveScalable (which IS Solve whenever the
+  // resolved strategy is exact — the default for every paper-scale input).
+  // Non-exact resolved strategies get their own key suffix, so a beam or
+  // hierarchical answer can never alias an exact entry or vice versa; exact
+  // keys are byte-identical to pre-scalable-tier keys, keeping version-3
+  // cache files valid. When `was_hit` is non-null it reports whether the
+  // answer came from the cache (serve responses surface this); materializing
+  // a disk-loaded entry counts as a hit.
   partition::Partition Solve(const partition::Partitioner& partitioner,
                              const std::vector<int>& gpu_ids,
                              const partition::PartitionOptions& options,

@@ -151,7 +151,14 @@ TEST(MomentumTest, MomentumAcceleratesConvexTraining) {
   const train::Dataset data = train::MakeLinearRegression(400, 8, 0.05, 51);
   const train::LinearRegressionModel model(8);
 
-  train::TrainerOptions plain = train::BspOptions(2, 150);
+  // Regression note (flake documented since PR 2): with 2 workers TrainWsp
+  // runs real threads, and the order their BSP-wave updates land in is
+  // scheduler-dependent — float accumulation order then shifts final_loss
+  // just enough to trip a ratio comparison between two separate runs on rare
+  // interleavings. One worker pins the update order, making both runs (and
+  // this comparison) fully deterministic; the momentum claim is about the
+  // optimizer, not about parallelism, so nothing is lost.
+  train::TrainerOptions plain = train::BspOptions(1, 150);
   plain.worker.lr = 0.02;
   train::TrainerOptions heavy = plain;
   heavy.worker.momentum = 0.9;
@@ -167,7 +174,8 @@ TEST(MomentumTest, WeightDecayShrinksWeights) {
   const train::Dataset data = train::MakeLinearRegression(300, 6, 0.05, 52);
   const train::LinearRegressionModel model(6);
 
-  train::TrainerOptions no_decay = train::BspOptions(2, 200);
+  // One worker for determinism — see the regression note above.
+  train::TrainerOptions no_decay = train::BspOptions(1, 200);
   no_decay.worker.lr = 0.05;
   train::TrainerOptions decay = no_decay;
   decay.worker.weight_decay = 0.2;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <numeric>
 #include <random>
 
 #include "hw/cluster.h"
@@ -484,6 +485,176 @@ TEST_F(PartitionerTest, RepeatedSolvesDoNotGrowScratch) {
     (void)partitioner.Solve({0, 1, 2, 3}, options);  // smaller shape: also no growth
   }
   EXPECT_EQ(DpScratchGrowCount(), before);
+}
+
+// ---- The scalable search tier (SolveScalable / beam / hierarchical): the
+// ---- selector must keep every tractable input on the exact path
+// ---- bit-identically, and the approximate paths must stay within a fixed
+// ---- bound of the exact optimum on randomized small instances, where the
+// ---- exact enumeration is a usable oracle. ----
+
+TEST(SearchStrategyTest, EstimateOrderCountMatchesEnumerator) {
+  const Cluster cluster = Cluster::Paper();
+  for (const std::vector<int>& gpus :
+       {std::vector<int>{0, 1, 2, 3}, std::vector<int>{0, 4, 8, 12},
+        std::vector<int>{0, 1, 12, 13}, std::vector<int>{0, 1, 4, 5, 8, 9},
+        std::vector<int>{4}, std::vector<int>{0, 4, 5, 8, 9, 12}}) {
+    EXPECT_EQ(EstimateOrderCount(cluster, gpus, uint64_t{1} << 62),
+              DistinctClassOrders(cluster, gpus).size());
+  }
+  // Saturation: the count is capped, never overflowed.
+  EXPECT_EQ(EstimateOrderCount(cluster, {0, 4, 8, 12}, 5), 5u);
+  EXPECT_EQ(EstimateOrderCount(cluster, {0, 1, 2, 3}, 1), 1u);
+}
+
+TEST(SearchStrategyTest, SelectorKeepsTractableInputsExact) {
+  const Cluster cluster = Cluster::Paper();
+  PartitionOptions options;
+  // Every paper-scale virtual worker is far under the exact limit.
+  EXPECT_EQ(ResolveSearchStrategy(cluster, {0, 4, 8, 12}, options), SearchStrategy::kExact);
+  EXPECT_EQ(ResolveSearchStrategy(cluster, {0, 1, 2, 3}, options), SearchStrategy::kExact);
+  // An explicit strategy wins while there is an order search to run...
+  options.strategy = SearchStrategy::kBeam;
+  EXPECT_EQ(ResolveSearchStrategy(cluster, {0, 4, 8, 12}, options), SearchStrategy::kBeam);
+  // ...but a fixed order has nothing to search, whatever the strategy says.
+  options.search_gpu_orders = false;
+  EXPECT_EQ(ResolveSearchStrategy(cluster, {0, 4, 8, 12}, options), SearchStrategy::kExact);
+  options = PartitionOptions{};
+  // Shrinking the exact limit pushes even a paper VW off the exact path; the
+  // rack-less paper cluster resolves to the beam.
+  options.exact_order_limit = 1;
+  EXPECT_EQ(ResolveSearchStrategy(cluster, {0, 4, 8, 12}, options), SearchStrategy::kBeam);
+}
+
+// A small racked heterogeneous cluster: 6 single-GPU nodes over 2 racks.
+Cluster RackedTestCluster() {
+  hw::ClusterSpec spec;
+  spec.Named("racked-6");
+  spec.AddNode("V", 1).AddNode("R", 1).AddNode("G", 1);
+  spec.AddNode("Q", 1).AddNode("V", 1).AddNode("R", 1);
+  spec.AddRack("left", {0, 1, 2}).AddRack("right", {3, 4, 5});
+  spec.CrossRackGbits(10.0);
+  return spec.Build();
+}
+
+TEST(SearchStrategyTest, SelectorPicksHierarchicalAcrossRacks) {
+  const Cluster cluster = RackedTestCluster();
+  PartitionOptions options;
+  options.exact_order_limit = 1;  // force the VW off the exact path
+  // Six distinct (type, node) classes spanning both racks.
+  EXPECT_EQ(ResolveSearchStrategy(cluster, {0, 1, 2, 3, 4, 5}, options),
+            SearchStrategy::kHierarchical);
+  // Inside one rack there is nothing to coarsen: the beam handles it.
+  EXPECT_EQ(ResolveSearchStrategy(cluster, {0, 1, 2}, options), SearchStrategy::kBeam);
+}
+
+TEST_F(PartitionerTest, SolveScalableAutoIsBitIdenticalToSolve) {
+  const auto graph = BuildResNet152();
+  const ModelProfile profile(graph, 32);
+  const Partitioner partitioner(profile, cluster_);
+  for (const std::vector<int>& gpus :
+       {std::vector<int>{0, 1, 2, 3}, std::vector<int>{0, 4, 8, 12},
+        std::vector<int>{0, 1, 12, 13}, std::vector<int>{4}}) {
+    for (int nm : {1, 2, 4}) {
+      PartitionOptions options;
+      options.nm = nm;
+      // kAuto resolves to the exact path here, so SolveScalable IS Solve.
+      ASSERT_EQ(ResolveSearchStrategy(cluster_, gpus, options), SearchStrategy::kExact);
+      ExpectSamePartition(partitioner.SolveScalable(gpus, options),
+                          partitioner.Solve(gpus, options));
+    }
+  }
+}
+
+TEST(SearchScalableTest, BeamAndHierarchicalInvariantUnderIdPermutation) {
+  // The partition cache remaps hits onto any gpu-id set with the same
+  // (type, node) multiset, which is only sound if the scalable searches are
+  // id-permutation invariant. The racked cluster's two V nodes and two R
+  // nodes make the multiset nontrivial.
+  const Cluster cluster = RackedTestCluster();
+  const auto graph = BuildVgg19();
+  const ModelProfile profile(graph, 32);
+  const Partitioner partitioner(profile, cluster);
+  for (SearchStrategy strategy : {SearchStrategy::kBeam, SearchStrategy::kHierarchical}) {
+    PartitionOptions options;
+    options.strategy = strategy;
+    const std::vector<int> ids = {0, 1, 2, 3, 4, 5};
+    std::vector<int> shuffled = {5, 2, 0, 4, 1, 3};
+    ExpectSamePartition(partitioner.SolveScalable(shuffled, options),
+                        partitioner.SolveScalable(ids, options));
+  }
+}
+
+TEST(SearchOracleTest, RandomSmallInstancesStayWithinBoundOfExact) {
+  // Property test against the exact oracle: on seeded random clusters and
+  // models small enough for exact enumeration (k <= 6), the approximate
+  // searches must (a) never claim feasibility the exact search refutes,
+  // (b) never report a bottleneck below the optimum, and (c) stay within
+  // kBound of it. The run is fully deterministic (fixed seed, deterministic
+  // searches), so these bounds are pinned, not flaky.
+  constexpr double kBound = 1.25;
+  std::mt19937 rng(20260807);
+  std::uniform_int_distribution<int> node_count(3, 6);
+  std::uniform_int_distribution<int> gpus_per_node(1, 2);
+  std::uniform_int_distribution<int> type_pick(0, 3);
+  const char* kTypes[4] = {"V", "R", "G", "Q"};
+  int solved_rounds = 0;
+  double worst_ratio = 1.0;
+  for (int round = 0; round < 40; ++round) {
+    hw::ClusterSpec spec;
+    spec.Named("oracle-" + std::to_string(round));
+    const int nodes = node_count(rng);
+    for (int node = 0; node < nodes; ++node) {
+      spec.AddNode(kTypes[type_pick(rng)], gpus_per_node(rng));
+    }
+    const int split = 1 + static_cast<int>(rng() % static_cast<unsigned>(nodes - 1));
+    std::vector<int> left, right;
+    for (int node = 0; node < nodes; ++node) {
+      (node < split ? left : right).push_back(node);
+    }
+    spec.AddRack("left", left).AddRack("right", right).CrossRackGbits(7.0);
+    const Cluster cluster = spec.Build();
+
+    const model::ModelGraph graph = RandomGraph(rng);
+    const ModelProfile profile(graph, 1 + round % 32);
+    const Partitioner partitioner(profile, cluster);
+
+    std::vector<int> ids(static_cast<size_t>(cluster.num_gpus()));
+    std::iota(ids.begin(), ids.end(), 0);
+    std::shuffle(ids.begin(), ids.end(), rng);
+    const int k = 2 + round % 5;  // 2..6
+    if (graph.num_layers() < k || cluster.num_gpus() < k) {
+      continue;
+    }
+    ids.resize(static_cast<size_t>(k));
+
+    PartitionOptions options;
+    options.nm = 1 + round % 3;
+    const Partition exact = partitioner.Solve(ids, options);
+    for (SearchStrategy strategy : {SearchStrategy::kBeam, SearchStrategy::kHierarchical}) {
+      PartitionOptions approx_options = options;
+      approx_options.strategy = strategy;
+      const Partition approx = partitioner.SolveScalable(ids, approx_options);
+      if (!exact.feasible) {
+        // The approximate searches evaluate a subset of the orders the exact
+        // search proves infeasible, so they can never do "better".
+        EXPECT_FALSE(approx.feasible) << "round " << round;
+        continue;
+      }
+      ASSERT_TRUE(approx.feasible)
+          << "round " << round << ": " << SearchStrategyName(strategy)
+          << " missed a feasible instance the exact search solves";
+      EXPECT_GE(approx.bottleneck_time, exact.bottleneck_time - 1e-12) << "round " << round;
+      EXPECT_LE(approx.bottleneck_time, exact.bottleneck_time * kBound)
+          << "round " << round << ": " << SearchStrategyName(strategy);
+      worst_ratio = std::max(worst_ratio, approx.bottleneck_time / exact.bottleneck_time);
+      ++solved_rounds;
+    }
+  }
+  // The grid must actually exercise the oracle (guards against silently
+  // skipping every round).
+  EXPECT_GE(solved_rounds, 30);
+  RecordProperty("worst_ratio", std::to_string(worst_ratio));
 }
 
 }  // namespace

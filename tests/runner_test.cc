@@ -195,6 +195,48 @@ TEST(PartitionCacheTest, FixedOrderSolvesKeyOnTheOrder) {
   EXPECT_EQ(cache.hits(), 1);
 }
 
+TEST(PartitionCacheTest, NonExactStrategiesGetTheirOwnKeys) {
+  // A forced beam (or hierarchical) search may return a different partition
+  // than the exact search on the same virtual worker, so a non-exact
+  // RESOLVED strategy must never alias an exact entry — while the exact
+  // path's keys stay byte-identical to the pre-scalable-tier keys (kAuto on
+  // paper-scale inputs resolves to exact and shares them).
+  const hw::Cluster cluster = hw::Cluster::Paper();
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  const partition::Partitioner partitioner(profile, cluster);
+  PartitionCache cache;
+
+  partition::PartitionOptions options;
+  options.nm = 2;
+  partition::PartitionOptions beam_options = options;
+  beam_options.strategy = partition::SearchStrategy::kBeam;
+
+  const partition::Partition exact = cache.Solve(partitioner, {0, 4, 8, 12}, options);
+  const partition::Partition beam = cache.Solve(partitioner, {0, 4, 8, 12}, beam_options);
+  EXPECT_EQ(cache.misses(), 2);  // distinct keys: no aliasing either way
+  EXPECT_EQ(cache.size(), 2);
+  ExpectSamePartition(exact, partitioner.Solve({0, 4, 8, 12}, options));
+  ExpectSamePartition(beam, partitioner.SolveBeam({0, 4, 8, 12}, beam_options));
+
+  // Both entries hit on repeat, and each hit returns its own strategy's
+  // result.
+  ExpectSamePartition(cache.Solve(partitioner, {0, 4, 8, 12}, options), exact);
+  ExpectSamePartition(cache.Solve(partitioner, {0, 4, 8, 12}, beam_options), beam);
+  EXPECT_EQ(cache.hits(), 2);
+
+  // The knobs that shape a non-exact search are part of its key.
+  beam_options.beam_width = 3;
+  (void)cache.Solve(partitioner, {0, 4, 8, 12}, beam_options);
+  EXPECT_EQ(cache.misses(), 3);
+
+  // An explicit kExact rides the same key as the kAuto-resolved exact entry.
+  partition::PartitionOptions explicit_exact = options;
+  explicit_exact.strategy = partition::SearchStrategy::kExact;
+  ExpectSamePartition(cache.Solve(partitioner, {0, 4, 8, 12}, explicit_exact), exact);
+  EXPECT_EQ(cache.hits(), 3);
+}
+
 TEST(PartitionCacheTest, DistinguishesLinkParametersBeyondBandwidth) {
   // Latency / intercept shape TransferTime (and thus the optimal split) even
   // at identical peak bandwidth, so they must be part of the cache key.

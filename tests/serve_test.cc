@@ -8,6 +8,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <random>
 #include <thread>
 #include <vector>
 
@@ -403,6 +404,155 @@ TEST(PlanServerTest, RemoteShutdownDrainsAndPersistsCache) {
   ASSERT_TRUE(reloaded.Load(path, &error)) << error;
   EXPECT_EQ(reloaded.size(), 1);
   std::remove(path.c_str());
+}
+
+// ---- Fuzz-style robustness: mutated frames and adversarial JSON must come
+// ---- back as stable bad_frame / bad_json / bad_request errors — never a
+// ---- crash, hang, or exception. Deterministic (fixed seeds), and the CI
+// ---- Debug job runs this under ASan/UBSan, which is where frame-length and
+// ---- scanner-depth bugs would actually trip.
+
+TEST(ProtocolFuzzTest, MutatedAndTruncatedFramesNeverCrashTheReader) {
+  std::mt19937 rng(0x5e7fe);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int round = 0; round < 200; ++round) {
+    SocketPair pair;
+    std::string bytes;
+    switch (round % 4) {
+      case 0: {
+        // A length prefix promising anything from 0 to 4 GiB, with a payload
+        // shorter than promised (or absent).
+        uint32_t len = static_cast<uint32_t>(rng());
+        bytes.append(reinterpret_cast<const char*>(&len), 4);
+        bytes.append(static_cast<size_t>(rng() % 64), 'p');
+        break;
+      }
+      case 1: {
+        // A valid frame, then its bytes mutated at random positions.
+        std::string payload = R"({"v":1,"op":"plan","selector":"VVQQ"})";
+        uint32_t len = static_cast<uint32_t>(payload.size());
+        bytes.append(reinterpret_cast<const char*>(&len), 4);
+        bytes += payload;
+        for (int m = 0; m < 1 + round % 5; ++m) {
+          bytes[rng() % bytes.size()] = static_cast<char>(byte(rng));
+        }
+        break;
+      }
+      case 2:
+        // Pure noise, 0..127 bytes.
+        for (size_t i = rng() % 128; i > 0; --i) {
+          bytes.push_back(static_cast<char>(byte(rng)));
+        }
+        break;
+      default: {
+        // A truncated prefix: fewer than 4 header bytes.
+        for (size_t i = rng() % 4; i > 0; --i) {
+          bytes.push_back(static_cast<char>(byte(rng)));
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(::send(pair.fds[0], bytes.data(), bytes.size(), 0),
+              static_cast<ssize_t>(bytes.size()));
+    ::close(pair.fds[0]);
+    pair.fds[0] = -1;
+    // Drain the connection: every frame is accepted, rejected, or ends the
+    // stream; none may hang (the writer is closed, so data is finite) and a
+    // kError must carry a message.
+    for (int frames = 0; frames < 8; ++frames) {
+      std::string payload, error;
+      const FrameResult result =
+          ReadFrame(pair.fds[1], kDefaultMaxFrameBytes, &payload, &error);
+      if (result == FrameResult::kEof) {
+        break;
+      }
+      if (result == FrameResult::kError) {
+        EXPECT_FALSE(error.empty());
+        break;
+      }
+      ASSERT_EQ(result, FrameResult::kFrame);
+    }
+  }
+}
+
+TEST(ProtocolFuzzTest, AdversarialJsonYieldsStableErrorsNotCrashes) {
+  runner::PartitionCache cache;
+  PlanService service(&cache);
+
+  // Hand-built adversarial payloads: deep nesting (the nested-value scanner
+  // is iterative, so recursion depth must not be a resource), control bytes,
+  // unterminated tokens, huge numbers, and embedded NULs.
+  std::vector<std::string> payloads;
+  {
+    std::string deep_obj, deep_arr;
+    for (int d = 0; d < 200000; ++d) {
+      deep_obj += "{\"a\":";
+      deep_arr += "[";
+    }
+    payloads.push_back(R"({"v":1,"op":"plan","selector":)" + deep_obj);
+    payloads.push_back(R"({"v":1,"op":"plan","extra":)" + deep_arr + "}");
+    payloads.push_back("{\"a\":\"\x01\x02\x03\"}");
+    payloads.push_back(std::string("{\"a\":\"b") + '\0' + "c\"}");
+    payloads.push_back(R"({"v":1e309,"op":"plan"})");
+    payloads.push_back(R"({"v":1,"op":"plan","selector":")" + std::string(100000, 'V'));
+    payloads.push_back("{\"v\":1,\"op\":\"plan\",\"selector\":\"VVQQ\",\"nm\":");
+  }
+  // Seeded mutations of a valid request: flip, insert, and delete bytes.
+  std::mt19937 rng(0xfacade);
+  std::uniform_int_distribution<int> byte(0, 255);
+  const std::string valid = R"({"v":1,"op":"plan","selector":"VVQQ","nm":2})";
+  for (int round = 0; round < 300; ++round) {
+    std::string mutated = valid;
+    for (int m = 0; m < 1 + round % 6; ++m) {
+      const size_t at = rng() % mutated.size();
+      switch (rng() % 3) {
+        case 0:
+          mutated[at] = static_cast<char>(byte(rng));
+          break;
+        case 1:
+          mutated.insert(at, 1, static_cast<char>(byte(rng)));
+          break;
+        default:
+          mutated.erase(at, 1);
+          break;
+      }
+      if (mutated.empty()) {
+        mutated = "x";
+      }
+    }
+    payloads.push_back(std::move(mutated));
+  }
+
+  for (const std::string& payload : payloads) {
+    // The raw JSON reader: parses or reports an error, never throws.
+    std::map<std::string, JsonValue> object;
+    std::string error;
+    if (!ParseJsonObject(payload, &object, &error)) {
+      EXPECT_FALSE(error.empty());
+    }
+    // The request decoder: success, or a stable code from the bad_* family.
+    PlanRequest request;
+    ErrorCode code = ErrorCode::kNone;
+    error.clear();
+    if (!ParsePlanRequest(payload, &request, &code, &error)) {
+      EXPECT_TRUE(code == ErrorCode::kBadJson || code == ErrorCode::kBadRequest)
+          << ErrorCodeName(code) << " for payload prefix: " << payload.substr(0, 60);
+      EXPECT_FALSE(error.empty());
+    }
+    // The full service: always a response row, never a shutdown, and every
+    // failure carries one of the stable error codes.
+    bool shutdown = false;
+    const runner::ResultRow row = service.HandleJson(payload, &shutdown);
+    EXPECT_FALSE(shutdown);
+    if (row.Get("ok") != "true") {
+      EXPECT_EQ(row.Get("ok"), "false");
+      const std::string code_name = row.Get("error_code");
+      EXPECT_TRUE(code_name == "bad_json" || code_name == "bad_request" ||
+                  code_name == "bad_spec" || code_name == "bad_model" ||
+                  code_name == "bad_selector")
+          << code_name << " for payload prefix: " << payload.substr(0, 60);
+    }
+  }
 }
 
 }  // namespace
