@@ -9,10 +9,10 @@
 //
 // Example: ./heterogeneous_cluster_training VVRG 4
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
 #include "core/hetpipe.h"
+#include "runner/cli.h"
 #include "dp/horovod.h"
 #include "model/resnet.h"
 #include "model/vgg.h"
@@ -20,7 +20,11 @@
 int main(int argc, char** argv) {
   using namespace hetpipe;
   const std::string nodes = argc > 1 ? argv[1] : "VRGQ";
-  const int gpus_per_node = argc > 2 ? std::atoi(argv[2]) : 4;
+  int gpus_per_node = 4;
+  if (argc > 2 && !runner::ParseIntFlag(argv[2], &gpus_per_node)) {
+    std::fprintf(stderr, "gpus-per-node must be an integer, got \"%s\"\n", argv[2]);
+    return 2;
+  }
 
   hw::Cluster cluster(hw::ParseGpuCodes(nodes), gpus_per_node);
   std::printf("cluster: %s\n", cluster.ToString().c_str());

@@ -3,10 +3,10 @@
 //
 // Usage: pipeline_trace [nm] [out.json]
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 
 #include "hw/cluster.h"
+#include "runner/cli.h"
 #include "model/profiler.h"
 #include "model/resnet.h"
 #include "partition/partitioner.h"
@@ -17,7 +17,11 @@
 
 int main(int argc, char** argv) {
   using namespace hetpipe;
-  const int nm = argc > 1 ? std::atoi(argv[1]) : 4;
+  int nm = 4;
+  if (argc > 1 && !runner::ParseIntFlag(argv[1], &nm)) {
+    std::fprintf(stderr, "nm must be an integer, got \"%s\"\n", argv[1]);
+    return 2;
+  }
 
   const hw::Cluster cluster = hw::Cluster::Paper();
   const model::ModelGraph graph = model::BuildResNet152();

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over src/ using the compilation
+# database a cmake configure exports.
+#
+# Usage: scripts/tidy.sh [build-dir] [file...]
+#   build-dir  a configured build directory (default: build). Configure one
+#              with: cmake -S . -B build
+#   file...    restrict to specific sources (default: every src/**/*.cc).
+# CI calls this with the files changed by the PR so the job stays fast; a
+# plain local run checks the whole tree.
+set -eu
+cd "$(dirname "$0")/.."
+
+build_dir=${1:-build}
+[ $# -gt 0 ] && shift
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "tidy: $build_dir/compile_commands.json not found; run: cmake -S . -B $build_dir" >&2
+  exit 2
+fi
+
+tidy_bin=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$tidy_bin" >/dev/null 2>&1; then
+  echo "tidy: $tidy_bin not on PATH (set CLANG_TIDY to a versioned binary)" >&2
+  exit 2
+fi
+
+if [ $# -gt 0 ]; then
+  files=("$@")
+else
+  mapfile -t files < <(find src -name '*.cc' | sort)
+fi
+
+# Filter to sources the database knows (headers and non-src paths a caller
+# passed come along for free via the .cc that includes them).
+checkable=()
+for f in "${files[@]}"; do
+  case "$f" in
+    *.cc | *.cpp) checkable+=("$f") ;;
+  esac
+done
+if [ ${#checkable[@]} -eq 0 ]; then
+  echo "tidy: no compilable sources among the arguments; nothing to do"
+  exit 0
+fi
+
+echo "tidy: checking ${#checkable[@]} file(s) with $tidy_bin"
+"$tidy_bin" -p "$build_dir" --quiet "${checkable[@]}"
+echo "tidy: clean"

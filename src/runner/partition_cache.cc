@@ -4,8 +4,6 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <mutex>
-#include <shared_mutex>
 
 namespace hetpipe::runner {
 namespace {
@@ -362,7 +360,7 @@ partition::Partition PartitionCache::Solve(const partition::Partitioner& partiti
   // readers (sweep tasks, serve connections) never serialize here. The LRU
   // stamp is an atomic inside the entry, so refreshing it is a plain store.
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    util::ReaderMutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -378,7 +376,7 @@ partition::Partition PartitionCache::Solve(const partition::Partitioner& partiti
   // the maps, so take the exclusive lock and re-check (another thread may
   // have materialized or solved this key since the shared lock dropped).
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    util::WriterMutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -408,7 +406,7 @@ partition::Partition PartitionCache::Solve(const partition::Partitioner& partiti
   }
   partition::Partition solved = partitioner.SolveScalable(gpu_ids, options);
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    util::WriterMutexLock lock(mu_);
     entries_.try_emplace(key, solved, clock_.fetch_add(1, std::memory_order_relaxed) + 1);
     EvictOverCapacityLocked();
   }
@@ -416,13 +414,13 @@ partition::Partition PartitionCache::Solve(const partition::Partitioner& partiti
 }
 
 void PartitionCache::SetCapacity(int64_t max_entries) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterMutexLock lock(mu_);
   max_entries_ = max_entries < 0 ? 0 : max_entries;
   EvictOverCapacityLocked();
 }
 
 int64_t PartitionCache::capacity() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  util::ReaderMutexLock lock(mu_);
   return max_entries_;
 }
 
@@ -466,7 +464,7 @@ bool PartitionCache::Save(const std::string& path, std::string* error) const {
     // Shared lock: Save only reads, so a periodic background save never
     // blocks concurrent cache hits (inserts wait, which is fine — they are
     // preceded by a full solve anyway).
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    util::ReaderMutexLock lock(mu_);
     count = entries_.size() + pending_.size();
     for (const auto& [key, entry] : entries_) {
       std::string blob;
@@ -585,7 +583,7 @@ bool PartitionCache::Load(const std::string& path, std::string* error) {
     return false;
   }
 
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterMutexLock lock(mu_);
   for (auto& [key, bytes] : loaded) {
     if (entries_.find(key) == entries_.end() && pending_.find(key) == pending_.end()) {
       pending_.emplace(std::move(key), std::move(bytes));
@@ -596,12 +594,12 @@ bool PartitionCache::Load(const std::string& path, std::string* error) {
 }
 
 int64_t PartitionCache::size() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  util::ReaderMutexLock lock(mu_);
   return static_cast<int64_t>(entries_.size() + pending_.size());
 }
 
 void PartitionCache::Clear() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  util::WriterMutexLock lock(mu_);
   entries_.clear();
   pending_.clear();
   hits_.store(0, std::memory_order_relaxed);

@@ -2,12 +2,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "partition/partitioner.h"
+#include "util/mutex.h"
 
 namespace hetpipe::runner {
 
@@ -125,15 +125,15 @@ class PartitionCache {
   };
 
   // Evicts until the bound holds. Caller holds the exclusive lock.
-  void EvictOverCapacityLocked();
+  void EvictOverCapacityLocked() REQUIRES(mu_);
 
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, Entry> entries_;
+  mutable util::SharedMutex mu_;
+  std::unordered_map<std::string, Entry> entries_ GUARDED_BY(mu_);
   // Entries merged from disk, still serialized; materialized on first hit.
   // Never requested yet, so for eviction they rank older than any
   // materialized entry.
-  std::unordered_map<std::string, std::string> pending_;
-  int64_t max_entries_ = 0;  // 0 = unbounded
+  std::unordered_map<std::string, std::string> pending_ GUARDED_BY(mu_);
+  int64_t max_entries_ GUARDED_BY(mu_) = 0;  // 0 = unbounded
   std::atomic<uint64_t> clock_{0};
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};

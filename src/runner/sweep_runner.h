@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "core/experiment.h"
@@ -55,6 +56,12 @@ class SweepRunner {
   // an inner SweepRunner sharing this runner's pool): results[i] = fn(i).
   template <typename R>
   std::vector<R> Map(int64_t n, const std::function<R(int64_t)>& fn) {
+    // vector<bool> packs elements into shared words, so "distinct index" is
+    // NOT "distinct memory" — concurrent writes to neighbors would be a data
+    // race. Reject it at compile time; use vector<char> results instead.
+    static_assert(!std::is_same_v<R, bool>,
+                  "SweepRunner::Map<bool> would race on vector<bool>'s packed "
+                  "words; map to char (or a struct) instead");
     std::vector<R> results(static_cast<size_t>(n));
     pool_->ParallelFor(n, [&](int64_t i) { results[static_cast<size_t>(i)] = fn(i); });
     return results;

@@ -26,10 +26,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -42,8 +42,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      util::MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) {
+        cv_.Wait(lock);
+      }
       if (queue_.empty()) {
         return;  // shutdown with a drained queue
       }
@@ -62,10 +64,10 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     queue_.emplace_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) {
@@ -94,9 +96,9 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) 
   struct SharedState {
     std::vector<Chunk> chunks;
     std::atomic<int64_t> done{0};
-    std::mutex mu;
-    std::condition_variable cv;
-    std::exception_ptr error;
+    util::Mutex mu;
+    util::CondVar cv;
+    std::exception_ptr error GUARDED_BY(mu);
     int64_t n = 0;
   };
   auto state = std::make_shared<SharedState>();
@@ -121,14 +123,17 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) 
         try {
           fn(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(state->mu);
+          util::MutexLock lock(state->mu);
           if (!state->error) {
             state->error = std::current_exception();
           }
         }
         if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == state->n) {
-          std::lock_guard<std::mutex> lock(state->mu);
-          state->cv.notify_all();
+          // Taking the mutex before notifying closes the missed-wakeup
+          // window: the completion waiter checks `done` under this mutex, so
+          // the notify cannot land between its check and its block.
+          util::MutexLock lock(state->mu);
+          state->cv.NotifyAll();
         }
       }
     }
@@ -137,19 +142,21 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) 
   const int64_t helpers =
       std::min<int64_t>(static_cast<int64_t>(workers_.size()), n - 1);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     for (int64_t i = 0; i < helpers; ++i) {
       // Helper i starts from chunk i + 1; the calling thread owns chunk 0.
       const int64_t home = (i + 1) % num_chunks;
       queue_.emplace_back([drain, home] { drain(home); });
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 
   drain(0);  // the calling thread works too
   {
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->cv.wait(lock, [&] { return state->done.load(std::memory_order_acquire) == n; });
+    util::MutexLock lock(state->mu);
+    while (state->done.load(std::memory_order_acquire) != n) {
+      state->cv.Wait(lock);
+    }
     if (state->error) {
       std::rethrow_exception(state->error);
     }

@@ -1,12 +1,12 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace hetpipe::runner {
 
@@ -60,13 +60,14 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  // Immutable after construction; read from any thread without locking.
   int num_threads_ = 1;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  util::Mutex mu_;
+  util::CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hetpipe::runner

@@ -23,7 +23,7 @@ bool PlanClient::Connect(const std::string& host, int port, std::string* error) 
   Close();
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    if (error) *error = std::string("socket: ") + std::strerror(errno);
+    if (error) *error = "socket: " + ErrnoString(errno);
     return false;
   }
   sockaddr_in addr;
@@ -41,7 +41,7 @@ bool PlanClient::Connect(const std::string& host, int port, std::string* error) 
     rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
   } while (rc != 0 && errno == EINTR);
   if (rc != 0) {
-    if (error) *error = std::string("connect: ") + std::strerror(errno);
+    if (error) *error = "connect: " + ErrnoString(errno);
     ::close(fd);
     return false;
   }

@@ -73,7 +73,7 @@ PlanService::PlanService(runner::PartitionCache* cache, PlanServiceOptions optio
 PlanService::~PlanService() = default;
 
 int64_t PlanService::contexts() const {
-  std::shared_lock<std::shared_mutex> lock(contexts_mu_);
+  util::ReaderMutexLock lock(contexts_mu_);
   return static_cast<int64_t>(context_list_.size());
 }
 
@@ -84,7 +84,7 @@ std::shared_ptr<const PlanService::Context> PlanService::GetContext(const PlanRe
                                                         : "spec:" + request.cluster_spec) +
                           "\n" + request.model + "\n" + std::to_string(request.batch_size);
   {
-    std::shared_lock<std::shared_mutex> lock(contexts_mu_);
+    util::ReaderMutexLock lock(contexts_mu_);
     for (const auto& [context_key, context] : context_list_) {
       if (context_key == key) return context;
     }
@@ -118,7 +118,7 @@ std::shared_ptr<const PlanService::Context> PlanService::GetContext(const PlanRe
     return nullptr;
   }
 
-  std::unique_lock<std::shared_mutex> lock(contexts_mu_);
+  util::WriterMutexLock lock(contexts_mu_);
   for (const auto& [context_key, context] : context_list_) {
     if (context_key == key) return context;
   }

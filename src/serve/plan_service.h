@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 
 #include "runner/partition_cache.h"
 #include "runner/result_sink.h"
 #include "serve/protocol.h"
+#include "util/mutex.h"
 
 namespace hetpipe::runner {
 class ThreadPool;
@@ -84,11 +84,12 @@ class PlanService {
   runner::PartitionCache* cache_;
   PlanServiceOptions options_;
 
-  mutable std::shared_mutex contexts_mu_;
+  mutable util::SharedMutex contexts_mu_;
   // Key -> context, with insertion order tracked for FIFO eviction (a plan
   // service's working set is a handful of clusters; LRU precision is not
   // worth per-read writes here).
-  std::list<std::pair<std::string, std::shared_ptr<const Context>>> context_list_;
+  std::list<std::pair<std::string, std::shared_ptr<const Context>>> context_list_
+      GUARDED_BY(contexts_mu_);
 
   std::atomic<int64_t> requests_{0};
   std::atomic<int64_t> errors_{0};

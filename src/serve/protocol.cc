@@ -330,6 +330,24 @@ bool ParseJsonObject(const std::string& text, std::map<std::string, JsonValue>* 
   return true;
 }
 
+namespace {
+
+// strerror_r has two incompatible signatures (XSI returns int and fills the
+// buffer; GNU returns a char* that may ignore the buffer). Overloading on the
+// return type picks the right interpretation without feature-test-macro
+// guessing, which tends to rot across libc versions.
+[[maybe_unused]] const char* StrerrorResult(int rc, const char* buf) {
+  return rc == 0 ? buf : "unknown error";
+}
+[[maybe_unused]] const char* StrerrorResult(const char* s, const char* /*buf*/) { return s; }
+
+}  // namespace
+
+std::string ErrnoString(int errno_value) {
+  char buf[128] = "unknown error";
+  return StrerrorResult(::strerror_r(errno_value, buf, sizeof(buf)), buf);
+}
+
 bool WriteFrame(int fd, const std::string& payload, uint32_t max_frame_bytes,
                 std::string* error) {
   if (payload.size() > max_frame_bytes) {
@@ -349,7 +367,7 @@ bool WriteFrame(int fd, const std::string& payload, uint32_t max_frame_bytes,
       if (errno == EINTR) {
         continue;
       }
-      SetError(error, std::string("send: ") + std::strerror(errno));
+      SetError(error, "send: " + ErrnoString(errno));
       return false;
     }
     sent += static_cast<size_t>(n);
@@ -365,8 +383,8 @@ FrameResult ReadFrame(int fd, uint32_t max_frame_bytes, std::string* payload,
     return FrameResult::kEof;  // clean close between frames
   }
   if (header < 0 || header != static_cast<ssize_t>(sizeof(size))) {
-    SetError(error, header < 0 ? std::string("read: ") + std::strerror(errno)
-                               : "stream ended inside a length prefix");
+    SetError(error, header < 0 ? "read: " + ErrnoString(errno)
+                               : std::string("stream ended inside a length prefix"));
     return FrameResult::kError;
   }
   if (size > max_frame_bytes) {
@@ -377,8 +395,8 @@ FrameResult ReadFrame(int fd, uint32_t max_frame_bytes, std::string* payload,
   payload->resize(size);
   const ssize_t body = size == 0 ? 0 : ReadFully(fd, payload->data(), size);
   if (body != static_cast<ssize_t>(size)) {
-    SetError(error, body < 0 ? std::string("read: ") + std::strerror(errno)
-                             : "stream ended inside a frame payload");
+    SetError(error, body < 0 ? "read: " + ErrnoString(errno)
+                             : std::string("stream ended inside a frame payload"));
     return FrameResult::kError;
   }
   return FrameResult::kFrame;

@@ -66,6 +66,11 @@ struct JsonValue {
 bool ParseJsonObject(const std::string& text, std::map<std::string, JsonValue>* out,
                      std::string* error);
 
+// Thread-safe strerror: formats `errno_value` without touching strerror's
+// shared static buffer (strerror itself is not safe to call from the serve
+// threads — two concurrent error paths would race on it).
+std::string ErrnoString(int errno_value);
+
 // ---- Framed stream I/O (POSIX fd) ----
 
 // Writes one frame; loops over partial writes, suppresses SIGPIPE. Returns

@@ -38,13 +38,13 @@ PlanServer::~PlanServer() {
 }
 
 bool PlanServer::Start(std::string* error) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    if (error) *error = std::string("socket: ") + std::strerror(errno);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = "socket: " + ErrnoString(errno);
     return false;
   }
   int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
   sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
@@ -54,31 +54,30 @@ bool PlanServer::Start(std::string* error) {
     addr.sin_addr.s_addr = htonl(INADDR_ANY);
   } else if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
     if (error) *error = "bad host \"" + options_.host + "\" (want an IPv4 address)";
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(fd);
     return false;
   }
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    if (error) *error = std::string("bind: ") + std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error) *error = "bind: " + ErrnoString(errno);
+    ::close(fd);
     return false;
   }
-  if (::listen(listen_fd_, 64) != 0) {
-    if (error) *error = std::string("listen: ") + std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::listen(fd, 64) != 0) {
+    if (error) *error = "listen: " + ErrnoString(errno);
+    ::close(fd);
     return false;
   }
 
   sockaddr_in bound;
   socklen_t bound_len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
     port_ = ntohs(bound.sin_port);
   } else {
     port_ = options_.port;
   }
 
+  // Publish the listener fd before any thread that uses it exists.
+  listen_fd_.store(fd, std::memory_order_release);
   started_.store(true);
   accept_thread_ = std::thread(&PlanServer::AcceptLoop, this);
   if (!options_.cache_path.empty() && options_.save_interval_s > 0) {
@@ -88,8 +87,9 @@ bool PlanServer::Start(std::string* error) {
 }
 
 void PlanServer::AcceptLoop() {
+  const int listen_fd = listen_fd_.load(std::memory_order_acquire);
   while (!stop_.load(std::memory_order_acquire)) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       // EBADF/EINVAL after RequestShutdown closed the listener; anything
@@ -101,7 +101,7 @@ void PlanServer::AcceptLoop() {
       break;
     }
     {
-      std::lock_guard<std::mutex> lock(conn_mu_);
+      util::MutexLock lock(conn_mu_);
       connections_.insert(fd);
       ++active_;
     }
@@ -137,27 +137,43 @@ void PlanServer::HandleConnection(int fd) {
     if (want_shutdown) RequestShutdown();
   }
 
-  ::close(fd);
+  // Unregister BEFORE closing: once close() returns, the kernel may hand the
+  // same fd number to a concurrent accept(), and a RequestShutdown sweep that
+  // still saw the stale entry would half-close the wrong (new) connection.
+  // With the erase first, the sweep either sees this fd while it is still
+  // open (harmless — we are past reading from it) or not at all.
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    util::MutexLock lock(conn_mu_);
     connections_.erase(fd);
     --active_;
+    // Notify INSIDE the critical section: a Join waiter cannot observe
+    // active_ == 0 (and let ~PlanServer destroy drain_cv_) until this lock
+    // is released, so the notify provably finishes while the condvar is
+    // still alive. Notifying after the unlock races destruction — TSan
+    // caught exactly that (pthread_cond_broadcast vs pthread_cond_destroy).
+    drain_cv_.NotifyAll();
   }
-  drain_cv_.notify_all();
+  ::close(fd);
 }
 
 void PlanServer::SaverLoop() {
   const auto interval = std::chrono::duration<double>(options_.save_interval_s);
-  std::unique_lock<std::mutex> lock(saver_mu_);
-  while (!stop_.load(std::memory_order_acquire)) {
-    saver_cv_.wait_for(lock, interval, [&] { return stop_.load(std::memory_order_acquire); });
-    if (stop_.load(std::memory_order_acquire)) break;
-    lock.unlock();
+  for (;;) {
+    {
+      util::MutexLock lock(saver_mu_);
+      // stop_ is re-checked under saver_mu_: RequestShutdown sets it before
+      // notifying under the same mutex, so the wakeup can never fall into
+      // the gap between this check and the block. A spurious wakeup merely
+      // saves early, which is harmless.
+      if (!stop_.load(std::memory_order_acquire)) {
+        saver_cv_.WaitFor(lock, interval);
+      }
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
     std::string error;
     if (!cache_->Save(options_.cache_path, &error)) {
       std::fprintf(stderr, "hetpipe_serve: periodic cache save failed: %s\n", error.c_str());
     }
-    lock.lock();
   }
 }
 
@@ -168,27 +184,39 @@ void PlanServer::RequestShutdown() {
 
   // Unblock accept(); the fd itself is closed in Join after the accept
   // thread has certainly stopped using it.
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+  if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
 
   // Half-close open connections: readers blocked in ReadFrame see EOF, but
   // responses in flight still write. HandleConnection owns the full close.
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    util::MutexLock lock(conn_mu_);
     for (int fd : connections_) ::shutdown(fd, SHUT_RD);
   }
-  saver_cv_.notify_all();
+  // The saver checks stop_ under saver_mu_ before blocking, so passing
+  // through the mutex here orders this notify after that check: it either
+  // sees stop_ already set, or it is blocked where NotifyAll reaches it.
+  // Notifying without the mutex could fire in the unlocked gap between the
+  // saver's check and its block and be lost, stalling shutdown by up to one
+  // save interval.
+  {
+    util::MutexLock lock(saver_mu_);
+    saver_cv_.NotifyAll();
+  }
 }
 
 void PlanServer::Join() {
   if (!started_.load()) return;
   if (accept_thread_.joinable()) accept_thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  const int listen_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (listen_fd >= 0) {
+    ::close(listen_fd);
   }
   {
-    std::unique_lock<std::mutex> lock(conn_mu_);
-    drain_cv_.wait(lock, [&] { return active_ == 0; });
+    util::MutexLock lock(conn_mu_);
+    while (active_ != 0) {
+      drain_cv_.Wait(lock);
+    }
   }
   if (saver_thread_.joinable()) saver_thread_.join();
   if (!options_.cache_path.empty()) {

@@ -1,9 +1,7 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -11,6 +9,7 @@
 #include "runner/thread_pool.h"
 #include "serve/plan_service.h"
 #include "serve/protocol.h"
+#include "util/mutex.h"
 
 namespace hetpipe::serve {
 
@@ -90,8 +89,14 @@ class PlanServer {
   runner::ThreadPool pool_;
   PlanService service_;
 
-  int listen_fd_ = -1;
-  int port_ = 0;
+  // Atomic because the winning RequestShutdown caller (possibly a connection
+  // handler acting on a remote "shutdown" op) reads it to half-close the
+  // listener while Join — already past the accept-thread join on the main
+  // thread — may be writing the -1 sentinel. The fd VALUE is what must not
+  // tear; syscall ordering is safe because Join only closes after the accept
+  // thread has exited, which requires the winner's ::shutdown to have landed.
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;  // written by Start before any thread exists, then read-only
   std::atomic<bool> started_{false};
   std::atomic<bool> stop_{false};
   std::thread accept_thread_;
@@ -99,13 +104,16 @@ class PlanServer {
 
   // Open connection fds (for SHUT_RD on shutdown) and the in-flight count
   // Join drains to zero.
-  std::mutex conn_mu_;
-  std::condition_variable drain_cv_;
-  std::set<int> connections_;
-  int active_ = 0;
+  util::Mutex conn_mu_;
+  util::CondVar drain_cv_;
+  std::set<int> connections_ GUARDED_BY(conn_mu_);
+  int active_ GUARDED_BY(conn_mu_) = 0;
 
-  std::mutex saver_mu_;
-  std::condition_variable saver_cv_;
+  // saver_mu_ carries no data: it exists so SaverLoop's timed wait and
+  // RequestShutdown's notify have a common mutex (stop_ itself is atomic).
+  // RequestShutdown must notify with saver_mu_ held — see the comment there.
+  util::Mutex saver_mu_;
+  util::CondVar saver_cv_;
 };
 
 }  // namespace hetpipe::serve

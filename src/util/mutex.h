@@ -1,0 +1,143 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+// Annotatable wrappers around the standard mutexes. The standard types carry
+// no capability attributes, so Clang's thread-safety analysis cannot see
+// them; these wrappers are zero-overhead (every method is a single inlined
+// forwarding call) and make GUARDED_BY / REQUIRES contracts checkable at
+// compile time. House rule (enforced by scripts/lint.sh): concurrent
+// subsystems use util::Mutex / util::SharedMutex, not raw std::mutex, so the
+// analysis covers them.
+//
+// Condition-variable waits use explicit loops, not predicates:
+//
+//   util::MutexLock lock(mu_);
+//   while (!ready_) cv_.Wait(lock);
+//
+// because a predicate lambda is a separate function to the analysis — it
+// cannot see that the lambda runs with the lock held, so guarded reads
+// inside it would (falsely) warn. The explicit loop reads guarded state in a
+// scope where the capability is provably held, and is exactly the loop the
+// predicate overload expands to anyway.
+
+namespace hetpipe::util {
+
+class CondVar;
+
+// std::mutex as a Clang capability.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// std::shared_mutex as a Clang capability: exclusive writers, concurrent
+// readers.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void ReaderLock() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// std::lock_guard-shaped RAII for Mutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+};
+
+// Exclusive RAII for SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~WriterMutexLock() RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// Shared (reader) RAII for SharedMutex. The destructor's contract is
+// RELEASE_GENERIC because the capability is held in shared mode.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.ReaderLock();
+  }
+  ~ReaderMutexLock() RELEASE_GENERIC() { mu_.ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// std::condition_variable over util::Mutex. Wait relocks before returning, so
+// from the analysis's point of view (and the caller's) the capability is held
+// continuously across the wait — which is the invariant that matters: guarded
+// state may be read immediately after Wait returns. Taking the MutexLock (not
+// the Mutex) makes holding the lock a structural precondition; the methods
+// carry no REQUIRES attribute because the analysis cannot prove that the
+// caller's capability and the lock's stored reference alias.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) {
+    std::unique_lock<std::mutex> native(lock.mu_.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // the caller's MutexLock still owns the mutex
+  }
+
+  // Returns false on timeout (like wait_for's cv_status::timeout).
+  template <typename Rep, typename Period>
+  bool WaitFor(MutexLock& lock, const std::chrono::duration<Rep, Period>& timeout) {
+    std::unique_lock<std::mutex> native(lock.mu_.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(native, timeout);
+    native.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace hetpipe::util

@@ -1,0 +1,68 @@
+#pragma once
+
+// Clang thread-safety-analysis attribute macros, following the naming of
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html. Under Clang with
+// -Wthread-safety (on for clang builds, see CMakeLists.txt) the compiler
+// statically checks that every GUARDED_BY member is only touched with its
+// capability held and that ACQUIRE/RELEASE contracts balance; everywhere
+// else (GCC, MSVC) the macros expand to nothing, so annotated code costs
+// zero and compiles identically.
+//
+// Use through the annotatable wrapper types in util/mutex.h — std::mutex and
+// std::shared_mutex themselves carry no capability attributes, so raw
+// standard-library mutexes are invisible to the analysis.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define HETPIPE_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define HETPIPE_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+// On classes: this type is a capability (a mutex-like thing the analysis
+// tracks). The string names the capability kind in diagnostics.
+#define CAPABILITY(x) HETPIPE_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+// On classes: RAII object that acquires a capability in its constructor and
+// releases it in its destructor (std::lock_guard-shaped).
+#define SCOPED_CAPABILITY HETPIPE_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// On data members: may only be read with the capability held (shared or
+// exclusive) and only written with it held exclusively.
+#define GUARDED_BY(x) HETPIPE_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+// On pointer members: the pointed-to data (not the pointer) is guarded.
+#define PT_GUARDED_BY(x) HETPIPE_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// On functions: caller must hold the capability (exclusively / shared).
+#define REQUIRES(...) \
+  HETPIPE_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  HETPIPE_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+// On functions: acquires the capability; caller must not already hold it.
+#define ACQUIRE(...) \
+  HETPIPE_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  HETPIPE_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+// On functions: releases the capability; caller must hold it. RELEASE_GENERIC
+// releases whichever mode (shared or exclusive) is held — the right contract
+// for a scoped lock's destructor.
+#define RELEASE(...) \
+  HETPIPE_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  HETPIPE_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  HETPIPE_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+// On functions: caller must NOT hold the capability (deadlock guard for
+// functions that acquire it themselves).
+#define EXCLUDES(...) HETPIPE_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// On functions returning a reference to a capability.
+#define RETURN_CAPABILITY(x) HETPIPE_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function. Every use should say
+// why in a comment.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  HETPIPE_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -41,7 +41,7 @@ struct SocketPair {
 TEST(FramingTest, RoundTripsPayloads) {
   SocketPair pair;
   std::string error;
-  for (const std::string payload : {std::string("{}"), std::string("{\"k\":\"v\"}"),
+  for (const std::string& payload : {std::string("{}"), std::string("{\"k\":\"v\"}"),
                                     std::string(100000, 'x'), std::string()}) {
     ASSERT_TRUE(WriteFrame(pair.fds[0], payload, kDefaultMaxFrameBytes, &error)) << error;
     std::string read_back;
