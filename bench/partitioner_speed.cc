@@ -27,13 +27,27 @@
 //                             exact optimum).
 //        --growth-budget-ms=N fail if any growth solve exceeds N ms wall
 //                             clock (the CI ceiling).
+//        --width-sweep[=smoke|full]  sweep beam_width x rack_order_limit x
+//                             threads over the growth clusters
+//                             (runner::RunWidthSweep), reporting quality vs
+//                             the exact optimum / the sweep's best and
+//                             asserting parallel solves bit-identical to
+//                             serial. Emits bench=partitioner_width_sweep
+//                             rows.
+//
+// Growth mode also times each case's solve on a thread pool (--threads=N,
+// default 8 when unset) against the serial solve, asserts the two partitions
+// bit-identical, and emits bench=partitioner_parallel rows (with the host
+// core count, since speedup is bounded by it).
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <deque>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -49,6 +63,8 @@
 #include "runner/cli.h"
 #include "runner/spec_sweep.h"
 #include "runner/sweep_runner.h"
+#include "runner/thread_pool.h"
+#include "runner/width_sweep.h"
 
 namespace {
 
@@ -337,22 +353,31 @@ std::vector<int> PickGrowthVw(const hw::Cluster& cluster, const GrowthCase& c) {
   return ids;
 }
 
-int RunGrowthCurve(bool full, double budget_ms, int repeat, runner::ResultSink* sink) {
-  // The profile only covers GPU classes known at its construction, so the
-  // growth classes must exist first (idempotent with AddGpuClass's numbers).
+// Registers the growth GPU classes (idempotent with AddGpuClass's numbers) —
+// the profile only covers classes known at its construction, so these must
+// exist before the resnet152 profile is built.
+void RegisterGrowthClasses() {
   hw::RegisterGpuType("GrowV", 14.0, 12.0, 'v');
   hw::RegisterGpuType("GrowR", 16.3, 24.0, 'r');
   hw::RegisterGpuType("GrowG", 11.3, 8.0, 'g');
   hw::RegisterGpuType("GrowQ", 5.3, 32.0, 'q');
+}
+
+int RunGrowthCurve(bool full, double budget_ms, int repeat, int threads,
+                   runner::ResultSink* sink) {
+  RegisterGrowthClasses();
   // resnet152 is the deepest profiled model (54 layers), so it admits the
   // k=32 pipeline of the 1024-GPU point.
   const model::ModelGraph graph = model::BuildResNet152();
   const model::ModelProfile profile(graph, 32);
   const int timing_rounds = std::min(repeat, 3);
+  const int cores = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  runner::ThreadPool pool(threads);
   bool ok = true;
 
-  std::printf("scalable-tier growth curve (%s): resnet152, nm=1, kAuto selector\n\n",
-              full ? "full" : "smoke");
+  std::printf("scalable-tier growth curve (%s): resnet152, nm=1, kAuto selector, "
+              "%d-thread pool on %d core(s)\n\n",
+              full ? "full" : "smoke", pool.num_threads(), cores);
   for (const GrowthCase& c : GrowthCases(full)) {
     const hw::Cluster cluster = BuildGrowthCluster(c);
     const std::vector<int> gpu_ids = PickGrowthVw(cluster, c);
@@ -372,7 +397,24 @@ int RunGrowthCurve(bool full, double budget_ms, int repeat, runner::ResultSink* 
       solve_ms = r == 0 ? ms : std::min(solve_ms, ms);
     }
 
-    bool point_ok = solved.feasible;
+    // The same solve on the pool: index-ordered reductions make it
+    // byte-identical to the serial result, so bit-equality is asserted, not
+    // tolerated. Speedup is bounded by the host core count (reported in the
+    // row — a 1-core container shows ~1x regardless of pool size).
+    partition::PartitionOptions parallel_options = options;
+    parallel_options.pool = &pool;
+    const partition::Partition parallel_solved =
+        partitioner.SolveScalable(gpu_ids, parallel_options);
+    const bool parallel_identical = SamePartition(parallel_solved, solved);
+    double parallel_ms = 0.0;
+    for (int r = 0; r < timing_rounds; ++r) {
+      const auto start = Clock::now();
+      (void)partitioner.SolveScalable(gpu_ids, parallel_options);
+      const double ms = MsBetween(start, Clock::now());
+      parallel_ms = r == 0 ? ms : std::min(parallel_ms, ms);
+    }
+
+    bool point_ok = solved.feasible && parallel_identical;
     double beam_over_exact = 0.0;
     if (c.compare_exact) {
       // The selector must have kept this point exact, bit-identically; the
@@ -391,11 +433,13 @@ int RunGrowthCurve(bool full, double budget_ms, int repeat, runner::ResultSink* 
     const bool within_budget = budget_ms <= 0.0 || solve_ms <= budget_ms;
     ok = ok && point_ok && within_budget;
 
-    std::printf("  %-13s %4d gpus  k=%-2d  %-12s orders~%llu  %8.2f ms  bottleneck %.3f ms%s%s\n",
+    std::printf("  %-13s %4d gpus  k=%-2d  %-12s orders~%llu  %8.2f ms serial  "
+                "%8.2f ms x%d%s%s  bottleneck %.3f ms%s%s\n",
                 c.label.c_str(), c.nodes * c.gpus_per_node, c.k,
                 partition::SearchStrategyName(strategy),
-                static_cast<unsigned long long>(orders), solve_ms,
-                solved.bottleneck_time * 1e3,
+                static_cast<unsigned long long>(orders), solve_ms, parallel_ms,
+                pool.num_threads(), parallel_identical ? "" : " DIVERGED",
+                parallel_identical ? "" : " — BUG", solved.bottleneck_time * 1e3,
                 c.compare_exact && beam_over_exact > 0.0
                     ? (" (beam/exact " + std::to_string(beam_over_exact) + ")").c_str()
                     : "",
@@ -417,6 +461,19 @@ int RunGrowthCurve(bool full, double budget_ms, int repeat, runner::ResultSink* 
         row.Set("beam_over_exact", beam_over_exact);
       }
       sink->Write(row);
+      runner::ResultRow parallel_row;
+      parallel_row.Set("bench", "partitioner_parallel")
+          .Set("case", c.label)
+          .Set("gpus", c.nodes * c.gpus_per_node)
+          .Set("k", c.k)
+          .Set("strategy", partition::SearchStrategyName(strategy))
+          .Set("threads", pool.num_threads())
+          .Set("cores", cores)
+          .Set("serial_ms", solve_ms)
+          .Set("parallel_ms", parallel_ms)
+          .Set("speedup", parallel_ms > 0.0 ? solve_ms / parallel_ms : 0.0)
+          .Set("identical", parallel_identical);
+      sink->Write(parallel_row);
     }
   }
   if (sink != nullptr) {
@@ -424,6 +481,30 @@ int RunGrowthCurve(bool full, double budget_ms, int repeat, runner::ResultSink* 
   }
   std::printf("\ngrowth curve %s\n", ok ? "ok" : "FAILED");
   return ok ? 0 : 1;
+}
+
+// --width-sweep: the autotuning sweep over the same growth clusters. Clusters
+// live in a deque (stable addresses — WidthSweepCase keeps pointers into it).
+int RunWidthSweepMode(bool full, int repeat, runner::ResultSink* sink) {
+  RegisterGrowthClasses();
+  const model::ModelGraph graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+
+  std::deque<hw::Cluster> clusters;
+  std::vector<runner::WidthSweepCase> cases;
+  for (const GrowthCase& c : GrowthCases(full)) {
+    clusters.push_back(BuildGrowthCluster(c));
+    runner::WidthSweepCase sweep_case;
+    sweep_case.label = c.label;
+    sweep_case.cluster = &clusters.back();
+    sweep_case.gpu_ids = PickGrowthVw(clusters.back(), c);
+    sweep_case.has_exact = c.compare_exact;
+    cases.push_back(std::move(sweep_case));
+  }
+
+  runner::WidthSweepConfig config;
+  config.repeat = std::min(repeat, 3);
+  return runner::RunWidthSweep(profile, cases, config, sink) ? 0 : 1;
 }
 
 }  // namespace
@@ -435,6 +516,8 @@ int main(int argc, char** argv) {
   std::string write_expect_path;
   bool growth = false;
   bool growth_full = false;
+  bool width_sweep = false;
+  bool width_sweep_full = false;
   double growth_budget_ms = 0.0;
   for (const std::string& arg : args.rest) {
     if (arg == "--growth" || arg == "--growth=smoke") {
@@ -442,6 +525,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--growth=full") {
       growth = true;
       growth_full = true;
+    } else if (arg == "--width-sweep" || arg == "--width-sweep=smoke") {
+      width_sweep = true;
+    } else if (arg == "--width-sweep=full") {
+      width_sweep = true;
+      width_sweep_full = true;
     } else if (arg.rfind("--growth-budget-ms=", 0) == 0) {
       int parsed = 0;
       if (!runner::ParseIntFlag(arg.substr(19), &parsed) || parsed < 1) {
@@ -468,8 +556,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (width_sweep) {
+    return RunWidthSweepMode(width_sweep_full, repeat, args.sink());
+  }
   if (growth) {
-    return RunGrowthCurve(growth_full, growth_budget_ms, repeat, args.sink());
+    return RunGrowthCurve(growth_full, growth_budget_ms, repeat,
+                          args.threads > 1 ? args.threads : 8, args.sink());
   }
 
   // Shared read-only inputs, built once: profiles are per (model, batch) and

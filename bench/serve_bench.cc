@@ -19,6 +19,10 @@
 //                                  100 = classic 1/rank (default 100)
 //        --workload-size=N         distinct requests in the pool (default 12)
 //        --seed=N                  workload/sampling seed (default 42)
+//        --strategy=NAME           search-tier knobs stamped onto every
+//        --beam-width=N            workload item (defaults auto / 8 / 720);
+//        --rack-order-limit=N      non-default knobs fork the server's cache
+//                                  keys exactly like the batch benches
 //        --threads --json --csv --cache-file (runner/cli.h; cache/threads
 //        only shape the in-process server)
 //
@@ -103,6 +107,9 @@ int main(int argc, char** argv) {
   int skew_pct = 100;
   int workload_size = 12;
   int seed = 42;
+  std::string strategy = "auto";
+  int beam_width = 8;
+  int rack_order_limit = 720;
   for (const std::string& arg : args.rest) {
     const auto value = [&](size_t prefix) { return arg.substr(prefix); };
     if (arg.rfind("--host=", 0) == 0) {
@@ -121,6 +128,12 @@ int main(int argc, char** argv) {
       if (!ParseCountFlag(value(16), "--workload-size", 1, &workload_size)) return 2;
     } else if (arg.rfind("--seed=", 0) == 0) {
       if (!ParseCountFlag(value(7), "--seed", 0, &seed)) return 2;
+    } else if (arg.rfind("--strategy=", 0) == 0) {
+      strategy = value(11);  // server-validated, like serve_client
+    } else if (arg.rfind("--beam-width=", 0) == 0) {
+      if (!ParseCountFlag(value(13), "--beam-width", 1, &beam_width)) return 2;
+    } else if (arg.rfind("--rack-order-limit=", 0) == 0) {
+      if (!ParseCountFlag(value(19), "--rack-order-limit", 1, &rack_order_limit)) return 2;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;
@@ -151,7 +164,13 @@ int main(int argc, char** argv) {
   const double skew = skew_pct / 100.0;
   std::vector<std::string> pool_json;
   pool_json.reserve(static_cast<size_t>(workload_size));
-  for (int k = 0; k < workload_size; ++k) pool_json.push_back(WorkloadItem(k).ToJson());
+  for (int k = 0; k < workload_size; ++k) {
+    serve::PlanRequest item = WorkloadItem(k);
+    item.strategy = strategy;
+    item.beam_width = beam_width;
+    item.rack_order_limit = rack_order_limit;
+    pool_json.push_back(item.ToJson());
+  }
   std::vector<double> cumulative(pool_json.size());
   double total_weight = 0.0;
   for (size_t i = 0; i < pool_json.size(); ++i) {

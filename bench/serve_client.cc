@@ -13,6 +13,11 @@
 //        --selector=SEL      virtual-worker GPU selector (required for
 //                            plan/max_nm), e.g. VVQQ or "A100*2,T4"
 //        --nm=N --nm-cap=N --batch-size=N --no-search-orders
+//        --strategy=NAME     partitioner search tier: auto | exact | beam |
+//                            hierarchical (default auto; the response echoes
+//                            the resolved tier)
+//        --beam-width=N --rack-order-limit=N
+//                            search-tier knobs (defaults 8 / 720)
 //
 // Exit codes: 0 ok=true, 1 server answered ok=false, 2 bad usage,
 // 3 connection/protocol failure.
@@ -82,6 +87,22 @@ int main(int argc, char** argv) {
       request.batch_size = parsed;
     } else if (arg == "--no-search-orders") {
       request.search_orders = false;
+    } else if (arg.rfind("--strategy=", 0) == 0) {
+      // Passed through verbatim: the server owns validation, so a junk
+      // strategy exercises its stable bad_request path (and exit code 1).
+      request.strategy = arg.substr(11);
+    } else if (arg.rfind("--beam-width=", 0) == 0) {
+      if (!runner::ParseIntFlag(arg.substr(13), &parsed) || parsed < 1) {
+        std::fprintf(stderr, "error: --beam-width needs a positive integer\n");
+        return 2;
+      }
+      request.beam_width = parsed;
+    } else if (arg.rfind("--rack-order-limit=", 0) == 0) {
+      if (!runner::ParseIntFlag(arg.substr(19), &parsed) || parsed < 1) {
+        std::fprintf(stderr, "error: --rack-order-limit needs a positive integer\n");
+        return 2;
+      }
+      request.rack_order_limit = parsed;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;

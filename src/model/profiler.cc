@@ -48,6 +48,7 @@ ModelProfile::ModelProfile(const ModelGraph& graph, int batch_size)
   const size_t n = static_cast<size_t>(graph.num_layers());
   fwd_cum_.resize(times_.size());
   bwd_cum_.resize(times_.size());
+  total_cum_by_last_.resize(times_.size());
   for (int t = 0; t < static_cast<int>(times_.size()); ++t) {
     const auto gpu = static_cast<hw::GpuType>(t);
     const double flops_per_s = EffectiveTflops(graph.family(), gpu) * 1e12;
@@ -72,8 +73,10 @@ ModelProfile::ModelProfile(const ModelGraph& graph, int batch_size)
     // save ~n^2 doubles (tens of KiB at block granularity) per unused class.
     auto& fwd = fwd_cum_[static_cast<size_t>(t)];
     auto& bwd = bwd_cum_[static_cast<size_t>(t)];
+    auto& tot = total_cum_by_last_[static_cast<size_t>(t)];
     fwd.assign(n * n, 0.0);
     bwd.assign(n * n, 0.0);
+    tot.assign(n * n, 0.0);
     for (size_t first = 0; first < n; ++first) {
       double fwd_acc = 0.0;
       double bwd_acc = 0.0;
@@ -82,6 +85,9 @@ ModelProfile::ModelProfile(const ModelGraph& graph, int batch_size)
         bwd_acc += per_layer[last].bwd_s;
         fwd[first * n + last] = fwd_acc;
         bwd[first * n + last] = bwd_acc;
+        // Transposed combined entry: one fwd + bwd addition, same operands
+        // and order as the DP's scalar path, so consumers see identical bits.
+        tot[last * n + first] = fwd_acc + bwd_acc;
       }
     }
   }

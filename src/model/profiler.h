@@ -71,6 +71,19 @@ class ModelProfile {
     return bwd_cum_.at(static_cast<size_t>(gpu)).data();
   }
 
+  // Transposed combined table: entry last * num_layers() + first =
+  // FwdCum[first * n + last] + BwdCum[first * n + last], i.e. the total
+  // compute time of stage [first, last]. The DP inner loop scans candidate
+  // split points `first` at a fixed `last`, so this layout makes that scan a
+  // contiguous unit-stride pass (the row-major tables above stride by n
+  // there, which defeats vectorization). Each entry is the single addition
+  // fwd + bwd of the two table entries — the same operands in the same order
+  // the scalar loop adds them — so reading it is bit-identical to computing
+  // the sum in the loop.
+  const double* TotalCumByLast(hw::GpuType gpu) const {
+    return total_cum_by_last_.at(static_cast<size_t>(gpu)).data();
+  }
+
   // Whole-model per-minibatch compute (fwd+bwd) on `gpu`.
   double FullModelTime(hw::GpuType gpu) const;
 
@@ -96,6 +109,10 @@ class ModelProfile {
   // tables are a few tens of KiB and are built once per profile.
   std::vector<std::vector<double>> fwd_cum_;
   std::vector<std::vector<double>> bwd_cum_;
+  // total_cum_by_last_[gpu_type][last * n + first] = fwd_cum_ + bwd_cum_ at
+  // (first, last): the transposed, combined layout the partitioner DP reads
+  // contiguously (see TotalCumByLast).
+  std::vector<std::vector<double>> total_cum_by_last_;
 };
 
 }  // namespace hetpipe::model

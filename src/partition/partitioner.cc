@@ -37,6 +37,8 @@ struct DpScratch {
   std::vector<double> dp;          // (k+1) x (n+1), row-major
   std::vector<int> choice;         // (k+1) x (n+1), row-major
   std::vector<double> xfer;        // (k-1) x (n-1): boundary transfer seconds
+  std::vector<double> fwd_xfer;    // n: per-row shifted fwd-comm terms (SoA)
+  std::vector<double> vals;        // n: masked candidate bottlenecks (SoA)
   std::vector<hw::GpuType> types;  // k
   std::vector<uint64_t> mem_caps;  // k
   std::vector<int> lasts;          // k
@@ -303,8 +305,7 @@ Partition Partitioner::SolveFixedOrder(const std::vector<int>& gpu_ids,
     // StageMemoryBytesFromSums(...) bytes evaluated on prefix-sum
     // differences with the per-stage in-flight count hoisted out of the
     // loops (identical operations, identical bits).
-    const double* fwd_cum = profile_->FwdCum(types[sq]);
-    const double* bwd_cum = profile_->BwdCum(types[sq]);
+    const double* tot_cum = profile_->TotalCumByLast(types[sq]);
     const double* prev_xfer =
         sq > 0 ? xfer + static_cast<size_t>(sq - 1) * static_cast<size_t>(nb) : nullptr;
     const double* next_xfer =
@@ -315,10 +316,28 @@ Partition Partitioner::SolveFixedOrder(const std::vector<int>& gpu_ids,
     const double* prev = dp + static_cast<size_t>(q - 1) * stride;
     double* cur = dp + static_cast<size_t>(q) * stride;
     int* cur_choice = choice + static_cast<size_t>(q) * stride;
+    // SoA pass per row: shift the forward-comm terms so the inner loop reads
+    // fwd_x[j] instead of prev_xfer[j - 1] (unit stride, no branch). The
+    // first row has no incoming transfer — zeros there, and adding 0.0 to a
+    // positive finite (or +inf) cost is a bit-exact identity, so the single
+    // branchless expression below reproduces the reference's conditional
+    // adds. Every stage cost is strictly positive (launch overheads), so the
+    // -0.0 + 0.0 == +0.0 edge case cannot arise.
+    double* fwd_x = scratch.Ensure(scratch.fwd_xfer, static_cast<size_t>(n));
+    double* vals = scratch.Ensure(scratch.vals, static_cast<size_t>(n));
+    if (prev_xfer != nullptr) {
+      fwd_x[0] = 0.0;  // j == 0 is unreachable when sq > 0 (j >= q - 1 >= 1)
+      for (int b = 0; b < nb; ++b) {
+        fwd_x[b + 1] = prev_xfer[b];
+      }
+    } else {
+      std::fill(fwd_x, fwd_x + n, 0.0);
+    }
     for (int i = q; i <= n - (k - q); ++i) {
       const size_t last = static_cast<size_t>(i - 1);
-      const double* cum_row_end = fwd_cum + last;   // + j * n indexes (j, i-1)
-      const double* bwd_row_end = bwd_cum + last;
+      // Contiguous over j: entry j is fwd_cum[j][i-1] + bwd_cum[j][i-1],
+      // precombined at profile build time in the same operand order.
+      const double* tot_row = tot_cum + last * static_cast<size_t>(n);
       const double bwd_comm = next_xfer != nullptr ? next_xfer[last] : 0.0;
       double best = kInf;
       int best_j = -1;
@@ -345,26 +364,50 @@ Partition Partitioner::SolveFixedOrder(const std::vector<int>& gpu_ids,
           }
         }
       }
+      // Phase A (branchless, contiguous, auto-vectorizable): compute every
+      // candidate bottleneck and mask pruned ones to +inf with a compare +
+      // select. The reference's `prior == kInf` skip needs no branch here:
+      // inf + anything = inf, max(inf, cost) = inf, and +inf never wins the
+      // strict `<` in phase B. Its `cand > prune_above` skip becomes the
+      // select (a pruned candidate is stored as +inf, which likewise cannot
+      // win). The arithmetic is ((tot + fwd_x[j]) + bwd_comm) — the exact
+      // association order of the reference's conditional `+=` chain — and
+      // `prior < cost ? cost : prior` is std::max(prior, cost) verbatim, so
+      // every surviving value is bit-identical to the scalar loop's.
       for (int j = feasible_from; j < i; ++j) {
+        const double cost = (tot_row[j] + fwd_x[j]) + bwd_comm;
         const double prior = prev[j];
-        if (prior == kInf) {
-          continue;
+        const double cand = prior < cost ? cost : prior;
+        vals[j] = cand <= prune_above ? cand : kInf;
+      }
+      // Phase B: index-min reduction over vals with four independent lanes
+      // (breaks the loop-carried min dependence so the compiler can overlap
+      // the compares). Within a lane indices increase, so strict `<` keeps
+      // the smallest index of the lane's argmin; the final cross-lane reduce
+      // is lexicographic on (value, index), which together reproduce the
+      // reference's "smallest j wins ties" exactly.
+      double lane_best[4] = {kInf, kInf, kInf, kInf};
+      int lane_j[4] = {-1, -1, -1, -1};
+      int j = feasible_from;
+      for (; j + 4 <= i; j += 4) {
+        for (int l = 0; l < 4; ++l) {
+          if (vals[j + l] < lane_best[l]) {
+            lane_best[l] = vals[j + l];
+            lane_j[l] = j + l;
+          }
         }
-        const size_t jn = static_cast<size_t>(j) * static_cast<size_t>(n);
-        double cost = cum_row_end[jn] + bwd_row_end[jn];
-        if (prev_xfer != nullptr) {
-          cost += prev_xfer[j - 1];
+      }
+      for (int l = 0; j < i; ++j, ++l) {  // remainder: still index-monotone per lane
+        if (vals[j] < lane_best[l]) {
+          lane_best[l] = vals[j];
+          lane_j[l] = j;
         }
-        if (next_xfer != nullptr) {
-          cost += bwd_comm;
-        }
-        const double cand = std::max(prior, cost);
-        if (cand > prune_above) {
-          continue;
-        }
-        if (cand < best) {
-          best = cand;
-          best_j = j;
+      }
+      for (int l = 0; l < 4; ++l) {
+        if (lane_best[l] < best ||
+            (lane_best[l] == best && lane_j[l] != -1 && lane_j[l] < best_j)) {
+          best = lane_best[l];
+          best_j = lane_j[l];
         }
       }
       cur[i] = best;

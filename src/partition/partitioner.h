@@ -63,6 +63,12 @@ enum class SearchStrategy {
 };
 const char* SearchStrategyName(SearchStrategy strategy);
 
+// Inverse of SearchStrategyName: decodes "auto" / "exact" / "beam" /
+// "hierarchical" into *out and returns true; returns false (leaving *out
+// untouched) on anything else. The serve protocol and CLI flags parse
+// strategy tokens through this one mapping.
+bool ParseSearchStrategy(const std::string& name, SearchStrategy* out);
+
 struct PartitionOptions {
   int nm = 1;  // concurrent minibatches the partition must support
   // If true, try every distinct assignment of the virtual worker's GPUs to

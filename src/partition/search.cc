@@ -8,13 +8,27 @@
 // invariant under permutations of the input gpu ids with equal (type, node)
 // multisets: ids are canonicalized up front and every search decision is a
 // function of classes and positions, never of raw id values.
+//
+// Parallelism: when options.pool is set, the three bulk loops — beam depth
+// expansions, candidate-order evaluation, and the hierarchical coordinate-
+// descent batches — run under ThreadPool::ParallelFor into index-addressed
+// slots, and every winner is picked by a reduction that walks those slots in
+// input order. Candidates within a batch are independent except through the
+// shared branch-and-bound incumbent, and the incumbent is only ever an upper
+// bound on the optimum (see SolveOrderBatch), so parallel and serial runs are
+// byte-identical at any thread count. The short sequential-accept polish
+// loops (pairwise-swap hill climbs) have true loop-carried dependences and
+// deliberately stay serial.
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <limits>
+#include <mutex>
 #include <numeric>
 #include <vector>
 
 #include "partition/partitioner.h"
+#include "runner/thread_pool.h"
 
 namespace hetpipe::partition {
 namespace {
@@ -107,6 +121,18 @@ const char* SearchStrategyName(SearchStrategy strategy) {
   return "unknown";
 }
 
+bool ParseSearchStrategy(const std::string& name, SearchStrategy* out) {
+  for (SearchStrategy strategy :
+       {SearchStrategy::kAuto, SearchStrategy::kExact, SearchStrategy::kBeam,
+        SearchStrategy::kHierarchical}) {
+    if (name == SearchStrategyName(strategy)) {
+      *out = strategy;
+      return true;
+    }
+  }
+  return false;
+}
+
 uint64_t EstimateOrderCount(const hw::Cluster& cluster, const std::vector<int>& gpu_ids,
                             uint64_t cap) {
   if (cap == 0) {
@@ -142,6 +168,12 @@ uint64_t EstimateOrderCount(const hw::Cluster& cluster, const std::vector<int>& 
 SearchStrategy ResolveSearchStrategy(const hw::Cluster& cluster,
                                      const std::vector<int>& gpu_ids,
                                      const PartitionOptions& options) {
+  // Deliberately independent of options.pool: parallelism changes how fast a
+  // tier runs, never which tier runs (or what it returns — parallel and
+  // serial solves are byte-identical). A pool-sensitive selector would fork
+  // PartitionCache keys on thread count, splitting otherwise shareable cache
+  // entries across hosts; partition_test pins this invariant.
+  //
   // With the order search off the given order IS the stage order — there is
   // no order space to search, so every strategy degenerates to the exact
   // fixed-order DP.
@@ -281,6 +313,47 @@ double MinOf(const std::vector<double>& dp) {
   return best;
 }
 
+// Solves every candidate order with a shared branch-and-bound incumbent, on
+// options.pool when one is given, returning results indexed like the input.
+// Callers reduce over the returned vector in input order, which makes the
+// picked winner independent of thread interleaving: the incumbent (seeded
+// with `initial_bound`, tightened to the min bottleneck of any feasible
+// result) never drops below min(initial_bound, batch optimum), so whenever
+// the batch can beat or tie the caller's incumbent at all, every candidate
+// achieving the batch minimum is solved exactly under any schedule
+// (`cand > prune_above` is strict), and candidates a tighter bound happens to
+// prune could never have won the reduction anyway. This is the same argument
+// Solve's exact order enumeration relies on.
+std::vector<Partition> SolveOrderBatch(
+    const std::function<Partition(const std::vector<int>&, double)>& solve_order,
+    const PartitionOptions& options, double initial_bound,
+    const std::vector<std::vector<int>>& orders) {
+  std::vector<Partition> results(orders.size());
+  std::mutex incumbent_mu;
+  double incumbent = initial_bound;
+  const auto solve_one = [&](int64_t index) {
+    double bound = kInf;
+    if (options.prune) {
+      std::lock_guard<std::mutex> lock(incumbent_mu);
+      bound = incumbent;
+    }
+    Partition candidate = solve_order(orders[static_cast<size_t>(index)], bound);
+    if (candidate.feasible) {
+      std::lock_guard<std::mutex> lock(incumbent_mu);
+      incumbent = std::min(incumbent, candidate.bottleneck_time);
+    }
+    results[static_cast<size_t>(index)] = std::move(candidate);
+  };
+  if (options.pool != nullptr && orders.size() > 1) {
+    options.pool->ParallelFor(static_cast<int64_t>(orders.size()), solve_one);
+  } else {
+    for (int64_t index = 0; index < static_cast<int64_t>(orders.size()); ++index) {
+      solve_one(index);
+    }
+  }
+  return results;
+}
+
 }  // namespace
 
 Partition Partitioner::SolveBeam(const std::vector<int>& gpu_ids,
@@ -311,28 +384,52 @@ Partition Partitioner::SolveBeam(const std::vector<int>& gpu_ids,
   root.score = 0.0;
   std::vector<BeamState> beam = {root};
   for (int t = 0; t < k; ++t) {
+    // Expansions are addressed as state * num_groups + group and computed
+    // into index-owned slots, so the compacted order below equals the serial
+    // nested-loop order regardless of which thread ran which slot. Sorting is
+    // then total (expanded seqs within a depth are pairwise distinct, and
+    // BeamLess falls back to the seq), so the surviving beam is byte-
+    // identical to the serial one.
+    const int64_t expansions =
+        static_cast<int64_t>(beam.size()) * static_cast<int64_t>(num_groups);
+    std::vector<BeamState> slots(static_cast<size_t>(expansions));
+    std::vector<char> valid(static_cast<size_t>(expansions), 0);
+    const auto expand_one = [&](int64_t e) {
+      const BeamState& state = beam[static_cast<size_t>(e / num_groups)];
+      const int g = static_cast<int>(e % num_groups);
+      if (state.used[static_cast<size_t>(g)] >=
+          static_cast<int>(ctx.groups[static_cast<size_t>(g)].ids.size())) {
+        return;
+      }
+      BeamState next = state;
+      next.seq.push_back(g);
+      ++next.used[static_cast<size_t>(g)];
+      if (t > 0) {
+        // Choosing stage t's class closes stage t-1 (its backward comm —
+        // the link to stage t — is now known).
+        const int prev_class = t >= 2 ? state.seq[static_cast<size_t>(t) - 2] : -1;
+        next.dp = CloseStage(ctx, options, state.dp, t - 1, prev_class,
+                             state.seq.back(), g);
+        next.score = MinOf(next.dp);
+        if (next.score == kInf) {
+          return;  // no feasible closing: every completion is infeasible
+        }
+      }
+      slots[static_cast<size_t>(e)] = std::move(next);
+      valid[static_cast<size_t>(e)] = 1;
+    };
+    if (options.pool != nullptr && t > 0 && expansions > 1) {
+      options.pool->ParallelFor(expansions, expand_one);
+    } else {
+      for (int64_t e = 0; e < expansions; ++e) {
+        expand_one(e);
+      }
+    }
     std::vector<BeamState> expanded;
-    for (const BeamState& state : beam) {
-      for (int g = 0; g < num_groups; ++g) {
-        if (state.used[static_cast<size_t>(g)] >=
-            static_cast<int>(ctx.groups[static_cast<size_t>(g)].ids.size())) {
-          continue;
-        }
-        BeamState next = state;
-        next.seq.push_back(g);
-        ++next.used[static_cast<size_t>(g)];
-        if (t > 0) {
-          // Choosing stage t's class closes stage t-1 (its backward comm —
-          // the link to stage t — is now known).
-          const int prev_class = t >= 2 ? state.seq[static_cast<size_t>(t) - 2] : -1;
-          next.dp = CloseStage(ctx, options, state.dp, t - 1, prev_class,
-                               state.seq.back(), g);
-          next.score = MinOf(next.dp);
-          if (next.score == kInf) {
-            continue;  // no feasible closing: every completion is infeasible
-          }
-        }
-        expanded.push_back(std::move(next));
+    expanded.reserve(static_cast<size_t>(expansions));
+    for (int64_t e = 0; e < expansions; ++e) {
+      if (valid[static_cast<size_t>(e)] != 0) {
+        expanded.push_back(std::move(slots[static_cast<size_t>(e)]));
       }
     }
     std::sort(expanded.begin(), expanded.end(), BeamLess);
@@ -372,15 +469,26 @@ Partition Partitioner::SolveBeam(const std::vector<int>& gpu_ids,
            hw::SpecOf(ctx.groups[static_cast<size_t>(b)].type).effective_tflops;
   });
 
-  // ---- Exact evaluation of every candidate, then swap local search. ----
+  // ---- Exact evaluation of every candidate (batched onto the pool, winner
+  // ---- picked in input order), then swap local search. ----
   Partition best;
   std::vector<int> best_seq;
-  for (const std::vector<int>& seq : seqs) {
-    const double bound = options.prune && best.feasible ? best.bottleneck_time : kInf;
-    Partition candidate = SolveFixedOrder(RealizeOrder(ctx.groups, seq), options, bound);
-    if (ImprovesPartition(candidate, best)) {
-      best = std::move(candidate);
-      best_seq = seq;
+  {
+    std::vector<std::vector<int>> orders;
+    orders.reserve(seqs.size());
+    for (const std::vector<int>& seq : seqs) {
+      orders.push_back(RealizeOrder(ctx.groups, seq));
+    }
+    std::vector<Partition> results = SolveOrderBatch(
+        [&](const std::vector<int>& order, double bound) {
+          return SolveFixedOrder(order, options, bound);
+        },
+        options, kInf, orders);
+    for (size_t index = 0; index < results.size(); ++index) {
+      if (ImprovesPartition(results[index], best)) {
+        best = std::move(results[index]);
+        best_seq = seqs[index];
+      }
     }
   }
   if (!best.feasible) {
@@ -390,7 +498,10 @@ Partition Partitioner::SolveBeam(const std::vector<int>& gpu_ids,
   // Greedy hill climb on pairwise class swaps: all pairs while that is cheap,
   // adjacent pairs at large k. Pruned solves (bound = incumbent bottleneck)
   // keep equal-bottleneck candidates alive, so the sum-time tie-break still
-  // applies; accepted swaps update the order in place.
+  // applies; accepted swaps update the order in place. Each probe's base
+  // order depends on every earlier accept — a true loop-carried dependence —
+  // so this polish stays serial by design (it is a constant-factor tail of
+  // the search; the bulk phases above are the ones the pool accelerates).
   const bool all_pairs = k * (k - 1) / 2 <= 300;
   for (int pass = 0; pass < 4; ++pass) {
     bool improved = false;
@@ -547,11 +658,30 @@ Partition Partitioner::SolveHierarchical(const std::vector<int>& gpu_ids,
       best_rack_order = rack_order;
     }
   };
-  for (const std::vector<int>& rack_order : rack_orders) {
-    evaluate(rack_order);
+  {
+    // The enumerated (or heuristic) rack orders are independent candidates:
+    // batch them onto the pool and pick the winner in enumeration order.
+    std::vector<std::vector<int>> orders;
+    orders.reserve(rack_orders.size());
+    for (const std::vector<int>& rack_order : rack_orders) {
+      orders.push_back(ComposeOrder(segments, rack_order));
+    }
+    std::vector<Partition> results = SolveOrderBatch(
+        [&](const std::vector<int>& order, double bound) {
+          return SolveFixedOrder(order, options, bound);
+        },
+        options, kInf, orders);
+    for (size_t index = 0; index < results.size(); ++index) {
+      if (ImprovesPartition(results[index], best)) {
+        best = std::move(results[index]);
+        best_rack_order = rack_orders[index];
+      }
+    }
   }
   if (permutations > 720 && best.feasible) {
-    // Adjacent-swap polish over the rack order.
+    // Adjacent-swap polish over the rack order. Sequential accepts feed the
+    // next probe's base order, so this short loop (num_segments - 1 probes
+    // per pass) stays serial by design.
     for (int pass = 0; pass < 3; ++pass) {
       bool improved = false;
       for (int a = 0; a + 1 < num_segments; ++a) {
@@ -594,17 +724,30 @@ Partition Partitioner::SolveHierarchical(const std::vector<int>& gpu_ids,
           interior_orders.push_back(std::move(swapped));
         }
       }
+      // Within one position the interior candidates are independent (each
+      // composes the full order with its own interior; only the incumbent
+      // bound is shared), so the batch runs on the pool and the winner —
+      // the same one the serial accept-in-place loop would end on — is
+      // picked in enumeration order and installed once.
+      std::vector<std::vector<int>> full_orders;
+      full_orders.reserve(interior_orders.size());
+      const std::vector<int> saved = segment.order;
       for (const std::vector<int>& interior : interior_orders) {
-        const std::vector<int> saved = segment.order;
         segment.order = interior;
-        const double bound = options.prune ? best.bottleneck_time : kInf;
-        Partition candidate =
-            SolveFixedOrder(ComposeOrder(segments, best_rack_order), options, bound);
-        if (ImprovesPartition(candidate, best)) {
-          best = std::move(candidate);
+        full_orders.push_back(ComposeOrder(segments, best_rack_order));
+      }
+      segment.order = saved;
+      const double bound = options.prune ? best.bottleneck_time : kInf;
+      std::vector<Partition> results = SolveOrderBatch(
+          [&](const std::vector<int>& order, double b) {
+            return SolveFixedOrder(order, options, b);
+          },
+          options, bound, full_orders);
+      for (size_t index = 0; index < results.size(); ++index) {
+        if (ImprovesPartition(results[index], best)) {
+          best = std::move(results[index]);
+          segment.order = interior_orders[index];
           improved = true;
-        } else {
-          segment.order = saved;
         }
       }
     }

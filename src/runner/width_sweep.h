@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/cluster.h"
+#include "model/profiler.h"
+#include "partition/partitioner.h"
+
+namespace hetpipe::runner {
+
+class ResultSink;
+
+// One cluster/virtual-worker input of a width sweep. The sweep does not own
+// the cluster; callers keep it alive for the duration (bench/partitioner_speed
+// passes its growth clusters).
+struct WidthSweepCase {
+  std::string label;
+  const hw::Cluster* cluster = nullptr;
+  std::vector<int> gpu_ids;
+  // When true, k is small enough for the exact order enumeration; the sweep
+  // solves it once as the quality baseline (quality_vs_exact).
+  bool has_exact = false;
+};
+
+// The sweep grid. Per case: kBeam over every beam width, plus — when the
+// auto selector would pick the hierarchical search for that case —
+// kHierarchical over every rack order limit; each configuration is solved at
+// every thread count. thread value 1 means no pool (the serial path); larger
+// values run on a ThreadPool of that size, and the result is asserted
+// byte-identical to the serial solve (index-ordered reductions make parallel
+// and serial the same bytes at any thread count).
+struct WidthSweepConfig {
+  std::vector<int> beam_widths = {2, 4, 8, 16, 32};
+  std::vector<int64_t> rack_order_limits = {24, 120, 720};
+  std::vector<int> thread_counts = {1, 2, 8};
+  int repeat = 3;  // best-of-N timing per configuration
+  // nm / memory knobs for every solve; strategy, beam_width, rack_order_limit
+  // and pool are overwritten by the sweep.
+  partition::PartitionOptions base;
+};
+
+struct WidthSweepRow {
+  std::string case_label;
+  std::string strategy;  // "beam" | "hierarchical"
+  int beam_width = 0;
+  int64_t rack_order_limit = 0;
+  int threads = 1;  // 1 = serial (no pool)
+  bool feasible = false;
+  double solve_ms = 0.0;
+  double bottleneck_ms = 0.0;
+  // bottleneck / exact-optimum bottleneck (0 when the case has no exact
+  // baseline) and bottleneck / best bottleneck any swept configuration of
+  // this case found (1.0 = this configuration ties the sweep's best).
+  double quality_vs_exact = 0.0;
+  double quality_vs_best = 0.0;
+  // Parallel solve bit-identical to the serial one (always true for the
+  // serial rows themselves). Any false fails the sweep.
+  bool thread_identical = true;
+};
+
+// Runs the sweep, prints one table line per row, and emits
+// bench=partitioner_width_sweep JSON rows (plus a per-core "cores" field) to
+// `sink` when non-null. Returns false if any solve was infeasible or any
+// parallel solve diverged from its serial twin. docs/benchmarks.md documents
+// the row schema.
+bool RunWidthSweep(const model::ModelProfile& profile,
+                   const std::vector<WidthSweepCase>& cases, const WidthSweepConfig& config,
+                   ResultSink* sink, std::vector<WidthSweepRow>* rows_out = nullptr);
+
+}  // namespace hetpipe::runner

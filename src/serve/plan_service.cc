@@ -191,6 +191,28 @@ runner::ResultRow PlanService::Handle(const PlanRequest& request) {
   options.nm = request.nm;
   options.search_gpu_orders = request.search_orders;
   options.pool = options_.pool;
+  // Already validated by ParsePlanRequest; re-parse into the enum here so a
+  // Handle() caller that bypassed parsing still gets a defined strategy.
+  if (!partition::ParseSearchStrategy(request.strategy, &options.strategy)) {
+    fail(ErrorCode::kBadRequest, "unknown strategy \"" + request.strategy + "\"");
+    return finish();
+  }
+  options.beam_width = request.beam_width;
+  options.rack_order_limit = request.rack_order_limit;
+
+  // Echo the RESOLVED strategy (never "auto"), plus the knobs that shaped the
+  // search — mirroring what the partition-cache key records, so a client can
+  // tell which tier actually answered. Resolution ignores nm and the pool, so
+  // one resolution covers every max_nm probe too.
+  const partition::SearchStrategy resolved =
+      partition::ResolveSearchStrategy(context->cluster, gpu_ids, options);
+  row.Set("strategy", partition::SearchStrategyName(resolved));
+  if (resolved != partition::SearchStrategy::kExact) {
+    row.Set("beam_width", options.beam_width);
+    if (resolved == partition::SearchStrategy::kHierarchical) {
+      row.Set("rack_order_limit", options.rack_order_limit);
+    }
+  }
 
   try {
     if (request.op == "plan") {

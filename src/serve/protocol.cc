@@ -10,6 +10,7 @@
 #include <cstring>
 #include <limits>
 
+#include "partition/partitioner.h"
 #include "runner/result_sink.h"
 
 namespace hetpipe::serve {
@@ -422,6 +423,17 @@ std::string PlanRequest::ToJson() const {
   row.Set("nm_cap", nm_cap);
   row.Set("batch_size", batch_size);
   row.Set("search_orders", search_orders);
+  // Search-tier knobs are optional-on-the-wire: emitted only when they
+  // deviate from the defaults, so pre-knob consumers see unchanged requests.
+  if (strategy != "auto") {
+    row.Set("strategy", strategy);
+  }
+  if (beam_width != 8) {
+    row.Set("beam_width", beam_width);
+  }
+  if (rack_order_limit != 720) {
+    row.Set("rack_order_limit", rack_order_limit);
+  }
   return runner::RowToJson(row);
 }
 
@@ -500,9 +512,21 @@ bool ParsePlanRequest(const std::string& payload, PlanRequest* out, ErrorCode* c
       !TakeInt(fields, "nm", 1, 1024, &out->nm, error) ||
       !TakeInt(fields, "nm_cap", 1, 1024, &out->nm_cap, error) ||
       !TakeInt(fields, "batch_size", 1, 65536, &out->batch_size, error) ||
-      !TakeBool(fields, "search_orders", &out->search_orders, error)) {
+      !TakeBool(fields, "search_orders", &out->search_orders, error) ||
+      !TakeString(fields, "strategy", &out->strategy, error) ||
+      !TakeInt(fields, "beam_width", 1, 4096, &out->beam_width, error) ||
+      !TakeInt(fields, "rack_order_limit", 1, 1000000, &out->rack_order_limit, error)) {
     *code = ErrorCode::kBadRequest;
     return false;
+  }
+  {
+    partition::SearchStrategy parsed_strategy;
+    if (!partition::ParseSearchStrategy(out->strategy, &parsed_strategy)) {
+      *code = ErrorCode::kBadRequest;
+      *error = "field \"strategy\" must be one of auto, exact, beam, hierarchical (got \"" +
+               out->strategy + "\")";
+      return false;
+    }
   }
   if (version != kProtocolVersion) {
     *code = ErrorCode::kBadRequest;

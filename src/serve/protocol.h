@@ -104,6 +104,14 @@ struct PlanRequest {
   int nm_cap = 7;                   // max_nm: search ceiling (paper: 7)
   int batch_size = 32;              // per-VW minibatch size
   bool search_orders = true;        // try all distinct GPU orders
+  // Partitioner search-tier knobs (plan | max_nm). `strategy` must name a
+  // partition::SearchStrategy ("auto" | "exact" | "beam" | "hierarchical");
+  // anything else is a bad_request. The response echoes the RESOLVED strategy
+  // (auto never survives resolution), and non-exact resolutions fold these
+  // knobs into the partition-cache key exactly like the batch benches do.
+  std::string strategy = "auto";
+  int beam_width = 8;          // beam search width (kBeam + coarse overflow)
+  int rack_order_limit = 720;  // hierarchical within-rack enumeration cap
 
   // Serializes through the ResultRow JSON machinery (kProtocolVersion and
   // every non-default field).

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "hw/cluster.h"
+#include "hw/cluster_spec.h"
 #include "model/profiler.h"
 #include "model/resnet.h"
 #include "partition/partitioner.h"
@@ -259,6 +260,60 @@ TEST(PartitionCacheTest, SetCapacityEvictsInLruOrder) {
     cache.Solve(partitioner, {0, 4, 8, 12}, options, &was_hit);
     EXPECT_FALSE(was_hit) << "nm=2 should have been evicted";
   }
+}
+
+// ---- Parallel scalable search under contention ----
+
+TEST(SearchParallelStressTest, ConcurrentPooledSolvesStayByteIdentical) {
+  // Several request threads share one Partitioner and one ThreadPool — the
+  // serve daemon's exact shape — and each runs pooled beam/hierarchical
+  // solves. The searches batch candidates through ParallelFor with a shared
+  // mutex-guarded incumbent bound; under TSan this flushes out any lock
+  // misuse there, and the assertions pin that contention never changes a
+  // single byte of the results (index-ordered reductions, strict pruning).
+  hw::ClusterSpec spec;
+  spec.Named("stress-racked");
+  spec.AddNode("V", 1).AddNode("R", 1).AddNode("G", 1);
+  spec.AddNode("Q", 1).AddNode("V", 1).AddNode("R", 1);
+  spec.AddRack("left", {0, 1, 2}).AddRack("right", {3, 4, 5});
+  spec.CrossRackGbits(10.0);
+  const hw::Cluster cluster = spec.Build();
+  const auto graph = model::BuildResNet152();
+  const model::ModelProfile profile(graph, 32);
+  const partition::Partitioner partitioner(profile, cluster);
+  const std::vector<int> ids = {0, 1, 2, 3, 4, 5};
+
+  ThreadPool pool(4);
+  std::map<int, partition::Partition> expected;  // strategy index -> serial
+  const partition::SearchStrategy strategies[] = {partition::SearchStrategy::kBeam,
+                                                  partition::SearchStrategy::kHierarchical};
+  for (int s = 0; s < 2; ++s) {
+    partition::PartitionOptions options;
+    options.strategy = strategies[s];
+    expected[s] = partitioner.SolveScalable(ids, options);
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 6; ++round) {
+        const int s = (t + round) % 2;
+        partition::PartitionOptions options;
+        options.strategy = strategies[s];
+        options.pool = &pool;
+        const partition::Partition got = partitioner.SolveScalable(ids, options);
+        if (!SamePartition(got, expected[s]) ||
+            got.ToString(profile) != expected[s].ToString(profile)) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 }  // namespace

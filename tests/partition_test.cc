@@ -12,6 +12,7 @@
 #include "model/vgg.h"
 #include "partition/memory_model.h"
 #include "partition/partitioner.h"
+#include "runner/thread_pool.h"
 
 namespace hetpipe::partition {
 namespace {
@@ -655,6 +656,95 @@ TEST(SearchOracleTest, RandomSmallInstancesStayWithinBoundOfExact) {
   // skipping every round).
   EXPECT_GE(solved_rounds, 30);
   RecordProperty("worst_ratio", std::to_string(worst_ratio));
+}
+
+// ---- Parallel search determinism. The searches reduce candidates in input
+// ---- index order and bound pruning with strict comparisons, so a solve on a
+// ---- thread pool of any size must return the same bytes as the serial one.
+
+TEST(SearchStrategyTest, ResolutionIsPoolIndependent) {
+  // The partition cache derives its keys from the RESOLVED strategy, so
+  // resolution must never read options.pool — otherwise the same query could
+  // map to different cache entries depending on who carries a pool.
+  const Cluster cluster = RackedTestCluster();
+  runner::ThreadPool pool(2);
+  for (const std::vector<int>& ids :
+       {std::vector<int>{0, 1, 2, 3, 4, 5}, std::vector<int>{0, 1, 2}, std::vector<int>{0}}) {
+    for (int64_t limit : {int64_t{1}, int64_t{10000}}) {
+      for (SearchStrategy strategy : {SearchStrategy::kAuto, SearchStrategy::kBeam}) {
+        PartitionOptions serial;
+        serial.exact_order_limit = limit;
+        serial.strategy = strategy;
+        PartitionOptions pooled = serial;
+        pooled.pool = &pool;
+        EXPECT_EQ(ResolveSearchStrategy(cluster, ids, serial),
+                  ResolveSearchStrategy(cluster, ids, pooled));
+      }
+    }
+  }
+}
+
+TEST(SearchParallelTest, SolvesAreByteIdenticalAcrossThreadCounts) {
+  // Seeded random racked clusters: every strategy solved serially and on
+  // pools of 1, 2, and 8 threads must agree field-for-field AND byte-for-byte
+  // in the rendered partition — bit-identity, not tolerance.
+  std::mt19937 rng(20260808);
+  std::uniform_int_distribution<int> node_count(3, 6);
+  std::uniform_int_distribution<int> type_pick(0, 3);
+  const char* kTypes[4] = {"V", "R", "G", "Q"};
+  runner::ThreadPool pool1(1), pool2(2), pool8(8);
+  runner::ThreadPool* pools[] = {&pool1, &pool2, &pool8};
+  int solved_rounds = 0;
+  for (int round = 0; round < 8; ++round) {
+    hw::ClusterSpec spec;
+    spec.Named("parallel-" + std::to_string(round));
+    const int nodes = node_count(rng);
+    for (int node = 0; node < nodes; ++node) {
+      spec.AddNode(kTypes[type_pick(rng)], 1 + static_cast<int>(rng() % 2u));
+    }
+    const int split = 1 + static_cast<int>(rng() % static_cast<unsigned>(nodes - 1));
+    std::vector<int> left, right;
+    for (int node = 0; node < nodes; ++node) {
+      (node < split ? left : right).push_back(node);
+    }
+    spec.AddRack("left", left).AddRack("right", right).CrossRackGbits(7.0);
+    const Cluster cluster = spec.Build();
+
+    const model::ModelGraph graph = RandomGraph(rng);
+    const ModelProfile profile(graph, 1 + round % 32);
+    const Partitioner partitioner(profile, cluster);
+
+    std::vector<int> ids(static_cast<size_t>(cluster.num_gpus()));
+    std::iota(ids.begin(), ids.end(), 0);
+    std::shuffle(ids.begin(), ids.end(), rng);
+    const int k = 3 + round % 4;  // 3..6
+    if (graph.num_layers() < k || cluster.num_gpus() < k) {
+      continue;
+    }
+    ids.resize(static_cast<size_t>(k));
+
+    for (SearchStrategy strategy :
+         {SearchStrategy::kExact, SearchStrategy::kBeam, SearchStrategy::kHierarchical}) {
+      PartitionOptions options;
+      options.nm = 1 + round % 3;
+      options.strategy = strategy;
+      const Partition serial = partitioner.SolveScalable(ids, options);
+      const std::string serial_bytes =
+          serial.feasible ? serial.ToString(profile) : "infeasible";
+      for (runner::ThreadPool* pool : pools) {
+        PartitionOptions pooled = options;
+        pooled.pool = pool;
+        const Partition parallel = partitioner.SolveScalable(ids, pooled);
+        ExpectSamePartition(parallel, serial);
+        EXPECT_EQ(parallel.feasible ? parallel.ToString(profile) : "infeasible",
+                  serial_bytes)
+            << "round " << round << ": " << SearchStrategyName(strategy) << " on "
+            << pool->num_threads() << " threads";
+      }
+      ++solved_rounds;
+    }
+  }
+  EXPECT_GE(solved_rounds, 15);  // the grid must actually run
 }
 
 }  // namespace
