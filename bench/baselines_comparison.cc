@@ -3,7 +3,7 @@
 // parameter-server BSP/SSP/ASP (§2.2), and decentralized AD-PSGD (§9) — on
 // the 16-GPU heterogeneous cluster. Six experiments per model, one sweep.
 //
-// Flags: --threads=N --json[=PATH] --csv[=PATH]
+// Flags: --threads=N --out=PATH --json[=PATH] --csv[=PATH]
 #include <cstdio>
 #include <vector>
 

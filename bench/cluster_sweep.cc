@@ -7,7 +7,7 @@
 // All three grids come from the spec-driven runner::SpecSweep helpers; this
 // binary only picks the specs and prints the rows.
 //
-// Flags: --threads=N --json[=PATH] --csv[=PATH] --cache-file=PATH
+// Flags: --threads=N --out=PATH --json[=PATH] --csv[=PATH] --cache-file=PATH
 //        --spec-file=PATH   run the straggler scenario on your own
 //                           hw::ClusterSpec text file instead of the built-in
 //                           scenarios (see README for the format)

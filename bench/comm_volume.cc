@@ -4,7 +4,7 @@
 // (~211 MB) because of large inter-stage activations. The partition solves
 // run through the sweep runner (and its cache).
 //
-// Flags: --threads=N --json[=PATH] --csv[=PATH]
+// Flags: --threads=N --out=PATH --json[=PATH] --csv[=PATH]
 #include <cstdio>
 #include <vector>
 

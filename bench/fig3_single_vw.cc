@@ -2,7 +2,7 @@
 // utilization of a single virtual worker as Nm varies, for the seven GPU
 // configurations of Table 3, on ResNet-152 and VGG-19.
 //
-// Flags: --threads=N --json[=PATH] --csv[=PATH]
+// Flags: --threads=N --out=PATH --json[=PATH] --csv[=PATH]
 #include <cstdio>
 
 #include "core/experiment.h"

@@ -2,7 +2,7 @@
 // of Horovod vs HetPipe under the NP / ED / ED-local / HD allocation
 // policies, D=0, on ResNet-152 and VGG-19.
 //
-// Flags: --threads=N --json[=PATH] --csv[=PATH]
+// Flags: --threads=N --out=PATH --json[=PATH] --csv[=PATH]
 #include <cstdio>
 #include <string>
 

@@ -3,7 +3,7 @@
 // Paper result: HetPipe-12 converges 35% faster than Horovod-12 and
 // HetPipe-16 39% faster.
 //
-// Flags: --threads=N --json[=PATH] --csv[=PATH]
+// Flags: --threads=N --out=PATH --json[=PATH] --csv[=PATH]
 #include <cstdio>
 
 #include "core/experiment.h"

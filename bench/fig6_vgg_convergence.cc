@@ -3,7 +3,7 @@
 // faster than Horovod; D=4 49% faster than Horovod (28% faster than D=0);
 // D=32 degrades ~4.7% vs D=4 despite similar throughput.
 //
-// Flags: --threads=N --json[=PATH] --csv[=PATH]
+// Flags: --threads=N --out=PATH --json[=PATH] --csv[=PATH]
 #include <cstdio>
 
 #include "core/experiment.h"

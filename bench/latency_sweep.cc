@@ -6,7 +6,7 @@
 //                  at the default and at a degraded inter-node intercept
 // Both grids come from the spec-driven runner::SpecSweep helpers.
 //
-// Flags: --threads=N --json[=PATH] --csv[=PATH] --cache-file=PATH
+// Flags: --threads=N --out=PATH --json[=PATH] --csv[=PATH] --cache-file=PATH
 //
 // Because the intercept/latency knobs are part of the partition-cache key,
 // a --cache-file warmed at one latency point is never wrongly reused at

@@ -4,7 +4,7 @@
 // One kPartitionOnly experiment per (model, strategy), all executed by the
 // sweep runner.
 //
-// Flags: --threads=N --json[=PATH] --csv[=PATH]
+// Flags: --threads=N --out=PATH --json[=PATH] --csv[=PATH]
 #include <cstdio>
 #include <vector>
 

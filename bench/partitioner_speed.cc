@@ -10,7 +10,7 @@
 // run as BENCH_partitioner.json (see README "Partitioner performance").
 //
 // Flags: --threads=N (default 1: timing stability) --repeat=N (default 5)
-//        --json[=PATH] --csv[=PATH] --cache-file=PATH
+//        --out=PATH --json[=PATH] --csv[=PATH] --cache-file=PATH
 //        --expect=PATH        compare every point's solve result against a
 //                             checked-in expectations file; any divergence
 //                             (or a missing/extra point) fails the run. The
@@ -261,7 +261,7 @@ int CompareExpectations(const std::vector<PointResult>& results, const std::stri
 }
 
 int WriteExpectations(const std::vector<PointResult>& results, const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
+  std::ofstream out(path, std::ios::trunc);  // lint: ofstream-allowed (expectation file, not rows)
   if (!out.is_open()) {
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
     return 1;

@@ -4,7 +4,7 @@
 // The horizons run concurrently on the sweep runner (each is an independent
 // training run) and report in horizon order.
 //
-// Flags: --threads=N --json[=PATH] --csv[=PATH]
+// Flags: --threads=N --out=PATH --json[=PATH] --csv[=PATH]
 #include <cstdio>
 #include <vector>
 

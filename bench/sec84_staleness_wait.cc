@@ -4,7 +4,7 @@
 // the pipeline keeps processing already-injected minibatches.
 // Paper: waiting at D=4 is 62% of waiting at D=0; idle is 18% of waiting.
 //
-// Flags: --threads=N --json[=PATH] --csv[=PATH]
+// Flags: --threads=N --out=PATH --json[=PATH] --csv[=PATH]
 #include <cstdio>
 
 #include "core/experiment.h"

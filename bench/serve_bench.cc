@@ -23,8 +23,8 @@
 //        --beam-width=N            workload item (defaults auto / 8 / 720);
 //        --rack-order-limit=N      non-default knobs fork the server's cache
 //                                  keys exactly like the batch benches
-//        --threads --json --csv --cache-file (runner/cli.h; cache/threads
-//        only shape the in-process server)
+//        --threads --out --json --csv --cache-file (runner/cli.h;
+//        cache/threads only shape the in-process server)
 //
 // Exit 0 when every query round-tripped with ok=true; 1 otherwise.
 #include <algorithm>

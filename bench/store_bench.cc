@@ -1,0 +1,187 @@
+// Size/speed benchmark of the .hds columnar result store (src/store/)
+// against JSONL on a synthetic sweep shaped like real bench output: ~120k
+// rows of repeated names/kinds/models, counting step numbers, throughput
+// doubles, and a slab of rows that add late columns mid-stream (schema
+// evolution). Reports bytes for both encodings, write/read timings, and a
+// full row-by-row round-trip equality check — the row every CI run floors on
+// (jsonl_over_store and roundtrip_identical in BENCH_store.json).
+//
+// Flags: --rows=N (default 120000) --keep-files
+//        --json[=PATH] --csv[=PATH] --out=PATH
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "runner/cli.h"
+#include "runner/result_sink.h"
+#include "store/extent_reader.h"
+#include "store/extent_writer.h"
+
+namespace {
+
+using namespace hetpipe;
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Synthetic sweep rows, deterministic for a given seed. The value
+// distributions mirror what RowFor emits: heavy string repetition (model,
+// kind, cluster), slowly-varying ints (step), and noisy doubles.
+std::vector<runner::ResultRow> BuildRows(int num_rows, uint64_t seed) {
+  static const char* kModels[] = {"resnet152", "vgg19", "bert-large", "gpt2-medium"};
+  static const char* kKinds[] = {"hetpipe", "single-vw", "horovod", "ps"};
+  static const char* kClusters[] = {"whimsy16", "mixed8", "rack2x8"};
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> throughput(5.0, 500.0);
+  std::uniform_int_distribution<int> nm(1, 32);
+  std::vector<runner::ResultRow> rows;
+  rows.reserve(static_cast<size_t>(num_rows));
+  for (int i = 0; i < num_rows; ++i) {
+    runner::ResultRow row;
+    row.Set("name", std::string(kKinds[i % 4]) + "/" + kModels[i % 3] + "/p" + std::to_string(i % 97))
+        .Set("bench", "synthetic_sweep")
+        .Set("kind", kKinds[i % 4])
+        .Set("model", kModels[i % 3])
+        .Set("cluster", kClusters[i % 3])
+        .Set("step", static_cast<int64_t>(i))
+        .Set("feasible", i % 7 != 0)
+        .Set("throughput_img_s", throughput(rng))
+        .Set("nm", nm(rng));
+    if (i % 5 == 0) {
+      row.Set("vw", "R" + std::to_string(i % 11) + "V2Q1");
+    }
+    // Columns that only exist in the back half of the sweep: the store must
+    // carry the schema change and null the early rows.
+    if (i > num_rows / 2) {
+      row.Set("s_global", 3 + (i % 4)).Set("total_wait_s", throughput(rng) * 1e-3);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+int64_t FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return in.is_open() ? static_cast<int64_t>(in.tellg()) : -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runner::BenchArgs args = runner::BenchArgs::Parse(argc, argv);
+  int num_rows = 120000;
+  bool keep_files = false;
+  for (const std::string& arg : args.rest) {
+    if (arg.rfind("--rows=", 0) == 0) {
+      if (!runner::ParseIntFlag(arg.substr(7), &num_rows) || num_rows <= 0) {
+        std::fprintf(stderr, "error: --rows needs a positive integer\n");
+        return 2;
+      }
+    } else if (arg == "--keep-files") {
+      keep_files = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const std::string jsonl_path = "store_bench_tmp.jsonl";
+  const std::string store_path = "store_bench_tmp.hds";
+  const std::vector<runner::ResultRow> rows = BuildRows(num_rows, /*seed=*/20260807);
+
+  // JSONL encoding, through the same sink every bench uses.
+  const Clock::time_point jsonl_start = Clock::now();
+  {
+    std::ofstream out(jsonl_path, std::ios::trunc);  // lint: ofstream-allowed (measurement target)
+    if (!out.is_open()) {
+      std::fprintf(stderr, "error: cannot write %s\n", jsonl_path.c_str());
+      return 1;
+    }
+    runner::JsonlSink sink(out);
+    for (const runner::ResultRow& row : rows) {
+      sink.Write(row);
+    }
+    sink.Flush();
+  }
+  const double jsonl_write_s = SecondsSince(jsonl_start);
+
+  // Store encoding.
+  const Clock::time_point store_start = Clock::now();
+  int64_t extents = 0;
+  {
+    std::string error;
+    std::unique_ptr<store::ExtentWriter> writer = store::ExtentWriter::Open(store_path, &error);
+    if (writer == nullptr) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    for (const runner::ResultRow& row : rows) {
+      writer->Append(row);
+    }
+    if (!writer->Finalize(&error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    extents = writer->extents_written();
+  }
+  const double store_write_s = SecondsSince(store_start);
+
+  // Round trip: every row must come back exactly (same fields, same order,
+  // same JSON rendering).
+  const Clock::time_point read_start = Clock::now();
+  std::vector<runner::ResultRow> read_back;
+  read_back.reserve(rows.size());
+  {
+    std::string error;
+    if (!store::ReadAllRows(store_path, &read_back, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  const double store_read_s = SecondsSince(read_start);
+  bool roundtrip_identical = read_back.size() == rows.size();
+  for (size_t i = 0; roundtrip_identical && i < rows.size(); ++i) {
+    roundtrip_identical = RowToJson(read_back[i]) == RowToJson(rows[i]);
+  }
+
+  const int64_t jsonl_bytes = FileBytes(jsonl_path);
+  const int64_t store_bytes = FileBytes(store_path);
+  const double ratio =
+      store_bytes > 0 ? static_cast<double>(jsonl_bytes) / static_cast<double>(store_bytes) : 0.0;
+
+  std::printf("store_bench: %d rows\n", num_rows);
+  std::printf("  jsonl  %10lld bytes  wrote in %.3fs\n", static_cast<long long>(jsonl_bytes),
+              jsonl_write_s);
+  std::printf("  store  %10lld bytes  wrote in %.3fs, read in %.3fs (%lld extents)\n",
+              static_cast<long long>(store_bytes), store_write_s, store_read_s,
+              static_cast<long long>(extents));
+  std::printf("  jsonl/store size ratio %.2fx, round trip %s\n", ratio,
+              roundtrip_identical ? "identical" : "DIVERGED");
+
+  if (runner::ResultSink* sink = args.sink()) {
+    runner::ResultRow row;
+    row.Set("bench", "store")
+        .Set("rows", static_cast<int64_t>(num_rows))
+        .Set("jsonl_bytes", jsonl_bytes)
+        .Set("store_bytes", store_bytes)
+        .Set("jsonl_over_store", ratio)
+        .Set("jsonl_write_s", jsonl_write_s)
+        .Set("store_write_s", store_write_s)
+        .Set("store_read_s", store_read_s)
+        .Set("extents", extents)
+        .Set("roundtrip_identical", roundtrip_identical);
+    sink->Write(row);
+    sink->Flush();
+  }
+
+  if (!keep_files) {
+    std::remove(jsonl_path.c_str());
+    std::remove(store_path.c_str());
+  }
+  return roundtrip_identical ? 0 : 1;
+}

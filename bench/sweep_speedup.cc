@@ -11,17 +11,25 @@
 // the outer pool and cache (SweepOptions::pool), verifying that nested
 // fan-out neither deadlocks nor changes a single row vs the serial run.
 //
+// With --store-roundtrip, runs the result-store smoke instead: the sweep's
+// rows go to a JSONL sink and a .hds StoreSink (src/store/) side by side,
+// the store file is read back, and every row must re-render to the exact
+// JSONL line — the end-to-end guarantee that --out=file.hds loses nothing.
+//
 // Flags: --threads=N (default 8) --repeat=N (default 5) --nested
-//        --json[=PATH] --csv[=PATH]
+//        --store-roundtrip --json[=PATH] --csv[=PATH] --out=PATH
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/experiment.h"
 #include "runner/cli.h"
+#include "store/extent_reader.h"
+#include "store/extent_writer.h"
 
 namespace {
 
@@ -116,6 +124,54 @@ int RunNestedSmoke(int threads) {
   return identical ? 0 : 1;
 }
 
+// Store smoke: one sweep, rows mirrored to JSONL and to a .hds store file;
+// reading the store back must reproduce the JSONL stream byte for byte.
+int RunStoreRoundtrip(int threads) {
+  const std::string store_path = "sweep_speedup_roundtrip.hds";
+  std::ostringstream jsonl;
+  std::string error;
+  std::unique_ptr<store::StoreSink> store_sink = store::StoreSink::Open(store_path, &error);
+  if (store_sink == nullptr) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  runner::JsonlSink jsonl_sink(jsonl);
+  runner::MultiSink multi;
+  multi.AddSink(&jsonl_sink);
+  multi.AddSink(store_sink.get());
+
+  runner::SweepOptions options;
+  options.threads = threads;
+  options.sink = &multi;
+  runner::SweepRunner sweep(options);
+  const std::vector<core::Experiment> experiments = BuildSweep();
+  sweep.Run(experiments);
+  multi.Flush();
+  if (!store_sink->Close(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::vector<runner::ResultRow> read_back;
+  if (!store::ReadAllRows(store_path, &read_back, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    std::remove(store_path.c_str());
+    return 1;
+  }
+  std::string rendered;
+  for (const runner::ResultRow& row : read_back) {
+    rendered += runner::RowToJson(row);
+    rendered += "\n";
+  }
+  std::remove(store_path.c_str());
+
+  const bool identical = rendered == jsonl.str();
+  std::printf("store round trip (%zu experiments, %zu rows back): %s\n", experiments.size(),
+              read_back.size(),
+              identical ? "JSONL byte-identical" : "DIVERGED from JSONL — BUG");
+  return identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -123,6 +179,7 @@ int main(int argc, char** argv) {
   const int threads = args.threads > 0 ? args.threads : 8;
   int repeat = 5;
   bool nested = false;
+  bool store_roundtrip = false;
   for (const std::string& arg : args.rest) {
     if (arg.rfind("--repeat=", 0) == 0) {
       int parsed = 0;
@@ -134,7 +191,12 @@ int main(int argc, char** argv) {
       repeat = std::max(1, parsed);
     } else if (arg == "--nested") {
       nested = true;
+    } else if (arg == "--store-roundtrip") {
+      store_roundtrip = true;
     }
+  }
+  if (store_roundtrip) {
+    return RunStoreRoundtrip(threads);
   }
   if (nested) {
     return RunNestedSmoke(threads);

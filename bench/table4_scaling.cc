@@ -1,7 +1,7 @@
 // Reproduces Table 4: throughput of Horovod vs HetPipe (ED-local) as whimpy
 // GPUs are added to the cluster: 4[V] -> 8[VR] -> 12[VRQ] -> 16[VRQG].
 //
-// Flags: --threads=N --json[=PATH] --csv[=PATH]
+// Flags: --threads=N --out=PATH --json[=PATH] --csv[=PATH]
 #include <cstdio>
 
 #include "core/experiment.h"

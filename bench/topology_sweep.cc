@@ -6,7 +6,7 @@
 // Both grids come from runner::TopologySweep; a partition-only row reports
 // the rack-aware traffic split (dp::ActivationTrafficByTier).
 //
-// Flags: --threads=N --json[=PATH] --csv[=PATH] --cache-file=PATH
+// Flags: --threads=N --out=PATH --json[=PATH] --csv[=PATH] --cache-file=PATH
 //
 // Every node pair's resolved link is part of the partition-cache key (cache
 // file v3), so a --cache-file warmed on one topology is never wrongly reused

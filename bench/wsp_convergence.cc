@@ -4,7 +4,7 @@
 // Each trainer configuration is one task on the sweep runner; results print
 // in configuration order regardless of scheduling.
 //
-// Flags: --threads=N --json[=PATH] --csv[=PATH]
+// Flags: --threads=N --out=PATH --json[=PATH] --csv[=PATH]
 #include <cstdio>
 #include <string>
 #include <vector>

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
-# Perf-floor guard over a partitioner benchmark JSONL file (default: the
-# committed BENCH_partitioner.json). Checks the results that must never
-# regress — with generous margins, since absolute timings vary wildly across
-# runners:
+# Perf-floor guard over a benchmark JSONL file (default: the committed
+# BENCH_partitioner.json). The file's rows decide which floors apply — with
+# generous margins, since absolute timings vary wildly across runners:
 #
+#   partitioner files (a partitioner_speed_summary row):
 #   1. partitioner_speed_summary: the cold-solve geomean speedup of Solve over
 #      SolveReference stays above a floor (default 4x; the committed
 #      trajectory records ~11x), every point stayed bit-identical, and the
@@ -13,19 +13,29 @@
 #   3. partitioner_parallel (when present): every pooled solve stayed
 #      bit-identical to its serial twin.
 #
-# Usage: check_perf_floors.sh [FILE] [--geomean-floor=X]
+#   store files (a "bench":"store" row from store_bench):
+#   4. the .hds store stays at least --store-ratio-floor (default 1.5x)
+#      smaller than the equivalent JSONL (the committed run records ~4.6x),
+#      and the read-back rows were identical to what was written.
 #
-# CI runs this twice: hard on the committed file (a bad commit fails the
-# build) and advisory (continue-on-error) on a freshly produced run, so a
+# A file with neither row kind fails loudly — a floor check that silently
+# checks nothing is worse than none.
+#
+# Usage: check_perf_floors.sh [FILE] [--geomean-floor=X] [--store-ratio-floor=X]
+#
+# CI runs this twice per file: hard on the committed file (a bad commit fails
+# the build) and advisory (continue-on-error) on a freshly produced run, so a
 # slow shared runner cannot fail the build but a real regression is loud in
 # the log. Exit 0 when every floor holds, 1 otherwise.
 set -u
 
 file="BENCH_partitioner.json"
 geomean_floor="4.0"
+store_ratio_floor="1.5"
 for arg in "$@"; do
   case "$arg" in
     --geomean-floor=*) geomean_floor="${arg#*=}" ;;
+    --store-ratio-floor=*) store_ratio_floor="${arg#*=}" ;;
     --*) echo "unknown flag: $arg" >&2; exit 2 ;;
     *) file="$arg" ;;
   esac
@@ -43,10 +53,12 @@ field() {  # $1=line $2=key
 }
 
 summary=$(grep '"bench":"partitioner_speed_summary"' "$file" | tail -n1)
-if [ -z "$summary" ]; then
-  echo "FLOOR: no partitioner_speed_summary row in $file" >&2
+store=$(grep '"bench":"store"' "$file" | tail -n1)
+if [ -z "$summary" ] && [ -z "$store" ]; then
+  echo "FLOOR: no partitioner_speed_summary or store row in $file — nothing to check" >&2
   fail=1
-else
+fi
+if [ -n "$summary" ]; then
   geomean=$(field "$summary" resnet152_paper_speedup_geomean)
   identical=$(field "$summary" all_identical)
   grows=$(field "$summary" scratch_grows_warm)
@@ -90,7 +102,21 @@ while IFS= read -r row; do
   fi
 done < <(grep '"bench":"partitioner_width_sweep"' "$file" || true)
 
+if [ -n "$store" ]; then
+  ratio=$(field "$store" jsonl_over_store)
+  roundtrip=$(field "$store" roundtrip_identical)
+  if [ -z "$ratio" ] ||
+     ! awk -v r="$ratio" -v f="$store_ratio_floor" 'BEGIN { exit !(r+0 >= f+0) }'; then
+    echo "FLOOR: store size ratio '${ratio:-missing}' below floor ${store_ratio_floor}x" >&2
+    fail=1
+  fi
+  if [ "$roundtrip" != "true" ]; then
+    echo "FLOOR: store round trip was not identical" >&2
+    fail=1
+  fi
+fi
+
 if [ "$fail" -eq 0 ]; then
-  echo "perf floors hold in $file (geomean floor ${geomean_floor}x)"
+  echo "perf floors hold in $file"
 fi
 exit "$fail"

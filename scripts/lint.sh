@@ -18,6 +18,10 @@
 #      raw std::mutex / std::shared_mutex / std::condition_variable —
 #      otherwise -Wthread-safety has nothing to check (src/util/mutex.h is
 #      the one place allowed to touch the native types).
+#   6. bench/ binaries never write results through a raw std::ofstream: rows
+#      go through the runner sink layer (--out/--json/--csv), where the
+#      schema, the store, and sweep_query can see them. Deliberate non-result
+#      files carry '// lint: ofstream-allowed (<why>)' on the line.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -96,6 +100,24 @@ raw_sync=$(grep -rn --include='*.cc' --include='*.h' \
                done)
 if [ -n "$raw_sync" ]; then
   fail "raw std synchronization in src/runner or src/serve (use the annotated util::Mutex family from src/util/mutex.h):" "$raw_sync"
+fi
+
+# ---- Rule 6: result writing in bench/ goes through the sink layer ----
+# A bench opening its own std::ofstream for rows bypasses the schema,
+# --out dispatch, and the store — results written that way can't be queried
+# or round-tripped. Non-result files (expectation dumps, measurement
+# targets) carry an explicit marker comment on the same line:
+#   // lint: ofstream-allowed (<why>)
+raw_ofstream=$(grep -rn --include='*.cc' 'std::ofstream' bench \
+                | grep -v 'lint: ofstream-allowed' \
+                | while IFS= read -r line; do
+                    code=${line#*:*:}
+                    stripped=$(printf '%s' "$code" | strip_comments)
+                    printf '%s' "$stripped" | grep -q 'std::ofstream' \
+                      && printf '%s\n' "$line"
+                  done)
+if [ -n "$raw_ofstream" ]; then
+  fail "raw std::ofstream result writing in bench/ (emit rows via runner::BenchArgs --out/--json/--csv sinks, or mark the line '// lint: ofstream-allowed (<why>)'):" "$raw_ofstream"
 fi
 
 if [ "$failures" -ne 0 ]; then

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "store/extent_writer.h"
+
 namespace hetpipe::runner {
 namespace {
 
@@ -61,6 +63,8 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
         args.cache_load_failed_ = true;
         std::fprintf(stderr, "warning: ignoring cache file: %s\n", load_error.c_str());
       }
+    } else if (MatchFlag(arg, "out", &value)) {
+      args.AddOut(value);
     } else if (MatchFlag(arg, "json", &value)) {
       std::ostream* out = args.OpenOutput(value);
       args.sinks_.push_back(std::make_unique<JsonlSink>(*out));
@@ -76,6 +80,39 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
     }
   }
   return args;
+}
+
+void BenchArgs::AddOut(const std::string& path) {
+  const size_t dot = path.rfind('.');
+  if (path.empty() || path == "-" || dot == std::string::npos) {
+    std::fprintf(stderr,
+                 "error: --out needs a file path whose extension names the format "
+                 "(.jsonl, .json, .csv, or .hds); use --json/--csv for stdout\n");
+    std::exit(2);
+  }
+  const std::string ext = path.substr(dot);
+  std::unique_ptr<ResultSink> sink;
+  if (ext == ".jsonl" || ext == ".json") {
+    sink = std::make_unique<JsonlSink>(*OpenOutput(path));
+  } else if (ext == ".csv") {
+    sink = std::make_unique<CsvSink>(*OpenOutput(path));
+  } else if (ext == ".hds") {
+    std::string error;
+    sink = store::StoreSink::Open(path, &error);
+    if (sink == nullptr) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      std::exit(2);
+    }
+  } else {
+    std::fprintf(stderr,
+                 "error: --out does not recognize the extension \"%s\" "
+                 "(want .jsonl, .json, .csv, or .hds)\n",
+                 ext.c_str());
+    std::exit(2);
+  }
+  sinks_.push_back(std::move(sink));
+  multi_.AddSink(sinks_.back().get());
+  has_sink_ = true;
 }
 
 std::ostream* BenchArgs::OpenOutput(const std::string& path) {

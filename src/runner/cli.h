@@ -19,6 +19,10 @@ bool ParseIntFlag(const std::string& text, int* value);
 
 // The flags shared by every bench binary:
 //   --threads=N       sweep-runner worker threads (default: hardware)
+//   --out=PATH        emit rows to PATH in the format its extension names:
+//                     .jsonl/.json (JSON Lines), .csv, or .hds (the columnar
+//                     result store, src/store/). Repeatable; combines with
+//                     --json/--csv, which remain as stdout-capable aliases.
 //   --json[=PATH]     emit JSON Lines rows (default: stdout)
 //   --csv[=PATH]      emit CSV rows (default: stdout)
 //   --cache-file=PATH disk-persistent partition cache: loaded before the
@@ -56,6 +60,10 @@ class BenchArgs {
  private:
   // Returns stdout for ""/"-", else the opened file (warning on failure).
   std::ostream* OpenOutput(const std::string& path);
+  // --out: appends the sink named by `path`'s extension (exit 2 on an
+  // unrecognized or missing extension — a silent default would write a
+  // format the caller did not ask for).
+  void AddOut(const std::string& path);
 
   std::vector<std::unique_ptr<std::ofstream>> files_;
   std::vector<std::unique_ptr<ResultSink>> sinks_;

@@ -5,34 +5,15 @@
 #include <cstring>
 #include <fstream>
 
+#include "util/binary_io.h"
+
 namespace hetpipe::runner {
 namespace {
 
-// FNV-1a, the usual choice for cheap structural fingerprints.
-class Fingerprint {
- public:
-  void MixByte(unsigned char b) { hash_ = (hash_ ^ b) * 0x100000001b3ULL; }
-  void Mix(uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      MixByte(static_cast<unsigned char>((v >> (8 * i)) & 0xff));
-    }
-  }
-  void Mix(double v) {
-    uint64_t bits = 0;
-    std::memcpy(&bits, &v, sizeof(bits));
-    Mix(bits);
-  }
-  void Mix(const std::string& s) {
-    for (char c : s) {
-      MixByte(static_cast<unsigned char>(c));
-    }
-    Mix(static_cast<uint64_t>(s.size()));
-  }
-  uint64_t value() const { return hash_; }
-
- private:
-  uint64_t hash_ = 0xcbf29ce484222325ULL;
-};
+// The shared FNV-1a (util/binary_io.h): same algorithm this file always
+// used, so every structural fingerprint — and thus every cache key and file
+// checksum — is byte-identical to what older binaries computed.
+using Fingerprint = util::Fnv1a;
 
 // The distinct GPU classes present in `cluster`, ordered by name so the
 // result is independent of registration order (and thus of the process).
@@ -197,67 +178,16 @@ partition::Partition Remap(partition::Partition partition, const hw::Cluster& cl
   return partition;
 }
 
-// ---- Binary (de)serialization. Little-endian scalars, length-prefixed
-// ---- strings; GPU classes travel by name + numbers, never by handle.
+// ---- Binary (de)serialization via util/binary_io.h. Little-endian scalars,
+// ---- length-prefixed strings; GPU classes travel by name + numbers, never
+// ---- by handle.
 
-void PutU32(std::string& out, uint32_t v) {
-  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void PutU64(std::string& out, uint64_t v) {
-  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void PutI32(std::string& out, int32_t v) {
-  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void PutF64(std::string& out, double v) {
-  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void PutStr(std::string& out, const std::string& s) {
-  PutU32(out, static_cast<uint32_t>(s.size()));
-  out.append(s);
-}
-
-// Bounds-checked reader; every getter degrades to "not ok" on underflow.
-class Cursor {
- public:
-  Cursor(const char* data, size_t size) : p_(data), left_(size) {}
-
-  bool ok() const { return ok_; }
-  size_t left() const { return left_; }
-
-  template <typename T>
-  T Get() {
-    T v{};
-    if (!Take(sizeof(T))) {
-      return v;
-    }
-    std::memcpy(&v, p_ - sizeof(T), sizeof(T));
-    return v;
-  }
-
-  std::string GetStr() {
-    const uint32_t n = Get<uint32_t>();
-    if (!Take(n)) {
-      return std::string();
-    }
-    return std::string(p_ - n, n);
-  }
-
- private:
-  bool Take(size_t n) {
-    if (!ok_ || n > left_) {
-      ok_ = false;
-      return false;
-    }
-    p_ += n;
-    left_ -= n;
-    return true;
-  }
-
-  const char* p_;
-  size_t left_;
-  bool ok_ = true;
-};
+using util::Cursor;
+using util::PutF64;
+using util::PutI32;
+using util::PutStr;
+using util::PutU32;
+using util::PutU64;
 
 void SerializePartition(std::string& out, const partition::Partition& partition) {
   out.push_back(partition.feasible ? 1 : 0);
@@ -332,13 +262,7 @@ bool DeserializePartition(const std::string& bytes, partition::Partition* out) {
 
 constexpr uint32_t kFileMagic = 0x31435048;  // "HPC1"
 
-uint64_t ChecksumBytes(const char* data, size_t size) {
-  Fingerprint fp;
-  for (size_t i = 0; i < size; ++i) {
-    fp.MixByte(static_cast<unsigned char>(data[i]));
-  }
-  return fp.value();
-}
+uint64_t ChecksumBytes(const char* data, size_t size) { return util::Fnv1aBytes(data, size); }
 
 void SetError(std::string* error, const std::string& message) {
   if (error != nullptr) {

@@ -99,13 +99,21 @@ std::string EscapeCsv(const std::string& s) {
 
 }  // namespace
 
-std::string ResultRow::Get(const std::string& key) const {
+const ResultRow::Value* ResultRow::FindValue(const std::string& key) const {
   for (const auto& [k, v] : fields_) {
     if (k == key) {
-      return ValueToString(v, ValueFormat::kRaw);
+      return &v;
     }
   }
-  return "";
+  return nullptr;
+}
+
+std::optional<std::string> ResultRow::Find(const std::string& key) const {
+  const Value* value = FindValue(key);
+  if (value == nullptr) {
+    return std::nullopt;
+  }
+  return ValueToString(*value, ValueFormat::kRaw);
 }
 
 std::string RowToJson(const ResultRow& row) {
@@ -122,76 +130,49 @@ std::string RowToJson(const ResultRow& row) {
   return out;
 }
 
-void JsonlSink::Write(const ResultRow& row) { *out_ << RowToJson(row) << "\n"; }
+void JsonlSink::WriteRow(const ResultRow& row) { *out_ << RowToJson(row) << "\n"; }
 
 void CsvSink::Flush() {
   if (rows_.empty()) {
     return;
   }
 
-  // Rows flushed together with the header all contributed their keys to it,
-  // so the late-column check below can only ever fire on later flushes.
-  const bool check_late_columns = header_written_;
-
+  // The first flush freezes the schema: rows buffered so far all contributed
+  // their keys (the base class observes at Write), so the header is exactly
+  // the union in first-seen order.
   if (!header_written_) {
-    for (const ResultRow& row : rows_) {
-      for (const auto& [key, value] : row.fields()) {
-        (void)value;
-        bool known = false;
-        for (const std::string& c : columns_) {
-          if (c == key) {
-            known = true;
-            break;
-          }
-        }
-        if (!known) {
-          columns_.push_back(key);
-        }
-      }
-    }
-    for (size_t i = 0; i < columns_.size(); ++i) {
-      *out_ << (i > 0 ? "," : "") << EscapeCsv(columns_[i]);
+    schema_.Freeze();
+    for (size_t i = 0; i < schema_.frozen_size(); ++i) {
+      *out_ << (i > 0 ? "," : "") << EscapeCsv(schema_.columns()[i].name);
     }
     *out_ << "\n";
     header_written_ = true;
   }
 
+  const size_t num_columns = schema_.frozen_size();
   for (const ResultRow& row : rows_) {
-    for (size_t i = 0; i < columns_.size(); ++i) {
-      std::string cell;
-      for (const auto& [key, value] : row.fields()) {
-        if (key == columns_[i]) {
-          cell = ValueToString(value, ValueFormat::kCsv);
-          break;
-        }
-      }
+    const std::vector<const ResultRow::Value*> values = schema_.Project(row);
+    for (size_t i = 0; i < num_columns; ++i) {
+      const std::string cell =
+          values[i] != nullptr ? ValueToString(*values[i], ValueFormat::kCsv) : std::string();
       *out_ << (i > 0 ? "," : "") << EscapeCsv(cell);
     }
     *out_ << "\n";
-    // A key first seen after the header is already out cannot get a column;
-    // dropping it silently would let a sweep lose a metric without anyone
-    // noticing, so record it and warn once per column.
-    if (check_late_columns) {
-      for (const auto& [key, value] : row.fields()) {
-        (void)value;
-        bool known = false;
-        for (const std::string& c : columns_) {
-          known = known || c == key;
-        }
-        for (const std::string& d : dropped_columns_) {
-          known = known || d == key;
-        }
-        if (!known) {
-          dropped_columns_.push_back(key);
-          std::fprintf(stderr,
-                       "warning: CSV column \"%s\" first appeared after the header was "
-                       "written; its values are dropped\n",
-                       key.c_str());
-        }
-      }
-    }
   }
   rows_.clear();
+
+  // A key first seen after the header is already out cannot get a column;
+  // dropping it silently would let a sweep lose a metric without anyone
+  // noticing. The schema records such columns past frozen_size(); warn once
+  // per column as it appears.
+  for (size_t i = num_columns + dropped_columns_.size(); i < schema_.size(); ++i) {
+    const std::string& key = schema_.columns()[i].name;
+    dropped_columns_.push_back(key);
+    std::fprintf(stderr,
+                 "warning: CSV column \"%s\" first appeared after the header was "
+                 "written; its values are dropped\n",
+                 key.c_str());
+  }
 }
 
 }  // namespace hetpipe::runner

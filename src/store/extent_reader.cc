@@ -1,0 +1,359 @@
+#include "store/extent_reader.h"
+
+#include "util/binary_io.h"
+
+namespace hetpipe::store {
+namespace {
+
+using runner::ResultRow;
+using runner::ValueType;
+
+bool BitAt(const char* bitmap, size_t index) {
+  return (static_cast<unsigned char>(bitmap[index / 8]) >> (index % 8)) & 1u;
+}
+
+}  // namespace
+
+runner::ResultRow Extent::Row(size_t r) const {
+  ResultRow row;
+  for (const ColumnData& column : columns_) {
+    if (r >= column.present.size() || column.present[r] == 0) {
+      continue;
+    }
+    switch (column.column.type) {
+      case ValueType::kBool:
+        row.Set(column.column.name, column.bools[r] != 0);
+        break;
+      case ValueType::kInt64:
+        row.Set(column.column.name, column.ints[r]);
+        break;
+      case ValueType::kDouble:
+        row.Set(column.column.name, column.doubles[r]);
+        break;
+      case ValueType::kString:
+        row.Set(column.column.name, column.strings[r]);
+        break;
+    }
+  }
+  return row;
+}
+
+std::unique_ptr<ExtentReader> ExtentReader::Open(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return nullptr;
+  }
+  char header[12];
+  in.read(header, sizeof(header));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(header))) {
+    if (error != nullptr) {
+      *error = path + ": truncated header (not a .hds file?)";
+    }
+    return nullptr;
+  }
+  util::Cursor cursor(header, sizeof(header));
+  const uint32_t magic = cursor.Get<uint32_t>();
+  const uint32_t version = cursor.Get<uint32_t>();
+  const uint32_t flags = cursor.Get<uint32_t>();
+  if (magic != kStoreMagic) {
+    if (error != nullptr) {
+      *error = path + ": bad magic (not a .hds file)";
+    }
+    return nullptr;
+  }
+  if (version != kStoreVersion) {
+    if (error != nullptr) {
+      *error = path + ": unsupported store version " + std::to_string(version);
+    }
+    return nullptr;
+  }
+  if (flags != 0) {
+    if (error != nullptr) {
+      *error = path + ": unsupported store flags " + std::to_string(flags);
+    }
+    return nullptr;
+  }
+  return std::unique_ptr<ExtentReader>(new ExtentReader(path, std::move(in)));
+}
+
+ExtentReader::Next ExtentReader::Fail(std::string* error, const std::string& message) {
+  done_ = true;
+  if (error != nullptr) {
+    *error = path_ + ": " + message;
+  }
+  return Next::kError;
+}
+
+ExtentReader::Next ExtentReader::Read(Extent* extent, std::string* error) {
+  if (done_) {
+    return Fail(error, "Read past the end of the file");
+  }
+
+  char marker_bytes[4];
+  in_.read(marker_bytes, sizeof(marker_bytes));
+  if (in_.gcount() != static_cast<std::streamsize>(sizeof(marker_bytes))) {
+    return Fail(error, "truncated: missing trailer (file not finalized?)");
+  }
+  uint32_t marker = 0;
+  std::memcpy(&marker, marker_bytes, sizeof(marker));
+
+  if (marker == kTrailerMarker) {
+    char buf[24];
+    in_.read(buf, sizeof(buf));
+    if (in_.gcount() != static_cast<std::streamsize>(sizeof(buf))) {
+      return Fail(error, "truncated trailer");
+    }
+    util::Cursor cursor(buf, sizeof(buf));
+    const uint64_t rows = cursor.Get<uint64_t>();
+    const uint64_t extents = cursor.Get<uint64_t>();
+    const uint64_t checksum = cursor.Get<uint64_t>();
+    if (util::Fnv1aBytes(buf, 16) != checksum) {
+      return Fail(error, "trailer checksum mismatch");
+    }
+    if (rows != static_cast<uint64_t>(rows_seen_) ||
+        extents != static_cast<uint64_t>(extents_seen_)) {
+      return Fail(error, "trailer totals disagree with the extents read (" +
+                             std::to_string(rows) + " rows / " + std::to_string(extents) +
+                             " extents recorded, " + std::to_string(rows_seen_) + " / " +
+                             std::to_string(extents_seen_) + " decoded)");
+    }
+    if (in_.peek() != std::ifstream::traits_type::eof()) {
+      return Fail(error, "trailing bytes after the trailer");
+    }
+    total_rows_ = static_cast<int64_t>(rows);
+    total_extents_ = static_cast<int64_t>(extents);
+    done_ = true;
+    return Next::kEnd;
+  }
+
+  if (marker != kExtentMarker) {
+    return Fail(error, "bad extent marker");
+  }
+  char frame[12];
+  in_.read(frame, sizeof(frame));
+  if (in_.gcount() != static_cast<std::streamsize>(sizeof(frame))) {
+    return Fail(error, "truncated extent frame");
+  }
+  util::Cursor frame_cursor(frame, sizeof(frame));
+  const uint32_t payload_size = frame_cursor.Get<uint32_t>();
+  const uint64_t checksum = frame_cursor.Get<uint64_t>();
+  if (payload_size > kMaxExtentPayloadBytes) {
+    return Fail(error, "extent payload size " + std::to_string(payload_size) + " exceeds limit");
+  }
+  std::string payload(payload_size, '\0');
+  in_.read(&payload[0], static_cast<std::streamsize>(payload_size));
+  if (in_.gcount() != static_cast<std::streamsize>(payload_size)) {
+    return Fail(error, "truncated extent payload");
+  }
+  if (util::Fnv1aBytes(payload.data(), payload.size()) != checksum) {
+    return Fail(error, "extent checksum mismatch");
+  }
+  std::string decode_error;
+  if (!DecodeExtent(payload, extent, &decode_error)) {
+    return Fail(error, decode_error);
+  }
+  ++extents_seen_;
+  rows_seen_ += static_cast<int64_t>(extent->num_rows());
+  return Next::kExtent;
+}
+
+bool ExtentReader::DecodeExtent(const std::string& payload, Extent* extent, std::string* error) {
+  extent->columns_.clear();
+  extent->num_rows_ = 0;
+  util::Cursor cursor(payload.data(), payload.size());
+
+  const uint32_t num_columns = cursor.Get<uint32_t>();
+  std::vector<runner::Column> columns;
+  for (uint32_t c = 0; c < num_columns && cursor.ok(); ++c) {
+    runner::Column column;
+    column.name = cursor.GetStr();
+    const uint8_t type = cursor.Get<uint8_t>();
+    if (type > static_cast<uint8_t>(ValueType::kString)) {
+      *error = "unknown column type " + std::to_string(type);
+      return false;
+    }
+    column.type = static_cast<ValueType>(type);
+    columns.push_back(column);
+  }
+  const uint32_t num_rows = cursor.Get<uint32_t>();
+  if (!cursor.ok()) {
+    *error = "extent schema underflow";
+    return false;
+  }
+  if (num_rows > kMaxRowsPerExtent) {
+    *error = "extent row count " + std::to_string(num_rows) + " exceeds limit";
+    return false;
+  }
+  const size_t bitmap_bytes = (static_cast<size_t>(num_rows) + 7) / 8;
+
+  extent->num_rows_ = num_rows;
+  extent->columns_.reserve(columns.size());
+  for (const runner::Column& column : columns) {
+    ColumnData data;
+    data.column = column;
+    const char* bitmap = cursor.GetBytes(bitmap_bytes);
+    const uint8_t encoding_byte = cursor.Get<uint8_t>();
+    const uint32_t encoded_size = cursor.Get<uint32_t>();
+    const char* encoded = cursor.GetBytes(encoded_size);
+    if (!cursor.ok()) {
+      *error = "column \"" + column.name + "\" underflow";
+      return false;
+    }
+    data.present.assign(num_rows, 0);
+    size_t present_count = 0;
+    for (uint32_t r = 0; r < num_rows; ++r) {
+      if (BitAt(bitmap, r)) {
+        data.present[r] = 1;
+        ++present_count;
+      }
+    }
+
+    util::Cursor values(encoded, encoded_size);
+    const ColumnEncoding encoding = static_cast<ColumnEncoding>(encoding_byte);
+    bool encoding_fits_type = false;
+    switch (column.type) {
+      case ValueType::kBool:
+        encoding_fits_type = encoding == ColumnEncoding::kBoolBitmap;
+        break;
+      case ValueType::kInt64:
+        encoding_fits_type = encoding == ColumnEncoding::kInt64ZigZag;
+        break;
+      case ValueType::kDouble:
+        encoding_fits_type = encoding == ColumnEncoding::kDoubleRaw;
+        break;
+      case ValueType::kString:
+        encoding_fits_type =
+            encoding == ColumnEncoding::kStringRaw || encoding == ColumnEncoding::kStringDict;
+        break;
+    }
+    if (!encoding_fits_type) {
+      *error = "column \"" + column.name + "\" has encoding " + std::to_string(encoding_byte) +
+               ", which does not fit its type";
+      return false;
+    }
+
+    switch (encoding) {
+      case ColumnEncoding::kBoolBitmap: {
+        if (encoded_size != bitmap_bytes) {
+          *error = "column \"" + column.name + "\" bool bitmap has the wrong size";
+          return false;
+        }
+        const char* bits = values.GetBytes(encoded_size);
+        data.bools.assign(num_rows, 0);
+        for (uint32_t r = 0; r < num_rows; ++r) {
+          data.bools[r] = BitAt(bits, r) ? 1 : 0;
+        }
+        break;
+      }
+      case ColumnEncoding::kInt64ZigZag: {
+        data.ints.assign(num_rows, 0);
+        uint64_t prev = 0;
+        for (uint32_t r = 0; r < num_rows; ++r) {
+          if (data.present[r] == 0) {
+            continue;
+          }
+          const uint64_t delta = static_cast<uint64_t>(util::ZigZagDecode(values.GetVarU64()));
+          prev += delta;  // mod 2^64, mirroring the writer's wrapping delta
+          data.ints[r] = static_cast<int64_t>(prev);
+        }
+        break;
+      }
+      case ColumnEncoding::kDoubleRaw: {
+        if (encoded_size != present_count * sizeof(double)) {
+          *error = "column \"" + column.name + "\" double data has the wrong size";
+          return false;
+        }
+        data.doubles.assign(num_rows, 0.0);
+        for (uint32_t r = 0; r < num_rows; ++r) {
+          if (data.present[r] != 0) {
+            data.doubles[r] = values.Get<double>();
+          }
+        }
+        break;
+      }
+      case ColumnEncoding::kStringRaw: {
+        data.strings.assign(num_rows, std::string());
+        for (uint32_t r = 0; r < num_rows; ++r) {
+          if (data.present[r] != 0) {
+            data.strings[r] = values.GetStr();
+          }
+        }
+        break;
+      }
+      case ColumnEncoding::kStringDict: {
+        const uint32_t dict_size = values.Get<uint32_t>();
+        if (dict_size > encoded_size) {  // each entry costs >= 4 bytes; cheap sanity cap
+          *error = "column \"" + column.name + "\" dictionary size is corrupt";
+          return false;
+        }
+        std::vector<std::string> dict;
+        dict.reserve(dict_size);
+        for (uint32_t i = 0; i < dict_size && values.ok(); ++i) {
+          dict.push_back(values.GetStr());
+        }
+        data.strings.assign(num_rows, std::string());
+        for (uint32_t r = 0; r < num_rows; ++r) {
+          if (data.present[r] == 0) {
+            continue;
+          }
+          const uint64_t index = values.GetVarU64();
+          if (index >= dict.size()) {
+            *error = "column \"" + column.name + "\" dictionary index out of range";
+            return false;
+          }
+          data.strings[r] = dict[index];
+        }
+        break;
+      }
+      default:
+        *error = "column \"" + column.name + "\" has unknown encoding " +
+                 std::to_string(encoding_byte);
+        return false;
+    }
+    if (!values.ok()) {
+      *error = "column \"" + column.name + "\" value data underflow";
+      return false;
+    }
+    if (values.left() != 0) {
+      *error = "column \"" + column.name + "\" has trailing value bytes";
+      return false;
+    }
+    extent->columns_.push_back(std::move(data));
+  }
+  if (!cursor.ok()) {
+    *error = "extent underflow";
+    return false;
+  }
+  if (cursor.left() != 0) {
+    *error = "trailing bytes in extent payload";
+    return false;
+  }
+  return true;
+}
+
+bool ReadAllRows(const std::string& path, std::vector<runner::ResultRow>* rows,
+                 std::string* error) {
+  std::unique_ptr<ExtentReader> reader = ExtentReader::Open(path, error);
+  if (reader == nullptr) {
+    return false;
+  }
+  Extent extent;
+  while (true) {
+    switch (reader->Read(&extent, error)) {
+      case ExtentReader::Next::kExtent:
+        for (size_t r = 0; r < extent.num_rows(); ++r) {
+          rows->push_back(extent.Row(r));
+        }
+        break;
+      case ExtentReader::Next::kEnd:
+        return true;
+      case ExtentReader::Next::kError:
+        return false;
+    }
+  }
+}
+
+}  // namespace hetpipe::store

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runner/result_sink.h"
+#include "runner/schema.h"
+#include "store/extent_writer.h"
+
+namespace hetpipe::store {
+
+// More rows than a sane extent (the writer cuts at ~64 KiB) — a count above
+// this is a corrupt file, refused before allocating row-aligned vectors.
+constexpr uint32_t kMaxRowsPerExtent = 1u << 24;
+
+// One decoded column of one extent: row-aligned slices, so values[r] lines up
+// with presence[r] for every row r of the extent. Only the vector matching
+// `column.type` is populated; null rows hold a default value and are
+// distinguished by present[r] == 0.
+struct ColumnData {
+  runner::Column column;
+  std::vector<uint8_t> present;  // 1 when row r has a value
+  std::vector<uint8_t> bools;
+  std::vector<int64_t> ints;
+  std::vector<double> doubles;
+  std::vector<std::string> strings;
+};
+
+// One decoded extent: the schema snapshot it carried plus per-column slices.
+class Extent {
+ public:
+  const std::vector<ColumnData>& columns() const { return columns_; }
+  size_t num_rows() const { return num_rows_; }
+
+  // Row r reconstructed in schema (column) order, nulls skipped — for rows
+  // whose writers emit fields in a consistent order (every bench RowFor
+  // does), this reproduces the original field order exactly.
+  runner::ResultRow Row(size_t r) const;
+
+ private:
+  friend class ExtentReader;
+  std::vector<ColumnData> columns_;
+  size_t num_rows_ = 0;
+};
+
+// Streaming reader for .hds files: validates the header up front, then hands
+// back one checksum-verified extent at a time, and on kEnd has verified the
+// trailer totals against what it actually decoded. Never trusts a length or
+// count from the file without bounds-checking it first — a truncated or
+// bit-flipped file fails with an error message, not a crash.
+class ExtentReader {
+ public:
+  enum class Next {
+    kExtent,  // *extent holds the next decoded extent
+    kEnd,     // trailer reached and verified; totals are now valid
+    kError,   // corrupt/truncated file; *error says why
+  };
+
+  // nullptr + `error` when the file is missing or its header is not a
+  // version-1 .hds header.
+  static std::unique_ptr<ExtentReader> Open(const std::string& path, std::string* error);
+
+  Next Read(Extent* extent, std::string* error);
+
+  // Trailer totals; meaningful only after Read returned kEnd.
+  int64_t total_rows() const { return total_rows_; }
+  int64_t total_extents() const { return total_extents_; }
+
+ private:
+  ExtentReader(std::string path, std::ifstream in) : path_(std::move(path)), in_(std::move(in)) {}
+
+  bool DecodeExtent(const std::string& payload, Extent* extent, std::string* error);
+  Next Fail(std::string* error, const std::string& message);
+
+  std::string path_;
+  std::ifstream in_;
+  int64_t rows_seen_ = 0;
+  int64_t extents_seen_ = 0;
+  int64_t total_rows_ = 0;
+  int64_t total_extents_ = 0;
+  bool done_ = false;
+};
+
+// Loads every row of `path` in file order. Convenience wrapper over
+// ExtentReader for consumers that want rows, not extents (sweep_query, the
+// round-trip checks); false + `error` on any corruption.
+bool ReadAllRows(const std::string& path, std::vector<runner::ResultRow>* rows,
+                 std::string* error);
+
+}  // namespace hetpipe::store

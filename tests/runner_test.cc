@@ -939,6 +939,111 @@ TEST(ResultSinkTest, RowGetRendersValues) {
   EXPECT_EQ(row.Get("missing"), "");
 }
 
+TEST(ResultSinkTest, FindDistinguishesAbsentFromEmpty) {
+  ResultRow row;
+  row.Set("empty", "").Set("x", 1);
+  EXPECT_EQ(row.Find("empty"), "");          // present but empty
+  EXPECT_EQ(row.Find("missing"), std::nullopt);  // absent
+  EXPECT_EQ(row.Get("empty"), row.Get("missing"));  // Get collapses the two
+
+  ASSERT_NE(row.FindValue("x"), nullptr);
+  EXPECT_EQ(std::get<int64_t>(*row.FindValue("x")), 1);
+  EXPECT_EQ(row.FindValue("missing"), nullptr);
+}
+
+TEST(SchemaTest, ObserveAppendsColumnsInFirstSeenOrder) {
+  Schema schema;
+  ResultRow a;
+  a.Set("name", "r1").Set("x", 1);
+  ResultRow b;
+  b.Set("x", 2).Set("name", "r2").Set("extra", true);
+  schema.Observe(a);
+  schema.Observe(b);
+  ASSERT_EQ(schema.size(), 3u);
+  EXPECT_EQ(schema.columns()[0].name, "name");
+  EXPECT_EQ(schema.columns()[0].type, ValueType::kString);
+  EXPECT_EQ(schema.columns()[1].name, "x");
+  EXPECT_EQ(schema.columns()[1].type, ValueType::kInt64);
+  EXPECT_EQ(schema.columns()[2].name, "extra");
+  EXPECT_EQ(schema.columns()[2].type, ValueType::kBool);
+  EXPECT_EQ(schema.IndexOf("x"), 1);
+  EXPECT_EQ(schema.IndexOf("nope"), -1);
+  EXPECT_EQ(schema.conflicts(), 0);
+}
+
+TEST(SchemaTest, Int64AndDoublePromoteWithoutConflict) {
+  Schema schema;
+  ResultRow a;
+  a.Set("v", 1);
+  ResultRow b;
+  b.Set("v", 2.5);
+  schema.Observe(a);
+  EXPECT_EQ(schema.columns()[0].type, ValueType::kInt64);
+  schema.Observe(b);
+  EXPECT_EQ(schema.columns()[0].type, ValueType::kDouble);
+  schema.Observe(a);  // int64 on a kDouble column is absorbed, not a conflict
+  EXPECT_EQ(schema.columns()[0].type, ValueType::kDouble);
+  EXPECT_EQ(schema.conflicts(), 0);
+}
+
+TEST(SchemaTest, OtherTypeMixesCountAsConflicts) {
+  Schema schema;
+  ResultRow a;
+  a.Set("v", "text");
+  ResultRow b;
+  b.Set("v", 3);
+  schema.Observe(a);
+  schema.Observe(b);
+  EXPECT_EQ(schema.columns()[0].type, ValueType::kString);  // established type wins
+  EXPECT_EQ(schema.conflicts(), 1);
+}
+
+TEST(SchemaTest, FreezeRecordsLateColumns) {
+  Schema schema;
+  ResultRow a;
+  a.Set("name", "r1");
+  schema.Observe(a);
+  schema.Freeze();
+  EXPECT_TRUE(schema.frozen());
+  EXPECT_EQ(schema.frozen_size(), 1u);
+  ResultRow b;
+  b.Set("name", "r2").Set("late", 1);
+  schema.Observe(b);
+  EXPECT_EQ(schema.size(), 2u);       // still recorded...
+  EXPECT_EQ(schema.frozen_size(), 1u);  // ...but past the frozen prefix
+  ASSERT_EQ(schema.late_columns().size(), 1u);
+  EXPECT_EQ(schema.late_columns()[0], "late");
+}
+
+TEST(SchemaTest, ProjectAlignsRowValuesToColumns) {
+  Schema schema;
+  ResultRow a;
+  a.Set("name", "r1").Set("x", 1);
+  schema.Observe(a);
+  ResultRow b;
+  b.Set("x", 7);  // no "name"
+  const std::vector<const Value*> values = schema.Project(b);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0], nullptr);
+  ASSERT_NE(values[1], nullptr);
+  EXPECT_EQ(std::get<int64_t>(*values[1]), 7);
+}
+
+TEST(ResultSinkTest, SinkAccumulatesSchemaAcrossWrites) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  ResultRow a;
+  a.Set("name", "r1").Set("x", 1);
+  ResultRow b;
+  b.Set("name", "r2").Set("y", 2.5);
+  sink.Write(a);
+  sink.Write(b);
+  ASSERT_EQ(sink.schema().size(), 3u);
+  EXPECT_EQ(sink.schema().columns()[0].name, "name");
+  EXPECT_EQ(sink.schema().columns()[1].name, "x");
+  EXPECT_EQ(sink.schema().columns()[2].name, "y");
+}
+
 // ---- SweepRunner determinism: the ISSUE's acceptance test ----
 
 std::vector<core::Experiment> BuildDeterminismSweep() {

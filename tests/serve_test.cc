@@ -200,6 +200,9 @@ TEST(PlanServiceTest, PlanHitsCacheOnRepeat) {
   EXPECT_EQ(miss.Get("feasible"), "true");
   EXPECT_EQ(miss.Get("cache_hit"), "false");
   EXPECT_EQ(miss.Get("num_stages"), "4");
+  // A success row must not carry an error_code at all — Find distinguishes
+  // the absent field from an empty value, which Get cannot.
+  EXPECT_EQ(miss.Find("error_code"), std::nullopt);
 
   const runner::ResultRow hit = service.Handle(request);
   EXPECT_EQ(hit.Get("ok"), "true");
@@ -302,7 +305,7 @@ TEST(PlanServiceTest, HandleJsonReportsShutdownAndStats) {
   row = service.HandleJson("not json", &shutdown);
   EXPECT_FALSE(shutdown);
   EXPECT_EQ(row.Get("ok"), "false");
-  EXPECT_EQ(row.Get("error_code"), "bad_json");
+  EXPECT_EQ(row.Find("error_code"), "bad_json");
 }
 
 // ---- End-to-end over sockets ----
